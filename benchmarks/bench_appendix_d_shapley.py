@@ -1,0 +1,26 @@
+"""Appendix D: the Banzhaf vs Shapley ranking divergence table."""
+
+from conftest import register_report
+
+from repro.experiments.report import render_mapping_table, render_table
+from repro.experiments.tables import appendix_d_rows
+
+
+def test_appendix_d_divergence(benchmark):
+    rows, summary = benchmark(appendix_d_rows)
+    register_report("appendix_d_critical_sets", render_mapping_table(
+        rows, ["k", "critical_R_a1", "critical_R_a2"],
+        title="Appendix D: number of critical sets of size k"))
+    register_report("appendix_d_summary", render_table(
+        ["measure", "R(a1)", "R(a2)", "prefers"],
+        [["Banzhaf", summary["banzhaf_R_a1"], summary["banzhaf_R_a2"],
+          summary["banzhaf_prefers"]],
+         ["Shapley", summary["shapley_R_a1"], summary["shapley_R_a2"],
+          summary["shapley_prefers"]]],
+        title="Appendix D: Banzhaf vs Shapley ranking"))
+
+    # The exact values of the paper's Appendix D table.
+    assert summary["banzhaf_R_a1"] == 62_867
+    assert summary["banzhaf_R_a2"] == 60_435
+    assert summary["banzhaf_prefers"] == "R(a1)"
+    assert summary["shapley_prefers"] == "R(a2)"

@@ -1,0 +1,41 @@
+"""Figure 4: ExaBan success rate and runtime grouped by lineage size."""
+
+from conftest import register_report
+
+from repro.experiments.figures import figure4_size_breakdown
+from repro.experiments.report import render_table
+
+
+def _exaban_results(workload_results):
+    results = []
+    for (_, algorithm), batch in workload_results.items():
+        if algorithm == "exaban":
+            results.extend(batch)
+    return results
+
+
+def test_fig4_success_and_time_by_size(benchmark, workload_results):
+    results = _exaban_results(workload_results)
+    by_vars = benchmark(figure4_size_breakdown, results, "variables")
+    by_clauses = figure4_size_breakdown(results, group_by="clauses")
+
+    def rows(bins):
+        return [[b.label(), b.instances, b.success_rate, b.min_seconds,
+                 b.max_seconds] for b in bins]
+
+    headers = ["bin", "instances", "success_rate", "min_s", "max_s"]
+    register_report("fig4_by_variables",
+                    render_table(headers, rows(by_vars),
+                                 title="Figure 4a: ExaBan grouped by #variables"))
+    register_report("fig4_by_clauses",
+                    render_table(headers, rows(by_clauses),
+                                 title="Figure 4b: ExaBan grouped by #clauses"))
+
+    assert by_vars and by_clauses
+    # The paper's shape: success is perfect on the smallest bin and
+    # non-increasing pressure as lineages grow (allowing small noise, the
+    # largest populated bin is never better than the smallest).
+    assert by_vars[0].success_rate == 1.0
+    assert by_vars[-1].success_rate <= by_vars[0].success_rate
+    assert by_clauses[0].success_rate == 1.0
+    assert by_clauses[-1].success_rate <= by_clauses[0].success_rate

@@ -1,0 +1,20 @@
+"""Table 1: statistics of the benchmark datasets (queries, lineages, sizes)."""
+
+from conftest import register_report
+
+from repro.experiments.report import render_mapping_table
+from repro.experiments.tables import table1_dataset_statistics
+
+
+def test_table1_dataset_statistics(benchmark, workloads):
+    rows = benchmark(table1_dataset_statistics, workloads)
+    assert {row["dataset"] for row in rows} == {"academic", "imdb", "tpch"}
+    for row in rows:
+        assert row["lineages"] > 0
+        assert row["max_vars"] >= row["avg_vars"]
+        assert row["max_clauses"] >= row["avg_clauses"]
+    register_report("table1_dataset_statistics", render_mapping_table(
+        rows,
+        ["dataset", "queries", "lineages", "avg_vars", "max_vars",
+         "avg_clauses", "max_clauses"],
+        title="Table 1: dataset statistics (synthetic stand-ins)"))

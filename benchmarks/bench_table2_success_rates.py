@@ -1,0 +1,25 @@
+"""Table 2: query and lineage success rates of all algorithms per dataset."""
+
+from conftest import register_report
+
+from repro.experiments.report import render_mapping_table
+from repro.experiments.tables import table2_success_rates
+
+_ALGORITHMS = ["exaban", "sig22", "adaban", "mc"]
+
+
+def test_table2_success_rates(benchmark, workload_results):
+    rows = benchmark(table2_success_rates, workload_results, _ALGORITHMS)
+    register_report("table2_success_rates", render_mapping_table(
+        rows, ["dataset", "algorithm", "query_success_rate",
+               "lineage_success_rate"],
+        title="Table 2: success rates"))
+
+    by_key = {(row["dataset"], row["algorithm"]): row for row in rows}
+    for dataset in ("academic", "imdb", "tpch"):
+        exaban = by_key[(dataset, "exaban")]
+        sig22 = by_key[(dataset, "sig22")]
+        # The paper's headline claim: ExaBan's success rate dominates Sig22's.
+        assert (exaban["lineage_success_rate"]
+                >= sig22["lineage_success_rate"])
+        assert exaban["query_success_rate"] >= sig22["query_success_rate"]

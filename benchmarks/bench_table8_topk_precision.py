@@ -1,0 +1,35 @@
+"""Table 8: precision@k of IchiBan(0.1), MC and CNF Proxy per dataset."""
+
+import pytest
+from conftest import register_report
+
+from repro.experiments.report import render_mapping_table
+from repro.experiments.tables import table8_topk_precision
+
+_COLUMNS = ["dataset", "algorithm", "precision@10_mean", "precision@10_min",
+            "precision@5_mean", "precision@5_min"]
+
+
+@pytest.fixture(scope="module")
+def precision_rows(workloads, config):
+    return table8_topk_precision(workloads, config, k_values=(10, 5))
+
+
+def test_table8_topk_precision(benchmark, precision_rows):
+    rows = benchmark(lambda: precision_rows)
+    register_report("table8_topk_precision",
+                    render_mapping_table(rows, _COLUMNS,
+                                         title="Table 8: precision@10 / "
+                                               "precision@5"))
+    by_key = {(row["dataset"], row["algorithm"]): row for row in rows}
+    for dataset in ("academic", "imdb", "tpch"):
+        ichiban = by_key[(dataset, "ichiban")]
+        mc = by_key[(dataset, "mc")]
+        for column in ("precision@10_mean", "precision@5_mean"):
+            if ichiban[column] != ichiban[column]:  # NaN: no instance scored
+                continue
+            # IchiBan achieves near-perfect precision and is never worse
+            # than the MC baseline (the paper's Table 8 claim).
+            assert ichiban[column] >= 0.9
+            if mc[column] == mc[column]:
+                assert ichiban[column] >= mc[column] - 1e-9

@@ -1,0 +1,30 @@
+"""Table 9 (Appendix E): runtime and success rate of certain top-k."""
+
+import pytest
+from conftest import register_report
+
+from repro.experiments.report import render_mapping_table
+from repro.experiments.tables import table9_topk_certain
+
+_COLUMNS = ["dataset", "k", "success_rate", "mean", "p50", "p90", "p95", "max"]
+
+
+@pytest.fixture(scope="module")
+def topk_rows(workloads, config):
+    return table9_topk_certain(workloads, config, k_values=(1, 3, 5, 10))
+
+
+def test_table9_topk_certain(benchmark, topk_rows):
+    rows = benchmark(lambda: topk_rows)
+    register_report("table9_topk_certain",
+                    render_mapping_table(rows, _COLUMNS,
+                                         title="Table 9: certain top-k "
+                                               "computation"))
+    by_key = {(row["dataset"], row["k"]): row for row in rows}
+    for dataset in ("academic", "imdb", "tpch"):
+        # Top-1 is the easy case in the paper (a clear winner exists in most
+        # lineages): it should have the highest success rate of all k.
+        top1 = by_key[(dataset, 1)]
+        assert top1["success_rate"] >= 0.5
+        for k in (3, 5, 10):
+            assert by_key[(dataset, k)]["success_rate"] <= 1.0

@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce the paper's tables and figures.  The expensive part
+-- running every algorithm on every instance of every workload -- is done
+once per session and shared; the individual benchmark targets derive their
+table from the shared results, assert the qualitative claims of the paper,
+render the table, and register it so that it is printed in the terminal
+summary (and written to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.runner import ExperimentConfig, run_workloads
+from repro.workloads.suite import default_workloads
+
+#: Per-instance budget (the paper uses one hour on a large server; the
+#: synthetic workloads here use seconds).
+TIMEOUT_SECONDS = float(os.environ.get("REPRO_BENCH_TIMEOUT", "1.5"))
+
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+_REPORTS: List[str] = []
+
+
+def register_report(name: str, text: str) -> None:
+    """Record a rendered table/series for the terminal summary and results dir."""
+    _REPORTS.append(f"==== {name} ====\n{text}\n")
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every registered table so the tee'd output contains them."""
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("================ reproduced tables and figures ================")
+    for report in _REPORTS:
+        for line in report.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The evaluation protocol configuration used by all benchmarks."""
+    return ExperimentConfig(timeout_seconds=TIMEOUT_SECONDS)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """The three synthetic workloads (Academic, IMDB, TPC-H stand-ins)."""
+    return default_workloads()
+
+
+@pytest.fixture(scope="session")
+def workload_results(workloads, config) -> Dict:
+    """One shared run of every algorithm on every instance."""
+    return run_workloads(workloads, ["exaban", "sig22", "adaban", "mc"], config)

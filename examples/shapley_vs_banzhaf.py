@@ -1,0 +1,56 @@
+"""Appendix D live: Banzhaf-based and Shapley-based rankings can disagree.
+
+Reconstructs the 18-fact database of the paper's Appendix D, computes the
+per-size critical-set counts of the two competing facts R(a1) and R(a2), and
+shows that the Banzhaf ranking prefers R(a1) while the Shapley ranking
+prefers R(a2).
+
+Run with::
+
+    python examples/shapley_vs_banzhaf.py
+"""
+
+from repro.core.shapley import (
+    banzhaf_from_critical_counts,
+    critical_counts_exact,
+    shapley_from_critical_counts,
+)
+from repro.db.lineage import lineage_of_boolean_query
+from repro.db.reductions import appendix_d_database, appendix_d_query
+
+
+def main() -> None:
+    database, r_a1, r_a2 = appendix_d_database()
+    query = appendix_d_query()
+    lineage = lineage_of_boolean_query(query, database, domain="database")
+
+    counts = {
+        "R(a1)": critical_counts_exact(lineage, database.variable_of(r_a1)),
+        "R(a2)": critical_counts_exact(lineage, database.variable_of(r_a2)),
+    }
+
+    print(f"Query: {query}")
+    print(f"Database: {database}")
+    print()
+    print(f"{'k':>3}  {'#kC(R(a1))':>12}  {'#kC(R(a2))':>12}")
+    for k, (count_a1, count_a2) in enumerate(zip(counts["R(a1)"],
+                                                 counts["R(a2)"])):
+        print(f"{k:>3}  {count_a1:>12}  {count_a2:>12}")
+
+    n = lineage.num_variables()
+    banzhaf = {fact: banzhaf_from_critical_counts(c) for fact, c in counts.items()}
+    shapley = {fact: shapley_from_critical_counts(c, n) for fact, c in counts.items()}
+    print()
+    print(f"Banzhaf : R(a1) = {banzhaf['R(a1)']}, R(a2) = {banzhaf['R(a2)']}"
+          f"  ->  prefers {'R(a1)' if banzhaf['R(a1)'] > banzhaf['R(a2)'] else 'R(a2)'}")
+    print(f"Shapley : R(a1) = {float(shapley['R(a1)']):.4f}, "
+          f"R(a2) = {float(shapley['R(a2)']):.4f}"
+          f"  ->  prefers {'R(a1)' if shapley['R(a1)'] > shapley['R(a2)'] else 'R(a2)'}")
+    print()
+    print("Same database, same query, opposite rankings: the Shapley value's")
+    print("size-dependent coefficients weigh the mid-size critical sets of R(a2)")
+    print("more heavily than the raw count that the Banzhaf value uses.")
+
+
+if __name__ == "__main__":
+    main()

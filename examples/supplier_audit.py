@@ -1,0 +1,53 @@
+"""Auditing a TPC-H-style supply chain: which rows drive an answer?
+
+Uses the synthetic TPC-H workload to answer "which suppliers ship brass
+parts" and, for each supplier in the answer, ranks the underlying facts
+(supplier, line items, parts) by Banzhaf value.  It then contrasts the exact
+ExaBan values with the AdaBan(0.1) intervals and with the Monte Carlo
+baseline to show the accuracy difference the paper's Table 7 quantifies.
+
+Run with::
+
+    python examples/supplier_audit.py
+"""
+
+from repro.baselines.monte_carlo import monte_carlo_banzhaf_all
+from repro.core.banzhaf import banzhaf_exact
+from repro.core.adaban import adaban_all
+from repro.db.lineage import lineage_of_answers
+from repro.workloads import tpch
+
+
+def main() -> None:
+    database = tpch.generate_database(seed=3, scale=1.0)
+    name, query = [entry for entry in tpch.queries()
+                   if entry[0] == "brass_part_suppliers"][0]
+    print(f"Query {name!r}: {query}")
+    print(f"Database: {database}")
+    print()
+
+    answers = lineage_of_answers(query, database)
+    for answer in answers[:3]:
+        lineage = answer.lineage
+        exact = banzhaf_exact(lineage)
+        approx = adaban_all(lineage, epsilon=0.1)
+        sampled = monte_carlo_banzhaf_all(lineage)
+
+        print(f"Supplier {answer.values[0]}  "
+              f"({len(lineage.variables)} facts, {lineage.num_clauses()} explanations)")
+        ordered = sorted(exact, key=lambda v: (-exact[v], v))
+        for variable in ordered[:4]:
+            fact = database.fact_of(variable)
+            interval = approx[variable].interval
+            print(f"  {fact}")
+            print(f"    exact Banzhaf   : {exact[variable]}")
+            print(f"    AdaBan interval : [{interval.lower}, {interval.upper}]")
+            print(f"    MC estimate     : {float(sampled[variable].estimate):.2f}")
+        print()
+
+    print("The AdaBan intervals always contain the exact value; the Monte Carlo")
+    print("estimate carries no such guarantee and visibly drifts on small lineages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by the PEP 517 editable-install path) is not
+available; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

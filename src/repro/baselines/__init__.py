@@ -1,0 +1,32 @@
+"""Baselines from prior work, adapted to Banzhaf values as in the paper.
+
+* :mod:`repro.baselines.brute_force` -- exhaustive enumeration (ground truth
+  for tests);
+* :mod:`repro.baselines.sig22` -- the knowledge-compilation pipeline of
+  Deutch et al. (SIGMOD 2022): lineage -> CNF -> compiled circuit -> values;
+* :mod:`repro.baselines.monte_carlo` -- the Monte Carlo randomized
+  approximation of Livshits et al., adapted from Shapley to Banzhaf sampling;
+* :mod:`repro.baselines.cnf_proxy` -- the CNF-proxy ranking heuristic of
+  Deutch et al.
+"""
+
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.baselines.cnf_proxy import cnf_proxy_ranking, cnf_proxy_scores
+from repro.baselines.monte_carlo import (
+    MonteCarloEstimate,
+    monte_carlo_banzhaf,
+    monte_carlo_banzhaf_all,
+)
+from repro.baselines.sig22 import Sig22Failure, sig22_banzhaf, sig22_banzhaf_all
+
+__all__ = [
+    "MonteCarloEstimate",
+    "Sig22Failure",
+    "banzhaf_all_brute_force",
+    "cnf_proxy_ranking",
+    "cnf_proxy_scores",
+    "monte_carlo_banzhaf",
+    "monte_carlo_banzhaf_all",
+    "sig22_banzhaf",
+    "sig22_banzhaf_all",
+]

@@ -1,0 +1,25 @@
+"""Brute-force Banzhaf computation by exhaustive enumeration.
+
+Used as the ground truth oracle in unit and property-based tests; exponential
+in the number of variables, so only suitable for small functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.boolean.assignments import banzhaf_brute_force
+from repro.boolean.dnf import DNF
+
+
+def banzhaf_all_brute_force(function: DNF,
+                            variables: Optional[Iterable[int]] = None
+                            ) -> Dict[int, int]:
+    """Banzhaf values of the given variables (default: all domain variables).
+
+    Enumerates all assignments once per variable; fine for the <= 20-variable
+    functions used in tests.
+    """
+    if variables is None:
+        variables = sorted(function.domain)
+    return {v: banzhaf_brute_force(function, v) for v in variables}

@@ -1,0 +1,64 @@
+"""The CNF Proxy ranking heuristic.
+
+The paper's third competitor (from Deutch et al., SIGMOD 2022) does not
+attempt to compute attribution values at all: it ranks facts by a cheap
+*proxy* score computed on the CNF representation of the lineage.  The proxy
+often produces a ranking close to the value-based ranking even though the
+scores themselves are unrelated to the true values, and it comes with no
+guarantees -- which is exactly the behaviour Table 8 contrasts with IchiBan.
+
+Substitution note (documented in DESIGN.md): the original proxy is tied to
+the specifics of the authors' CNF encoding.  We use the standard criticality
+proxy on the same CNF: a variable scores the sum over the CNF clauses that
+contain it of ``1 / 2^(|clause| - 1)`` -- the probability that the clause
+makes the variable pivotal under uniform assignments if clauses were
+independent.  Like the original it is linear-time in the CNF, guarantee-free,
+and correlates well (but not perfectly) with the true ranking.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.sig22 import Sig22Failure
+from repro.boolean.cnf import CNFTooLarge, dnf_to_cnf
+from repro.boolean.dnf import DNF
+
+
+def cnf_proxy_scores(function: DNF,
+                     max_cnf_clauses: int = 100_000) -> Dict[int, Fraction]:
+    """Proxy scores of all occurring variables.
+
+    Raises :class:`Sig22Failure` if the CNF conversion blows up (the proxy
+    needs the same CNF the Sig22 pipeline builds).
+    """
+    try:
+        cnf = dnf_to_cnf(function, max_clauses=max_cnf_clauses)
+    except CNFTooLarge as error:
+        raise Sig22Failure(str(error)) from error
+    scores: Dict[int, Fraction] = {v: Fraction(0) for v in function.variables}
+    for clause in cnf.clauses:
+        weight = Fraction(1, 1 << max(0, len(clause) - 1))
+        for variable in clause:
+            scores[variable] += weight
+    return scores
+
+
+def cnf_proxy_ranking(function: DNF,
+                      variables: Optional[Sequence[int]] = None,
+                      max_cnf_clauses: int = 100_000) -> List[Tuple[int, Fraction]]:
+    """Variables ordered by decreasing proxy score (ties by variable id)."""
+    scores = cnf_proxy_scores(function, max_cnf_clauses=max_cnf_clauses)
+    if variables is not None:
+        scores = {v: scores.get(v, Fraction(0)) for v in variables}
+    return sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+
+
+def cnf_proxy_topk(function: DNF, k: int,
+                   max_cnf_clauses: int = 100_000) -> List[int]:
+    """The ``k`` variables with the highest proxy scores."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return [v for v, _ in cnf_proxy_ranking(
+        function, max_cnf_clauses=max_cnf_clauses)[:k]]

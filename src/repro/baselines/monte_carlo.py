@@ -1,0 +1,147 @@
+"""Monte Carlo randomized approximation of Banzhaf values (the MC baseline).
+
+Prior work [Livshits et al.] gives a polynomial-time randomized approximation
+scheme with *absolute* error guarantees for Shapley values, based on sampling
+permutations; the analogous estimator for the Banzhaf value samples uniform
+subsets:
+
+    Banzhaf(phi, x) = 2^(n-1) * Pr_Y [ phi(Y + x) = 1 and phi(Y) = 0 ]
+
+where ``Y`` is a uniformly random subset of the variables without ``x``.  The
+estimator averages the indicator over ``m`` samples and scales by
+``2^(n-1)``.  The paper runs this baseline with ``m = 50 * #variables``
+("MC50#vars"); its limitations (probabilistic error only, no incremental
+refinement guarantee, blindness to the function structure) are what AdaBan
+improves on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+from repro.boolean.dnf import DNF
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """A Monte Carlo estimate of one Banzhaf value."""
+
+    variable: int
+    estimate: Fraction
+    samples: int
+    successes: int
+
+    def as_float(self) -> float:
+        """The estimate as a float (for reporting)."""
+        return float(self.estimate)
+
+
+def default_sample_count(function: DNF, factor: int = 50) -> int:
+    """The paper's sample budget ``factor * #variables`` (at least one)."""
+    return max(1, factor * max(1, len(function.variables)))
+
+
+def monte_carlo_banzhaf(function: DNF, variable: int,
+                        num_samples: Optional[int] = None,
+                        rng: Optional[random.Random] = None
+                        ) -> MonteCarloEstimate:
+    """Estimate the Banzhaf value of one variable by uniform subset sampling."""
+    if variable not in function.domain:
+        raise ValueError(f"variable {variable} not in the function's domain")
+    if rng is None:
+        rng = random.Random(0)
+    if num_samples is None:
+        num_samples = default_sample_count(function)
+    others = sorted(function.domain - {variable})
+    successes = 0
+    for _ in range(num_samples):
+        chosen = frozenset(v for v in others if rng.random() < 0.5)
+        if function.evaluate(chosen | {variable}) and not function.evaluate(chosen):
+            successes += 1
+    scale = 1 << max(0, function.num_variables() - 1)
+    estimate = Fraction(successes, num_samples) * scale
+    return MonteCarloEstimate(variable=variable, estimate=estimate,
+                              samples=num_samples, successes=successes)
+
+
+def monte_carlo_banzhaf_all(function: DNF,
+                            num_samples: Optional[int] = None,
+                            variables: Optional[Sequence[int]] = None,
+                            rng: Optional[random.Random] = None,
+                            timeout_seconds: Optional[float] = None
+                            ) -> Dict[int, MonteCarloEstimate]:
+    """Estimate the Banzhaf values of several variables.
+
+    Each sample is shared across all variables: one random subset is drawn
+    and, for every variable, the critical-set indicator is evaluated on it.
+    This matches how the baseline is run in the paper's experiments (one
+    sampling budget per lineage, all facts estimated from it).
+    """
+    if rng is None:
+        rng = random.Random(0)
+    if variables is None:
+        variables = sorted(function.variables)
+    if num_samples is None:
+        num_samples = default_sample_count(function)
+    deadline = (time.monotonic() + timeout_seconds
+                if timeout_seconds is not None else None)
+    domain = sorted(function.domain)
+    successes = {v: 0 for v in variables}
+    for sample_index in range(num_samples):
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(
+                f"MC exceeded its time budget after {sample_index} samples"
+            )
+        chosen = frozenset(v for v in domain if rng.random() < 0.5)
+        satisfied_with = function.evaluate(chosen)
+        for variable in variables:
+            without = chosen - {variable}
+            with_variable = chosen | {variable}
+            if variable in chosen:
+                value_with = satisfied_with
+                value_without = function.evaluate(without)
+            else:
+                value_with = function.evaluate(with_variable)
+                value_without = satisfied_with
+            if value_with and not value_without:
+                successes[variable] += 1
+    scale = 1 << max(0, function.num_variables() - 1)
+    return {
+        variable: MonteCarloEstimate(
+            variable=variable,
+            estimate=Fraction(successes[variable], num_samples) * scale,
+            samples=num_samples,
+            successes=successes[variable],
+        )
+        for variable in variables
+    }
+
+
+def monte_carlo_trace(function: DNF, variable: int,
+                      num_samples: int,
+                      rng: Optional[random.Random] = None,
+                      report_every: int = 10
+                      ) -> Iterator[tuple[float, Fraction]]:
+    """Yield ``(elapsed_seconds, running_estimate)`` while sampling.
+
+    Used by the Figure 5 convergence experiment to show the erratic
+    convergence of MC next to the monotone convergence of AdaBan.
+    """
+    if rng is None:
+        rng = random.Random(0)
+    others = sorted(function.domain - {variable})
+    scale = 1 << max(0, function.num_variables() - 1)
+    successes = 0
+    started = time.monotonic()
+    for index in range(1, num_samples + 1):
+        chosen = frozenset(v for v in others if rng.random() < 0.5)
+        if function.evaluate(chosen | {variable}) and not function.evaluate(chosen):
+            successes += 1
+        if index % report_every == 0 or index == num_samples:
+            yield (time.monotonic() - started,
+                   Fraction(successes, index) * scale)

@@ -1,0 +1,90 @@
+"""Assignments, evaluation and brute-force model counting for DNFs.
+
+These are the definitional semantics used as ground truth throughout the test
+suite: the scalable model counting paths live in the d-tree and iDNF modules.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.boolean.dnf import DNF
+
+#: An assignment is identified with the set of variables it maps to 1
+#: (the paper's set notation for assignments).
+Assignment = FrozenSet[int]
+
+
+def evaluate_dnf(function: DNF, assignment: Iterable[int]) -> bool:
+    """Evaluate ``function`` under the assignment given as a set of true vars."""
+    return function.evaluate(frozenset(assignment))
+
+
+def enumerate_assignments(domain: Iterable[int]) -> Iterator[Assignment]:
+    """Yield all ``2^n`` assignments over ``domain`` as frozensets."""
+    variables = sorted(set(domain))
+    for size in range(len(variables) + 1):
+        for subset in combinations(variables, size):
+            yield frozenset(subset)
+
+
+def enumerate_models(function: DNF) -> Iterator[Assignment]:
+    """Yield all satisfying assignments of ``function`` over its domain."""
+    for assignment in enumerate_assignments(function.domain):
+        if function.evaluate(assignment):
+            yield assignment
+
+
+def count_models(function: DNF) -> int:
+    """Brute-force model count ``#phi`` over the function's domain.
+
+    Exponential in the number of domain variables; use only on small
+    functions (tests, worked examples, ground truth for property tests).
+    """
+    return sum(1 for _ in enumerate_models(function))
+
+
+def count_non_models(function: DNF) -> int:
+    """Brute-force count of non-satisfying assignments over the domain."""
+    return (1 << function.num_variables()) - count_models(function)
+
+
+def banzhaf_brute_force(function: DNF, variable: int) -> int:
+    """Definitional Banzhaf value (Definition 1 / Proposition 3), brute force.
+
+    ``Banzhaf(phi, x) = #phi[x:=1] - #phi[x:=0]`` where both counts are over
+    the domain without ``x``.  For positive functions the value is always
+    non-negative.
+    """
+    if variable not in function.domain:
+        raise ValueError(f"variable {variable} not in the function's domain")
+    rest = function.domain - {variable}
+    positive = 0
+    negative = 0
+    for assignment in enumerate_assignments(rest):
+        if function.evaluate(assignment | {variable}):
+            positive += 1
+        if function.evaluate(assignment):
+            negative += 1
+    return positive - negative
+
+
+def critical_set_counts(function: DNF, variable: int) -> list[int]:
+    """Number of critical sets of each size for ``variable`` (Appendix D).
+
+    Entry ``k`` of the returned list is ``#kC``: the number of assignments
+    ``Y`` of size ``k`` over the domain minus ``x`` with ``phi[Y] = 0`` and
+    ``phi[Y + x] = 1``.  The Banzhaf value is the sum of all entries; the
+    Shapley value weights entry ``k`` by ``k! (n-k-1)! / n!``.
+    """
+    if variable not in function.domain:
+        raise ValueError(f"variable {variable} not in the function's domain")
+    rest = sorted(function.domain - {variable})
+    counts = [0] * (len(rest) + 1)
+    for size in range(len(rest) + 1):
+        for subset in combinations(rest, size):
+            chosen = frozenset(subset)
+            if not function.evaluate(chosen) and function.evaluate(chosen | {variable}):
+                counts[size] += 1
+    return counts

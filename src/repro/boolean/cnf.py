@@ -1,0 +1,146 @@
+"""CNF representation and DNF -> CNF conversion.
+
+The Sig22 baseline of the paper [17] feeds the query lineage to an
+off-the-shelf knowledge compiler that expects CNF input, so the lineage (a
+positive DNF) is first converted to CNF.  The paper attributes part of
+Sig22's slowness to exactly this detour: the CNF can be much larger and its
+structure hides the independence that the DNF exposes.  We reproduce the same
+pipeline: this module performs the distributive DNF->CNF conversion (with
+subsumption removal and a safety cap), and :mod:`repro.baselines.sig22`
+compiles the CNF.
+
+A CNF here is positive as well (lineage has no negation): a conjunction of
+clauses, each clause a disjunction of variables.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from repro.boolean.dnf import DNF
+
+CNFClause = FrozenSet[int]
+
+
+class CNF:
+    """A positive CNF: conjunction of disjunctive clauses over a domain."""
+
+    __slots__ = ("_clauses", "_domain")
+
+    def __init__(self, clauses: Iterable[Iterable[int]],
+                 domain: Iterable[int] | None = None) -> None:
+        clause_set = frozenset(frozenset(int(v) for v in c) for c in clauses)
+        if any(not c for c in clause_set):
+            raise ValueError("empty CNF clause (constant FALSE) is not allowed")
+        occurring: set[int] = set()
+        for clause in clause_set:
+            occurring |= clause
+        dom = frozenset(occurring if domain is None else
+                        (int(v) for v in domain))
+        if not occurring <= dom:
+            raise ValueError("domain must cover all clause variables")
+        self._clauses = clause_set
+        self._domain = dom
+
+    @property
+    def clauses(self) -> FrozenSet[CNFClause]:
+        """The set of disjunctive clauses."""
+        return self._clauses
+
+    @property
+    def domain(self) -> FrozenSet[int]:
+        """The variable domain."""
+        return self._domain
+
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self._clauses)
+
+    def size(self) -> int:
+        """Total number of literal occurrences."""
+        return sum(len(c) for c in self._clauses)
+
+    def evaluate(self, true_variables: Iterable[int]) -> bool:
+        """Evaluate under the assignment given as the set of true variables."""
+        trues = frozenset(true_variables)
+        return all(clause & trues for clause in self._clauses)
+
+    def __repr__(self) -> str:
+        parts = sorted(
+            "(" + " | ".join(f"x{v}" for v in sorted(c)) + ")"
+            for c in self._clauses
+        )
+        return "CNF<" + " & ".join(parts) + ">"
+
+
+class CNFTooLarge(Exception):
+    """Raised when the DNF -> CNF conversion exceeds the clause cap.
+
+    The Sig22 baseline treats this as a failed instance, mirroring the
+    timeouts/failures of the original system on large lineages.
+    """
+
+
+def dnf_to_cnf(function: DNF, max_clauses: int = 20_000) -> CNF:
+    """Convert a positive DNF to an equivalent positive CNF by distribution.
+
+    The conversion multiplies out the clauses: the CNF is the conjunction,
+    over all ways of picking one variable from each DNF clause, of the
+    disjunction of the picked variables.  Subsumed CNF clauses are pruned as
+    we go.  The intermediate clause set is checked against ``max_clauses``
+    *before* the (quadratic) subsumption pass, so the cap also bounds the
+    conversion time; exceeding it raises :class:`CNFTooLarge`.
+    """
+    if function.is_false():
+        raise ValueError("cannot convert the constant FALSE to a positive CNF")
+    cnf_clauses: List[FrozenSet[int]] = [frozenset()]
+    for dnf_clause in sorted(function.sorted_clauses(), key=len):
+        variables = list(dnf_clause)
+        new_clauses: List[FrozenSet[int]] = []
+        for existing in cnf_clauses:
+            if existing & set(variables):
+                # The existing clause already contains a variable of this DNF
+                # clause, so distributing over it adds nothing new.
+                new_clauses.append(existing)
+                continue
+            for variable in variables:
+                new_clauses.append(existing | {variable})
+            if len(new_clauses) > max_clauses:
+                raise CNFTooLarge(
+                    f"CNF conversion exceeded {max_clauses} clauses"
+                )
+        cnf_clauses = _remove_subsumed(new_clauses)
+        if len(cnf_clauses) > max_clauses:
+            raise CNFTooLarge(
+                f"CNF conversion exceeded {max_clauses} clauses"
+            )
+    return CNF(cnf_clauses, domain=function.domain)
+
+
+def _remove_subsumed(clauses: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Remove CNF clauses that are supersets of other clauses."""
+    ordered = sorted(set(clauses), key=len)
+    kept: List[FrozenSet[int]] = []
+    for clause in ordered:
+        if not any(other <= clause for other in kept):
+            kept.append(clause)
+    return kept
+
+
+def cnf_to_dnf(cnf: CNF, max_clauses: int = 200_000) -> DNF:
+    """Convert a positive CNF back to DNF by distribution (testing helper)."""
+    dnf_clauses: List[FrozenSet[int]] = [frozenset()]
+    for cnf_clause in sorted(cnf.clauses, key=len):
+        new_clauses: List[FrozenSet[int]] = []
+        for existing in dnf_clauses:
+            if existing & cnf_clause:
+                new_clauses.append(existing)
+                continue
+            for variable in cnf_clause:
+                new_clauses.append(existing | {variable})
+        # Keep minimal clauses only (absorption).
+        new_clauses = _remove_subsumed(new_clauses)
+        if len(new_clauses) > max_clauses:
+            raise CNFTooLarge(f"DNF conversion exceeded {max_clauses} clauses")
+        dnf_clauses = new_clauses
+    return DNF([c for c in dnf_clauses if c], domain=cnf.domain)

@@ -1,0 +1,283 @@
+"""Positive DNF functions with an explicit variable domain.
+
+Query lineage (Section 2 of the paper) is always a *positive* Boolean function
+in disjunctive normal form: a disjunction of clauses, each clause a
+conjunction of (positive) variables.  The algorithms of the paper --- ExaBan,
+AdaBan, the ``bounds`` procedure and the L/U iDNF synthesis --- all operate on
+this representation.
+
+Two representation choices matter for correctness:
+
+* **Explicit variable domain.**  Model counts depend on the set of variables
+  the function is considered *over*, not just the variables that occur in its
+  clauses.  Example 13 of the paper stresses this: ``phi[x := 0] = u`` but the
+  function is over three variables, so it has four models, not one.  A
+  :class:`DNF` therefore carries a ``domain`` that is a superset of the
+  variables occurring in its clauses.
+* **Canonical clause set.**  Clauses are frozensets of variable ids, the
+  clause set is a frozenset, and absorbed clauses (supersets of other clauses)
+  can be removed with :meth:`DNF.absorb`.  Equality of :class:`DNF` objects is
+  therefore syntactic on the minimized clause set plus the domain.
+
+Variables are plain integers.  The database layer assigns consecutive integer
+ids to endogenous facts.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+Clause = FrozenSet[int]
+
+
+def make_clause(variables: Iterable[int]) -> Clause:
+    """Build a clause (conjunction of positive variables) from an iterable."""
+    clause = frozenset(int(v) for v in variables)
+    if not clause:
+        raise ValueError("a DNF clause must contain at least one variable")
+    return clause
+
+
+class DNF:
+    """An immutable positive DNF function over an explicit variable domain.
+
+    Parameters
+    ----------
+    clauses:
+        Iterable of clauses; each clause is an iterable of variable ids.  The
+        empty clause is not allowed (a clause with no variables would be the
+        constant ``True``; represent that situation with ``is_true()`` helpers
+        at the d-tree level instead).  An empty *set of clauses* represents
+        the constant ``False`` over the given domain.
+    domain:
+        Optional iterable of variable ids the function is defined over.  Must
+        be a superset of the variables occurring in the clauses; defaults to
+        exactly those variables.
+    """
+
+    __slots__ = ("_clauses", "_domain", "_hash")
+
+    def __init__(self, clauses: Iterable[Iterable[int]],
+                 domain: Iterable[int] | None = None) -> None:
+        clause_set = frozenset(make_clause(c) for c in clauses)
+        occurring: set[int] = set()
+        for clause in clause_set:
+            occurring |= clause
+        if domain is None:
+            dom = frozenset(occurring)
+        else:
+            dom = frozenset(int(v) for v in domain)
+            if not occurring <= dom:
+                missing = sorted(occurring - dom)
+                raise ValueError(
+                    f"domain must cover all clause variables; missing {missing}"
+                )
+        self._clauses = clause_set
+        self._domain = dom
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def clauses(self) -> FrozenSet[Clause]:
+        """The set of clauses (each a frozenset of variable ids)."""
+        return self._clauses
+
+    @property
+    def domain(self) -> FrozenSet[int]:
+        """The set of variables the function is defined over."""
+        return self._domain
+
+    @property
+    def variables(self) -> FrozenSet[int]:
+        """Variables that actually occur in some clause."""
+        occurring: set[int] = set()
+        for clause in self._clauses:
+            occurring |= clause
+        return frozenset(occurring)
+
+    def num_variables(self) -> int:
+        """Number of variables in the domain (``n`` in the paper's formulas)."""
+        return len(self._domain)
+
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self._clauses)
+
+    def size(self) -> int:
+        """Total number of literal occurrences (the ``|phi|`` of the paper)."""
+        return sum(len(clause) for clause in self._clauses)
+
+    def is_false(self) -> bool:
+        """``True`` iff the function is the constant 0 (no clauses)."""
+        return not self._clauses
+
+    def is_single_literal(self) -> bool:
+        """``True`` iff the function is a single one-variable clause."""
+        return len(self._clauses) == 1 and len(next(iter(self._clauses))) == 1
+
+    def single_literal(self) -> int:
+        """Return the variable of a single-literal function."""
+        if not self.is_single_literal():
+            raise ValueError("function is not a single literal")
+        return next(iter(next(iter(self._clauses))))
+
+    def contains_variable(self, variable: int) -> bool:
+        """``True`` iff ``variable`` occurs in some clause."""
+        return any(variable in clause for clause in self._clauses)
+
+    # ------------------------------------------------------------------ #
+    # Equality / hashing / display
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNF):
+            return NotImplemented
+        return self._clauses == other._clauses and self._domain == other._domain
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._clauses, self._domain))
+        return self._hash
+
+    def __repr__(self) -> str:
+        clause_strs = sorted(
+            "(" + " & ".join(f"x{v}" for v in sorted(clause)) + ")"
+            for clause in self._clauses
+        )
+        body = " | ".join(clause_strs) if clause_strs else "FALSE"
+        extra = self._domain - self.variables
+        if extra:
+            body += f" [over +{len(extra)} silent vars]"
+        return f"DNF<{body}>"
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def false(domain: Iterable[int] = ()) -> "DNF":
+        """The constant-0 function over ``domain``."""
+        return DNF([], domain=domain)
+
+    @staticmethod
+    def literal(variable: int, domain: Iterable[int] | None = None) -> "DNF":
+        """A single positive literal, optionally over a larger domain."""
+        dom = {variable} if domain is None else set(domain) | {variable}
+        return DNF([[variable]], domain=dom)
+
+    def with_domain(self, domain: Iterable[int]) -> "DNF":
+        """Return the same function over a (super)domain."""
+        return DNF(self._clauses, domain=domain)
+
+    def restricted_domain(self) -> "DNF":
+        """Return the same function over exactly its occurring variables."""
+        return DNF(self._clauses, domain=self.variables)
+
+    def absorb(self) -> "DNF":
+        """Remove absorbed clauses (clauses that are supersets of others).
+
+        Absorption preserves the function and never increases its size; the
+        compiler applies it before independence partitioning so that, e.g.,
+        ``(x) | (x & y)`` is recognized as the single literal ``x``.
+        """
+        clauses = sorted(self._clauses, key=len)
+        kept: list[Clause] = []
+        for clause in clauses:
+            if not any(other <= clause for other in kept):
+                kept.append(clause)
+        if len(kept) == len(self._clauses):
+            return self
+        return DNF(kept, domain=self._domain)
+
+    def union(self, other: "DNF") -> "DNF":
+        """Disjunction of two DNFs, over the union of their domains."""
+        return DNF(self._clauses | other._clauses,
+                   domain=self._domain | other._domain)
+
+    def conjoin(self, other: "DNF") -> "DNF":
+        """Conjunction of two DNFs (clause-wise product), over the union domain.
+
+        Used by the lineage builder when combining sub-lineages of a
+        conjunctive query; for lineages the product stays small because each
+        side has one clause per grounding.
+        """
+        if self.is_false() or other.is_false():
+            return DNF.false(self._domain | other._domain)
+        clauses = [c1 | c2 for c1 in self._clauses for c2 in other._clauses]
+        return DNF(clauses, domain=self._domain | other._domain)
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, true_variables: AbstractSet[int]) -> bool:
+        """Evaluate under the assignment that sets exactly ``true_variables``."""
+        return any(clause <= true_variables for clause in self._clauses)
+
+    def cofactor(self, variable: int, value: bool) -> "DNF":
+        """Return ``phi[variable := value]`` with standard simplifications.
+
+        The resulting function is over ``domain - {variable}``:
+
+        * setting the variable to 1 removes it from every clause it occurs in
+          (a clause reduced to the empty set means the function became the
+          constant 1; we signal that by raising ``ConstantTrue`` -- callers at
+          the d-tree level handle the constant explicitly);
+        * setting it to 0 deletes every clause containing it.
+        """
+        new_domain = self._domain - {variable}
+        if value:
+            new_clauses = []
+            for clause in self._clauses:
+                reduced = clause - {variable}
+                if not reduced:
+                    raise ConstantTrue(new_domain)
+                new_clauses.append(reduced)
+            return DNF(new_clauses, domain=new_domain)
+        new_clauses = [c for c in self._clauses if variable not in c]
+        return DNF(new_clauses, domain=new_domain)
+
+    def variable_frequencies(self) -> dict[int, int]:
+        """Map each occurring variable to the number of clauses containing it."""
+        freq: dict[int, int] = {}
+        for clause in self._clauses:
+            for variable in clause:
+                freq[variable] = freq.get(variable, 0) + 1
+        return freq
+
+    def common_variables(self) -> FrozenSet[int]:
+        """Variables occurring in *every* clause (factor-out candidates)."""
+        if not self._clauses:
+            return frozenset()
+        clauses = iter(self._clauses)
+        common = set(next(clauses))
+        for clause in clauses:
+            common &= clause
+            if not common:
+                break
+        return frozenset(common)
+
+    def sorted_clauses(self) -> Sequence[Tuple[int, ...]]:
+        """Deterministically ordered clause list (for reproducible output)."""
+        return tuple(sorted(tuple(sorted(c)) for c in self._clauses))
+
+
+class ConstantTrue(Exception):
+    """Raised by :meth:`DNF.cofactor` when the cofactor is the constant 1.
+
+    Carries the residual variable domain so callers can account for the
+    ``2^n`` models of the constant-1 function over that domain.
+    """
+
+    def __init__(self, domain: FrozenSet[int]) -> None:
+        super().__init__("cofactor is the constant TRUE")
+        self.domain = domain

@@ -1,0 +1,283 @@
+"""General Boolean expression trees.
+
+The paper defines Boolean functions recursively: a variable, a conjunction or
+disjunction of two functions, or a negation (Section 2).  The main algorithms
+work on the positive-DNF representation in :mod:`repro.boolean.dnf`, but the
+expression tree here is used for three purposes:
+
+* encoding the paper's worked examples exactly as written (Examples 2 and 4
+  contain negation, which DNF lineage never does);
+* the definitional (brute-force) Banzhaf and Shapley computations used as
+  ground truth in tests;
+* conversion targets for the CNF pipeline of the Sig22 baseline.
+
+Expressions are immutable and hashable.  Variables are identified by arbitrary
+hashable labels; the DNF layer uses small integers for efficiency, but the
+expression tree does not require that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Mapping, Tuple
+
+
+class BoolExpr:
+    """Base class for Boolean expressions.
+
+    Subclasses are :class:`Var`, :class:`Const`, :class:`Not`, :class:`And`
+    and :class:`Or`.  All of them are immutable; the operators ``&``, ``|``
+    and ``~`` build new expressions.
+    """
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[Hashable]:
+        """Return the set of variable labels occurring in the expression."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        """Evaluate the expression under ``assignment``.
+
+        Variables missing from ``assignment`` are treated as ``False``, which
+        matches the set notation for assignments used in the paper (an
+        assignment is identified with the set of variables mapped to 1).
+        """
+        raise NotImplementedError
+
+    def substitute(self, variable: Hashable, value: bool) -> "BoolExpr":
+        """Return the expression with ``variable`` replaced by ``value``.
+
+        This is the cofactor ``phi[x := b]`` of the paper.  The result is
+        simplified with respect to the Boolean constants.
+        """
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        """Return ``True`` if no variable occurs under a negation."""
+        return self._is_positive(under_negation=False)
+
+    def _is_positive(self, under_negation: bool) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A Boolean variable identified by a hashable label."""
+
+    name: Hashable
+
+    __slots__ = ("name",)
+
+    def variables(self) -> FrozenSet[Hashable]:
+        return frozenset({self.name})
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        return bool(assignment.get(self.name, False))
+
+    def substitute(self, variable: Hashable, value: bool) -> BoolExpr:
+        if variable == self.name:
+            return TRUE if value else FALSE
+        return self
+
+    def _is_positive(self, under_negation: bool) -> bool:
+        return not under_negation
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    """A Boolean constant (``True`` or ``False``)."""
+
+    value: bool
+
+    __slots__ = ("value",)
+
+    def variables(self) -> FrozenSet[Hashable]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        return self.value
+
+    def substitute(self, variable: Hashable, value: bool) -> BoolExpr:
+        return self
+
+    def _is_positive(self, under_negation: bool) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    """Negation of a Boolean expression."""
+
+    operand: BoolExpr
+
+    __slots__ = ("operand",)
+
+    def variables(self) -> FrozenSet[Hashable]:
+        return self.operand.variables()
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def substitute(self, variable: Hashable, value: bool) -> BoolExpr:
+        inner = self.operand.substitute(variable, value)
+        if isinstance(inner, Const):
+            return TRUE if not inner.value else FALSE
+        return Not(inner)
+
+    def _is_positive(self, under_negation: bool) -> bool:
+        return self.operand._is_positive(not under_negation)
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+def _flatten(op_cls: type, operands: Iterable[BoolExpr]) -> Tuple[BoolExpr, ...]:
+    """Flatten nested applications of the same associative operator."""
+    flat: list[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, op_cls):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    return tuple(flat)
+
+
+class _NaryExpr(BoolExpr):
+    """Shared implementation for n-ary AND/OR nodes."""
+
+    __slots__ = ("operands",)
+
+    #: Identity element of the operator; overridden by subclasses.
+    _identity: bool = True
+
+    def __init__(self, *operands: BoolExpr) -> None:
+        object.__setattr__(self, "operands", _flatten(type(self), operands))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def variables(self) -> FrozenSet[Hashable]:
+        names: set[Hashable] = set()
+        for operand in self.operands:
+            names |= operand.variables()
+        return frozenset(names)
+
+    def _is_positive(self, under_negation: bool) -> bool:
+        return all(op._is_positive(under_negation) for op in self.operands)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} instances are immutable")
+
+
+class And(_NaryExpr):
+    """Conjunction of one or more expressions (empty conjunction is TRUE)."""
+
+    __slots__ = ()
+
+    _identity = True
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def substitute(self, variable: Hashable, value: bool) -> BoolExpr:
+        parts: list[BoolExpr] = []
+        for operand in self.operands:
+            sub = operand.substitute(variable, value)
+            if isinstance(sub, Const):
+                if not sub.value:
+                    return FALSE
+                continue
+            parts.append(sub)
+        if not parts:
+            return TRUE
+        if len(parts) == 1:
+            return parts[0]
+        return And(*parts)
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(repr(op) for op in self.operands) + ")"
+
+
+class Or(_NaryExpr):
+    """Disjunction of one or more expressions (empty disjunction is FALSE)."""
+
+    __slots__ = ()
+
+    _identity = False
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def substitute(self, variable: Hashable, value: bool) -> BoolExpr:
+        parts: list[BoolExpr] = []
+        for operand in self.operands:
+            sub = operand.substitute(variable, value)
+            if isinstance(sub, Const):
+                if sub.value:
+                    return TRUE
+                continue
+            parts.append(sub)
+        if not parts:
+            return FALSE
+        if len(parts) == 1:
+            return parts[0]
+        return Or(*parts)
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(repr(op) for op in self.operands) + ")"
+
+
+def expr_model_count(expr: BoolExpr, domain: Iterable[Hashable] | None = None) -> int:
+    """Count models of ``expr`` over ``domain`` by exhaustive enumeration.
+
+    The domain defaults to the variables occurring in ``expr``.  Intended for
+    small functions (tests and worked examples); the library's scalable model
+    counting lives in the d-tree and iDNF machinery.
+    """
+    variables = sorted(expr.variables() if domain is None else set(domain), key=repr)
+    count = 0
+    total = 1 << len(variables)
+    for mask in range(total):
+        assignment = {
+            variables[i]: bool(mask >> i & 1) for i in range(len(variables))
+        }
+        if expr.evaluate(assignment):
+            count += 1
+    return count
+
+
+def expr_banzhaf(expr: BoolExpr, variable: Hashable,
+                 domain: Iterable[Hashable] | None = None) -> int:
+    """Definitional Banzhaf value of ``variable`` in ``expr`` (Definition 1).
+
+    Computed as ``#phi[x:=1] - #phi[x:=0]`` over the domain excluding ``x``
+    (Proposition 3).  Exhaustive; intended for tests and worked examples.
+    """
+    variables = set(expr.variables() if domain is None else set(domain))
+    variables.discard(variable)
+    positive = expr_model_count(expr.substitute(variable, True), variables)
+    negative = expr_model_count(expr.substitute(variable, False), variables)
+    return positive - negative

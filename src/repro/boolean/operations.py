@@ -1,0 +1,156 @@
+"""Structural operations on positive DNF functions.
+
+The d-tree compiler needs three structural primitives (Section 3.1):
+
+* *independence partitioning*: split a DNF into connected components that
+  share no variables (a disjunction of independent functions);
+* *factoring out* variables common to all clauses (a conjunction of a literal
+  product with the residual function);
+* *Shannon expansion* on a chosen variable, yielding two mutually exclusive
+  functions over the same variables.
+
+All functions here are pure: they return new :class:`~repro.boolean.dnf.DNF`
+objects and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.boolean.dnf import Clause, ConstantTrue, DNF
+
+
+def cofactor(function: DNF, variable: int, value: bool) -> DNF:
+    """Alias for :meth:`DNF.cofactor`; may raise :class:`ConstantTrue`."""
+    return function.cofactor(variable, value)
+
+
+def condition(function: DNF, trues: Sequence[int], falses: Sequence[int]) -> DNF:
+    """Cofactor on several variables at once.
+
+    Raises :class:`ConstantTrue` if the function collapses to the constant 1.
+    """
+    result = function
+    for variable in falses:
+        if variable in result.domain:
+            result = result.cofactor(variable, False)
+    for variable in trues:
+        if variable in result.domain:
+            result = result.cofactor(variable, True)
+    return result
+
+
+def is_independent(left: DNF, right: DNF) -> bool:
+    """``True`` iff the two functions share no occurring variables."""
+    return not (left.variables & right.variables)
+
+
+def is_mutually_exclusive(left: DNF, right: DNF) -> bool:
+    """``True`` iff the two functions have no common model (brute force).
+
+    Exhaustive over the union of the domains; used in tests and assertions,
+    never on large functions.
+    """
+    domain = left.domain | right.domain
+    wide_left = left.with_domain(domain)
+    wide_right = right.with_domain(domain)
+    variables = sorted(domain)
+    for mask in range(1 << len(variables)):
+        assignment = frozenset(
+            variables[i] for i in range(len(variables)) if mask >> i & 1
+        )
+        if wide_left.evaluate(assignment) and wide_right.evaluate(assignment):
+            return False
+    return True
+
+
+def clause_components(clauses: Sequence[Clause]) -> List[List[Clause]]:
+    """Group clauses into connected components of the variable-sharing graph.
+
+    Two clauses are connected if they share a variable.  Uses a union-find
+    over variables so the running time is near-linear in the function size.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(item: int) -> int:
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for clause in clauses:
+        first = None
+        for variable in clause:
+            if variable not in parent:
+                parent[variable] = variable
+            if first is None:
+                first = variable
+            else:
+                union(first, variable)
+
+    groups: Dict[int, List[Clause]] = {}
+    for clause in clauses:
+        representative = find(next(iter(clause)))
+        groups.setdefault(representative, []).append(clause)
+    return list(groups.values())
+
+
+def independent_components(function: DNF) -> List[DNF]:
+    """Split a DNF into independent sub-functions (disjunction decomposition).
+
+    The clauses are partitioned into connected components; each component
+    becomes a DNF over exactly its own variables.  Domain variables that occur
+    in no clause ("silent" variables) are returned as part of the *last*
+    component's domain only if there is at least one component; if the
+    function is constant false the single false component keeps the whole
+    domain.  Callers that need precise bookkeeping of silent variables (the
+    d-tree compiler) handle them explicitly before calling this function.
+    """
+    if function.is_false():
+        return [function]
+    components = clause_components(list(function.clauses))
+    return [DNF(component) for component in components]
+
+
+def factor_common_variables(function: DNF) -> Tuple[FrozenSet[int], DNF]:
+    """Factor out variables occurring in every clause.
+
+    Returns ``(common, residual)`` such that the function equals the
+    conjunction of all variables in ``common`` with ``residual``, and
+    ``residual`` is over ``domain - common``.  If a clause consists solely of
+    common variables the residual is the constant 1; this is signalled with
+    :class:`ConstantTrue` carrying the residual domain.
+    """
+    common = function.common_variables()
+    if not common:
+        return frozenset(), function
+    residual_domain = function.domain - common
+    residual_clauses = []
+    for clause in function.clauses:
+        reduced = clause - common
+        if not reduced:
+            raise ConstantTrue(frozenset(residual_domain))
+        residual_clauses.append(reduced)
+    return common, DNF(residual_clauses, domain=residual_domain)
+
+
+def shannon_expansion(function: DNF, variable: int) -> Tuple[DNF, DNF]:
+    """Shannon expansion ``phi = (x & phi[x:=1]) | (~x & phi[x:=0])``.
+
+    Returns the pair ``(phi[x:=1], phi[x:=0])``, both over the domain minus
+    ``x``.  The positive cofactor may be the constant 1, in which case
+    :class:`ConstantTrue` propagates to the caller (the d-tree compiler turns
+    it into a constant leaf).
+    """
+    if variable not in function.domain:
+        raise ValueError(f"variable {variable} not in the function's domain")
+    negative = function.cofactor(variable, False)
+    positive = function.cofactor(variable, True)
+    return positive, negative

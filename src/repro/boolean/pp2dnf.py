@@ -1,0 +1,215 @@
+"""PP2DNF functions, bipartite graphs, #BIS and #NSat (Section 4.2, Appendix C).
+
+The hardness side of the paper's dichotomy reduces counting independent sets
+in bipartite graphs (#BIS) to counting non-satisfying assignments of PP2DNF
+functions (#NSat), and then shows that a polynomial-time ranking oracle for a
+non-hierarchical query would give an FPTAS for #NSat.  This module provides
+the concrete constructions so the reduction can be exercised end to end:
+
+* :class:`BipartiteGraph` and brute-force #BIS;
+* :class:`PP2DNF` (positive partitioned 2-DNF) functions and brute-force #NSat;
+* the parsimonious translation of Lemma 22 (graph -> PP2DNF);
+* the gadget of Lemma 24: ``xi = (x ^& phi) | (y ^& psi_m)`` where ``^&`` is
+  the "hat-and" operator that conjoins a fresh variable with every variable of
+  the second operand's right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.boolean.dnf import DNF
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """An undirected bipartite graph with parts ``left`` and ``right``."""
+
+    left: FrozenSet[int]
+    right: FrozenSet[int]
+    edges: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.left & self.right:
+            raise ValueError("bipartition parts must be disjoint")
+        for u, w in self.edges:
+            if u not in self.left or w not in self.right:
+                raise ValueError(f"edge ({u}, {w}) does not go left -> right")
+
+    @staticmethod
+    def from_edges(edges: Iterable[Tuple[int, int]],
+                   left: Iterable[int] = (),
+                   right: Iterable[int] = ()) -> "BipartiteGraph":
+        """Build a graph from an edge list plus optional isolated nodes."""
+        edge_set = frozenset((int(u), int(w)) for u, w in edges)
+        left_nodes = set(int(v) for v in left) | {u for u, _ in edge_set}
+        right_nodes = set(int(v) for v in right) | {w for _, w in edge_set}
+        return BipartiteGraph(frozenset(left_nodes), frozenset(right_nodes),
+                              edge_set)
+
+    def nodes(self) -> FrozenSet[int]:
+        """All nodes of the graph."""
+        return self.left | self.right
+
+    def count_independent_sets(self) -> int:
+        """Brute-force #BIS: the number of independent subsets of the nodes.
+
+        Exponential in the number of nodes; intended for small instances in
+        tests and for validating the parsimonious reduction.
+        """
+        nodes = sorted(self.nodes())
+        edges = set(self.edges)
+        count = 0
+        for size in range(len(nodes) + 1):
+            for subset in combinations(nodes, size):
+                chosen = set(subset)
+                if not any(u in chosen and w in chosen for u, w in edges):
+                    count += 1
+        return count
+
+
+class PP2DNF:
+    """A positive partitioned 2-DNF function.
+
+    The variables are split into two disjoint parts; every clause is the
+    conjunction of one variable from each part.  This is exactly the class of
+    lineages of the basic non-hierarchical query
+    ``Q_nh = exists X, Y. R(X), S(X, Y), T(Y)`` when the ``S`` facts are
+    exogenous.
+    """
+
+    __slots__ = ("_left", "_right", "_clauses")
+
+    def __init__(self, left: Iterable[int], right: Iterable[int],
+                 clauses: Iterable[Tuple[int, int]]) -> None:
+        self._left = frozenset(int(v) for v in left)
+        self._right = frozenset(int(v) for v in right)
+        if self._left & self._right:
+            raise ValueError("the two variable parts must be disjoint")
+        clause_set = frozenset((int(a), int(b)) for a, b in clauses)
+        for a, b in clause_set:
+            if a not in self._left or b not in self._right:
+                raise ValueError(f"clause ({a}, {b}) does not span the parts")
+        self._clauses = clause_set
+
+    @property
+    def left(self) -> FrozenSet[int]:
+        """Variables of the first part."""
+        return self._left
+
+    @property
+    def right(self) -> FrozenSet[int]:
+        """Variables of the second part."""
+        return self._right
+
+    @property
+    def clauses(self) -> FrozenSet[Tuple[int, int]]:
+        """Clauses as (left variable, right variable) pairs."""
+        return self._clauses
+
+    def domain(self) -> FrozenSet[int]:
+        """All variables of the function."""
+        return self._left | self._right
+
+    def to_dnf(self) -> DNF:
+        """The function as a general :class:`DNF` over its full domain."""
+        return DNF([[a, b] for a, b in self._clauses], domain=self.domain())
+
+    def count_non_satisfying(self) -> int:
+        """Brute-force #NSat over the full domain (for small instances)."""
+        variables = sorted(self.domain())
+        non_sat = 0
+        for mask in range(1 << len(variables)):
+            chosen = {variables[i] for i in range(len(variables)) if mask >> i & 1}
+            if not any(a in chosen and b in chosen for a, b in self._clauses):
+                non_sat += 1
+        return non_sat
+
+    def __repr__(self) -> str:
+        return (f"PP2DNF(|left|={len(self._left)}, |right|={len(self._right)}, "
+                f"|clauses|={len(self._clauses)})")
+
+
+def graph_to_pp2dnf(graph: BipartiteGraph) -> PP2DNF:
+    """The parsimonious reduction of Lemma 22: #BIS(G) = #NSat(phi_G).
+
+    Each node becomes a variable; each edge ``(u, w)`` becomes the clause
+    ``x_u & x_w``.  A node subset is independent iff the corresponding
+    assignment does not satisfy the function.
+    """
+    return PP2DNF(graph.left, graph.right, graph.edges)
+
+
+def hat_and(fresh: int, function: PP2DNF) -> PP2DNF:
+    """The ``z ^& psi`` operator of Lemma 24.
+
+    Adds the fresh left-part variable ``z`` and the clauses ``z & y`` for
+    every right-part variable ``y`` of ``function``.
+    """
+    if fresh in function.domain():
+        raise ValueError("the hat-and variable must be fresh")
+    clauses = set(function.clauses)
+    clauses |= {(fresh, y) for y in function.right}
+    return PP2DNF(function.left | {fresh}, function.right, clauses)
+
+
+def matching_function(pairs: Sequence[Tuple[int, int]]) -> PP2DNF:
+    """The function ``psi_m = (z^1_1 & z^2_1) | ... | (z^1_m & z^2_m)``.
+
+    ``pairs`` lists the (left, right) variable ids of the ``m`` disjoint
+    clauses.  Used by the Lemma 24 gadget; its non-satisfying-assignment
+    counts are ``3^m`` (without the hat variable) and ``3^m + 2^m`` with it.
+    """
+    left = [a for a, _ in pairs]
+    right = [b for _, b in pairs]
+    if len(set(left)) != len(left) or len(set(right)) != len(right):
+        raise ValueError("matching variables must be distinct")
+    return PP2DNF(left, right, pairs)
+
+
+def lemma24_gadget(phi: PP2DNF, psi: PP2DNF, x_var: int, y_var: int) -> PP2DNF:
+    """Build the Lemma 24 function ``xi = (x ^& phi) | (y ^& psi)``.
+
+    ``phi`` and ``psi`` must be over disjoint variables; ``x_var`` and
+    ``y_var`` must be fresh and distinct.  The Banzhaf values of the facts
+    associated with ``x_var`` and ``y_var`` in the lineage of ``Q_nh`` over
+    the Lemma 23 database of ``xi`` encode ``#NSat(phi)`` (Appendix C).
+    """
+    if phi.domain() & psi.domain():
+        raise ValueError("phi and psi must be over disjoint variables")
+    if x_var == y_var or {x_var, y_var} & (phi.domain() | psi.domain()):
+        raise ValueError("x_var and y_var must be fresh and distinct")
+    left_phi = hat_and(x_var, phi)
+    right_psi = hat_and(y_var, psi)
+    return PP2DNF(left_phi.left | right_psi.left,
+                  left_phi.right | right_psi.right,
+                  left_phi.clauses | right_psi.clauses)
+
+
+def count_independent_sets_nx(graph: BipartiteGraph) -> int:
+    """#BIS via transfer-matrix style dynamic programming on small graphs.
+
+    Provided as a second implementation to cross-check the brute force in
+    property tests.  Enumerates subsets of the smaller part and counts, for
+    each, the free nodes of the other part.
+    """
+    small, large = (graph.left, graph.right)
+    if len(small) > len(large):
+        small, large = large, small
+    small_nodes = sorted(small)
+    neighbours = {node: set() for node in small_nodes}
+    for u, w in graph.edges:
+        if u in neighbours:
+            neighbours[u].add(w)
+        elif w in neighbours:
+            neighbours[w].add(u)
+    total = 0
+    for mask in range(1 << len(small_nodes)):
+        chosen = [small_nodes[i] for i in range(len(small_nodes)) if mask >> i & 1]
+        blocked: set[int] = set()
+        for node in chosen:
+            blocked |= neighbours[node]
+        total += 1 << (len(large) - len(blocked))
+    return total

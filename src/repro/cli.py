@@ -1,0 +1,125 @@
+"""Command-line interface: fact attribution for a query over CSV relations.
+
+Lets a user run the library without writing Python::
+
+    python -m repro --facts R=r.csv --facts S=s.csv --exogenous S \\
+        --query "Q(X) :- R(X, Y), S(Y, Z)" --method exact --top 5
+
+Each ``--facts NAME=PATH`` loads one relation from a headerless CSV file (one
+fact per row; every value is kept as a string unless it parses as an
+integer).  Relations listed with ``--exogenous`` are loaded as exogenous
+facts; all others are endogenous and receive attribution scores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.attribution import attribute_facts
+from repro.db.database import Database
+from repro.db.datalog import parse_query
+
+
+def _coerce(value: str) -> object:
+    text = value.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _load_relation(database: Database, name: str, path: str,
+                   endogenous: bool) -> int:
+    count = 0
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.reader(handle):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            database.add_fact(name, [_coerce(cell) for cell in row],
+                              endogenous=endogenous)
+            count += 1
+    return count
+
+
+def _parse_facts_argument(argument: str) -> Tuple[str, str]:
+    if "=" not in argument:
+        raise argparse.ArgumentTypeError(
+            f"--facts expects NAME=PATH, got {argument!r}"
+        )
+    name, path = argument.split("=", 1)
+    if not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"--facts expects NAME=PATH, got {argument!r}"
+        )
+    return name, path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Banzhaf-value attribution of database facts to query answers.",
+    )
+    parser.add_argument("--facts", action="append", default=[],
+                        type=_parse_facts_argument, metavar="NAME=PATH",
+                        help="load a relation from a headerless CSV file "
+                             "(repeatable)")
+    parser.add_argument("--exogenous", action="append", default=[],
+                        metavar="NAME",
+                        help="treat this relation's facts as exogenous "
+                             "(repeatable)")
+    parser.add_argument("--query", required=True,
+                        help="Datalog-style query, e.g. \"Q(X) :- R(X, Y)\"")
+    parser.add_argument("--method", choices=("exact", "approximate", "shapley"),
+                        default="exact", help="attribution method")
+    parser.add_argument("--epsilon", type=float, default=0.1,
+                        help="relative error for the approximate method")
+    parser.add_argument("--top", type=int, default=0,
+                        help="print only the top-K facts per answer (0 = all)")
+    return parser
+
+
+def run(argv: Sequence[str], output=None) -> int:
+    """Run the CLI; returns a process exit code."""
+    stream = output if output is not None else sys.stdout
+    parser = build_parser()
+    arguments = parser.parse_args(list(argv))
+    if not arguments.facts:
+        parser.error("at least one --facts NAME=PATH is required")
+
+    exogenous = set(arguments.exogenous)
+    database = Database()
+    for name, path in arguments.facts:
+        loaded = _load_relation(database, name, path,
+                                endogenous=name not in exogenous)
+        print(f"loaded {loaded} facts into {name}"
+              f"{' (exogenous)' if name in exogenous else ''}", file=stream)
+
+    query = parse_query(arguments.query)
+    results = attribute_facts(query, database, method=arguments.method,
+                              epsilon=arguments.epsilon)
+    if not results:
+        print("the query has no answers with endogenous support", file=stream)
+        return 1
+
+    for result in results:
+        answer = result.answer if result.answer else "(true)"
+        print(f"\nanswer {answer}:", file=stream)
+        attributions: Iterable = result.attributions
+        if arguments.top > 0:
+            attributions = result.top(arguments.top)
+        for attribution in attributions:
+            print(f"  {attribution}", file=stream)
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Console entry point."""
+    return run(sys.argv[1:] if argv is None else argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core algorithms: ExaBan, AdaBan, IchiBan, Shapley and the attribution API.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.exaban` -- exact Banzhaf values and model counts over
+  complete d-trees (Fig. 1), for one variable or all variables at once;
+* :mod:`repro.core.bounds` -- lower/upper bounds on Banzhaf values and model
+  counts for partial d-trees (Fig. 2) built on the iDNF L/U synthesis;
+* :mod:`repro.core.intervals` -- interval arithmetic for the anytime loop
+  (relative-error tests, separation, midpoints);
+* :mod:`repro.core.adaban` -- the anytime deterministic approximation (Fig. 3);
+* :mod:`repro.core.ichiban` -- Banzhaf-based ranking and top-k (Section 4.1);
+* :mod:`repro.core.shapley` -- exact Shapley values via size-indexed model
+  counts on d-trees plus brute force (Section 6, Appendix D);
+* :mod:`repro.core.banzhaf` -- convenience entry points on DNFs and Boolean
+  expressions (exact, normalized variants);
+* :mod:`repro.core.attribution` -- the end-to-end fact-attribution API over a
+  database and query.
+"""
+
+from repro.core.adaban import AdaBanResult, adaban, adaban_all
+from repro.core.attribution import (
+    AttributionResult,
+    FactAttribution,
+    attribute_facts,
+)
+from repro.core.banzhaf import (
+    banzhaf_exact,
+    banzhaf_of_expression,
+    normalized_banzhaf,
+    penrose_banzhaf_index,
+    penrose_banzhaf_power,
+)
+from repro.core.bounds import BanzhafBounds, bounds_for_variable
+from repro.core.exaban import exaban, exaban_all, model_count
+from repro.core.ichiban import (
+    RankedVariable,
+    ichiban_rank,
+    ichiban_topk,
+    ichiban_topk_certain,
+)
+from repro.core.intervals import Interval
+from repro.core.shapley import shapley_brute_force, shapley_exact, shapley_all
+
+__all__ = [
+    "AdaBanResult",
+    "AttributionResult",
+    "BanzhafBounds",
+    "FactAttribution",
+    "Interval",
+    "RankedVariable",
+    "adaban",
+    "adaban_all",
+    "attribute_facts",
+    "banzhaf_exact",
+    "banzhaf_of_expression",
+    "bounds_for_variable",
+    "exaban",
+    "exaban_all",
+    "ichiban_rank",
+    "ichiban_topk",
+    "ichiban_topk_certain",
+    "model_count",
+    "normalized_banzhaf",
+    "penrose_banzhaf_index",
+    "penrose_banzhaf_power",
+    "shapley_all",
+    "shapley_brute_force",
+    "shapley_exact",
+]

@@ -1,0 +1,231 @@
+"""AdaBan: anytime deterministic approximation of Banzhaf values (Fig. 3).
+
+The algorithm maintains a partial d-tree of the lineage.  In each round it
+
+1. evaluates the ``bounds`` procedure on the current tree to obtain an
+   interval that provably contains the exact Banzhaf value,
+2. intersects it with the best interval seen so far (each refinement can only
+   tighten the interval -- this is the "anytime deterministic" property), and
+3. stops if the interval certifies the requested relative error, otherwise
+   expands one more leaf of the d-tree and repeats.
+
+Three of the paper's optimizations (Section 3.2.4) are implemented here or in
+the modules this builds on: lazy re-evaluation only after Shannon expansions
+(in :class:`~repro.dtree.incremental.IncrementalCompiler`), per-subtree bound
+caching with path invalidation (in :mod:`repro.core.bounds`), and re-use of
+the partial d-tree across variables (in :func:`adaban_all`).  The fourth
+(deriving the Banzhaf bound from ``#phi`` and ``#phi[x:=0]``) is available as
+an alternative leaf bound and is exercised by the ablation benchmark.
+
+``adaban_trace`` exposes the interval after every refinement step; the
+Figure 5 convergence experiment is built on it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.boolean.dnf import DNF
+from repro.core.bounds import bounds_for_variable
+from repro.core.intervals import Interval
+from repro.dtree.heuristics import Heuristic, select_most_frequent
+from repro.dtree.incremental import IncrementalCompiler
+
+
+class ApproximationTimeout(Exception):
+    """Raised when AdaBan exceeds its time or step budget before converging."""
+
+
+@dataclass(frozen=True)
+class AdaBanResult:
+    """Result of an AdaBan run for one variable.
+
+    Attributes
+    ----------
+    variable:
+        The variable (fact id) the result refers to.
+    interval:
+        The final interval; it always contains the exact Banzhaf value.
+    epsilon:
+        The requested relative error.
+    estimate:
+        A certified ``epsilon``-approximation (midpoint of the certified
+        range) when the error was reached, otherwise the interval midpoint.
+    converged:
+        Whether the requested error was certified.
+    refinement_steps:
+        Number of bound evaluations performed.
+    """
+
+    variable: int
+    interval: Interval
+    epsilon: float
+    estimate: Fraction
+    converged: bool
+    refinement_steps: int
+
+    @property
+    def lower(self) -> int:
+        """Final lower bound."""
+        return self.interval.lower
+
+    @property
+    def upper(self) -> int:
+        """Final upper bound."""
+        return self.interval.upper
+
+
+def _initial_interval(function: DNF, variable: int) -> Interval:
+    """The trivial bounds ``[0, 2^(n-1)]`` used to seed the refinement."""
+    n = function.num_variables()
+    if not function.contains_variable(variable):
+        return Interval.point(0)
+    return Interval(0, 1 << max(0, n - 1))
+
+
+class _AnytimeState:
+    """Shared partial d-tree plus per-variable best intervals."""
+
+    def __init__(self, function: DNF, heuristic: Heuristic) -> None:
+        self.function = function
+        self.compiler = IncrementalCompiler(function, heuristic=heuristic)
+        self.best: Dict[int, Interval] = {}
+
+    def refine(self, variable: int) -> Interval:
+        """Evaluate bounds for ``variable`` and fold them into the best interval."""
+        node_bounds = bounds_for_variable(self.compiler.root, variable)
+        fresh = Interval(node_bounds.banzhaf_lower, node_bounds.banzhaf_upper)
+        previous = self.best.get(variable)
+        if previous is None:
+            previous = _initial_interval(self.function, variable)
+        best = previous.intersect(fresh)
+        self.best[variable] = best
+        return best
+
+    def expand(self, lazy: bool = True) -> bool:
+        """Expand the partial d-tree by one (lazy) step."""
+        return self.compiler.expand_step(lazy=lazy)
+
+    def is_complete(self) -> bool:
+        """``True`` once the d-tree is complete (bounds are then exact)."""
+        return self.compiler.is_complete()
+
+
+def adaban(function: DNF, variable: int, epsilon: float = 0.1,
+           heuristic: Heuristic = select_most_frequent,
+           max_steps: Optional[int] = None,
+           timeout_seconds: Optional[float] = None) -> AdaBanResult:
+    """Approximate the Banzhaf value of ``variable`` to relative error ``epsilon``.
+
+    Raises :class:`ApproximationTimeout` if the step or time budget is
+    exhausted before the error is certified (with ``epsilon=0`` the run
+    degenerates into exact computation by full compilation).
+    """
+    state = _AnytimeState(function, heuristic)
+    result = _run_for_variable(state, variable, epsilon, max_steps,
+                               timeout_seconds)
+    return result
+
+
+def adaban_all(function: DNF, epsilon: float = 0.1,
+               variables: Optional[Sequence[int]] = None,
+               heuristic: Heuristic = select_most_frequent,
+               max_steps: Optional[int] = None,
+               timeout_seconds: Optional[float] = None
+               ) -> Dict[int, AdaBanResult]:
+    """Approximate the Banzhaf values of several variables.
+
+    The partial d-tree is shared across variables (the paper's optimization
+    (3)): the approximation for the first variable typically expands the tree
+    far enough that later variables converge with few or no extra expansions.
+    """
+    state = _AnytimeState(function, heuristic)
+    if variables is None:
+        variables = sorted(function.variables)
+    deadline = (time.monotonic() + timeout_seconds
+                if timeout_seconds is not None else None)
+    results: Dict[int, AdaBanResult] = {}
+    for variable in variables:
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ApproximationTimeout(
+                    "time budget exhausted before all variables converged"
+                )
+        results[variable] = _run_for_variable(state, variable, epsilon,
+                                              max_steps, remaining)
+    return results
+
+
+def _run_for_variable(state: _AnytimeState, variable: int, epsilon: float,
+                      max_steps: Optional[int],
+                      timeout_seconds: Optional[float]) -> AdaBanResult:
+    started = time.monotonic()
+    steps = 0
+    best = None
+    while True:
+        best = state.refine(variable)
+        steps += 1
+        if best.satisfies_relative_error(epsilon):
+            return AdaBanResult(
+                variable=variable,
+                interval=best,
+                epsilon=float(epsilon),
+                estimate=best.approximation(epsilon),
+                converged=True,
+                refinement_steps=steps,
+            )
+        if state.is_complete():
+            # Complete d-tree: the bounds are exact; the error test can only
+            # fail for epsilon = 0 and value 0, which is a point interval.
+            return AdaBanResult(
+                variable=variable,
+                interval=best,
+                epsilon=float(epsilon),
+                estimate=best.midpoint(),
+                converged=best.is_point(),
+                refinement_steps=steps,
+            )
+        if max_steps is not None and steps >= max_steps:
+            raise ApproximationTimeout(
+                f"no convergence within {max_steps} refinement steps"
+            )
+        if (timeout_seconds is not None
+                and time.monotonic() - started > timeout_seconds):
+            raise ApproximationTimeout(
+                f"no convergence within {timeout_seconds} seconds"
+            )
+        state.expand(lazy=True)
+
+
+def adaban_trace(function: DNF, variable: int,
+                 heuristic: Heuristic = select_most_frequent,
+                 max_steps: Optional[int] = None
+                 ) -> Iterator[tuple[float, Interval]]:
+    """Yield ``(elapsed_seconds, interval)`` after every refinement step.
+
+    Runs until the d-tree is complete (exact value) or ``max_steps`` bound
+    evaluations have happened.  Used by the Figure 5 convergence experiment.
+    """
+    state = _AnytimeState(function, heuristic)
+    started = time.monotonic()
+    steps = 0
+    while True:
+        best = state.refine(variable)
+        steps += 1
+        yield time.monotonic() - started, best
+        if state.is_complete() or best.is_point():
+            return
+        if max_steps is not None and steps >= max_steps:
+            return
+        state.expand(lazy=True)
+
+
+def shared_state(function: DNF,
+                 heuristic: Heuristic = select_most_frequent) -> _AnytimeState:
+    """Create a shareable anytime state (used by IchiBan)."""
+    return _AnytimeState(function, heuristic)

@@ -1,0 +1,159 @@
+"""End-to-end fact attribution: query + database -> Banzhaf values per fact.
+
+This is the public entry point a downstream user calls: it evaluates the
+query, builds the lineage of each answer tuple, runs the requested algorithm
+(exact ExaBan, anytime AdaBan, or ranking/top-k IchiBan) and maps the lineage
+variables back to database facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.core.adaban import adaban_all
+from repro.core.banzhaf import banzhaf_exact
+from repro.core.ichiban import RankedVariable, ichiban_rank, ichiban_topk
+from repro.core.shapley import shapley_all
+from repro.db.database import Database, Fact
+from repro.db.lineage import AnswerLineage, lineage_of_answers
+from repro.db.query import Query
+from repro.dtree.compile import CompilationBudget
+
+Method = Literal["exact", "approximate", "shapley"]
+
+
+@dataclass(frozen=True)
+class FactAttribution:
+    """The attribution score of one fact for one answer tuple."""
+
+    fact: Fact
+    variable: int
+    value: Fraction
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+
+    def __repr__(self) -> str:
+        bounds = ""
+        if self.lower is not None and self.upper is not None:
+            bounds = f" in [{self.lower}, {self.upper}]"
+        return f"{self.fact}: {float(self.value):.6g}{bounds}"
+
+
+@dataclass(frozen=True)
+class AttributionResult:
+    """All fact attributions for one answer tuple, best first."""
+
+    answer: Tuple[object, ...]
+    attributions: Tuple[FactAttribution, ...]
+
+    def top(self, k: int) -> Tuple[FactAttribution, ...]:
+        """The ``k`` facts with the highest scores."""
+        return self.attributions[:k]
+
+    def score_of(self, fact: Fact) -> Fraction:
+        """The score of a specific fact (0 if the fact does not occur)."""
+        for attribution in self.attributions:
+            if attribution.fact == fact:
+                return attribution.value
+        return Fraction(0)
+
+
+def _attributions_from_values(values: Dict[int, Fraction], database: Database,
+                              bounds: Optional[Dict[int, Tuple[int, int]]] = None
+                              ) -> Tuple[FactAttribution, ...]:
+    entries = []
+    for variable, value in values.items():
+        lower, upper = (bounds or {}).get(variable, (None, None))
+        entries.append(FactAttribution(
+            fact=database.fact_of(variable),
+            variable=variable,
+            value=Fraction(value),
+            lower=lower,
+            upper=upper,
+        ))
+    entries.sort(key=lambda entry: (-entry.value, entry.variable))
+    return tuple(entries)
+
+
+def attribute_facts(query: Query, database: Database,
+                    method: Method = "exact",
+                    epsilon: float = 0.1,
+                    compilation_budget: Optional[CompilationBudget] = None
+                    ) -> List[AttributionResult]:
+    """Attribute every answer of ``query`` to the endogenous facts.
+
+    Parameters
+    ----------
+    query:
+        A conjunctive query or union of conjunctive queries.
+    database:
+        The database with its endogenous/exogenous fact partition.
+    method:
+        ``"exact"`` for ExaBan Banzhaf values, ``"approximate"`` for AdaBan
+        with relative error ``epsilon``, ``"shapley"`` for exact Shapley
+        values (provided for comparison).
+    epsilon:
+        Relative error for the approximate method.
+    compilation_budget:
+        Optional resource budget for the exact methods.
+
+    Returns one :class:`AttributionResult` per answer tuple.
+    """
+    results: List[AttributionResult] = []
+    for answer in lineage_of_answers(query, database):
+        results.append(_attribute_single(answer, database, method, epsilon,
+                                         compilation_budget))
+    return results
+
+
+def _attribute_single(answer: AnswerLineage, database: Database,
+                      method: Method, epsilon: float,
+                      compilation_budget: Optional[CompilationBudget]
+                      ) -> AttributionResult:
+    lineage = answer.lineage
+    if method == "exact":
+        raw = banzhaf_exact(lineage, budget=compilation_budget)
+        values = {v: Fraction(value) for v, value in raw.items()}
+        bounds = {v: (value, value) for v, value in raw.items()}
+    elif method == "approximate":
+        approx = adaban_all(lineage, epsilon=epsilon)
+        values = {v: result.estimate for v, result in approx.items()}
+        bounds = {v: (result.lower, result.upper)
+                  for v, result in approx.items()}
+    elif method == "shapley":
+        values = dict(shapley_all(lineage, budget=compilation_budget))
+        bounds = {}
+    else:
+        raise ValueError(f"unknown attribution method {method!r}")
+    return AttributionResult(
+        answer=answer.values,
+        attributions=_attributions_from_values(values, database, bounds),
+    )
+
+
+def rank_facts(query: Query, database: Database,
+               epsilon: Optional[float] = 0.1
+               ) -> List[Tuple[Tuple[object, ...], List[Tuple[Fact, RankedVariable]]]]:
+    """Rank the facts of every answer by Banzhaf value using IchiBan."""
+    results = []
+    for answer in lineage_of_answers(query, database):
+        ranking = ichiban_rank(answer.lineage, epsilon=epsilon)
+        results.append((answer.values,
+                        [(database.fact_of(entry.variable), entry)
+                         for entry in ranking]))
+    return results
+
+
+def topk_facts(query: Query, database: Database, k: int,
+               epsilon: float = 0.1
+               ) -> List[Tuple[Tuple[object, ...], List[Tuple[Fact, RankedVariable]]]]:
+    """The top-``k`` facts of every answer by Banzhaf value using IchiBan."""
+    results = []
+    for answer in lineage_of_answers(query, database):
+        ranking = ichiban_topk(answer.lineage, k=k, epsilon=epsilon)
+        results.append((answer.values,
+                        [(database.fact_of(entry.variable), entry)
+                         for entry in ranking]))
+    return results

@@ -1,0 +1,78 @@
+"""Convenience entry points for exact Banzhaf computation and normalization.
+
+These wrap the d-tree compiler and ExaBan into one-call functions on DNFs and
+Boolean expressions, and provide the two normalized variants mentioned in
+Section 2 of the paper (Penrose-Banzhaf power and index).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.boolean.dnf import DNF
+from repro.boolean.functions import BoolExpr, expr_banzhaf
+from repro.core.exaban import exaban, exaban_all
+from repro.dtree.compile import CompilationBudget, compile_dnf
+from repro.dtree.heuristics import Heuristic, select_most_frequent
+
+
+def banzhaf_exact(function: DNF, variable: Optional[int] = None,
+                  heuristic: Heuristic = select_most_frequent,
+                  budget: CompilationBudget | None = None):
+    """Exact Banzhaf value(s) of a positive DNF via d-tree compilation.
+
+    With ``variable`` given, returns a single integer; otherwise a dict
+    mapping every domain variable to its Banzhaf value.
+    """
+    tree = compile_dnf(function, heuristic=heuristic, budget=budget)
+    if variable is not None:
+        value, _ = exaban(tree, variable)
+        return value
+    return exaban_all(tree)
+
+
+def banzhaf_of_expression(expr: BoolExpr, variable: Hashable,
+                          domain: Iterable[Hashable] | None = None) -> int:
+    """Definitional Banzhaf value of a variable in a general Boolean expression.
+
+    Handles negation (Example 2 of the paper produces a negative value);
+    exhaustive, so only suitable for small expressions.
+    """
+    return expr_banzhaf(expr, variable, domain)
+
+
+def penrose_banzhaf_power(function: DNF, variable: int,
+                          heuristic: Heuristic = select_most_frequent
+                          ) -> Fraction:
+    """The Banzhaf value divided by ``2^(n-1)`` (Penrose-Banzhaf power)."""
+    value = banzhaf_exact(function, variable, heuristic=heuristic)
+    n = function.num_variables()
+    return Fraction(value, 1 << max(0, n - 1))
+
+
+def penrose_banzhaf_index(function: DNF,
+                          heuristic: Heuristic = select_most_frequent
+                          ) -> Dict[int, Fraction]:
+    """Banzhaf values normalized to sum to 1 (Penrose-Banzhaf index).
+
+    If all values are 0 (the function does not depend on any variable), the
+    index of every variable is defined as 0.
+    """
+    values = banzhaf_exact(function, heuristic=heuristic)
+    total = sum(values.values())
+    if total == 0:
+        return {v: Fraction(0) for v in values}
+    return {v: Fraction(value, total) for v, value in values.items()}
+
+
+def normalized_banzhaf(values: Dict[int, int]) -> Dict[int, Fraction]:
+    """Normalize a dict of Banzhaf values to sum to 1 (0 if all are 0).
+
+    Used by the experiment harness when comparing estimated value vectors via
+    the l1 distance of Table 7.
+    """
+    total = sum(values.values())
+    if total == 0:
+        return {v: Fraction(0) for v in values}
+    return {v: Fraction(value, total) for v, value in values.items()}

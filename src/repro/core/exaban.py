@@ -1,0 +1,216 @@
+"""ExaBan: exact Banzhaf values over complete d-trees (Fig. 1 of the paper).
+
+The algorithm is a bottom-up evaluation of the d-tree.  At each node it
+maintains the pair ``(Banzhaf(phi, x), #phi)`` for the function ``phi``
+represented by the subtree, combining children with Eq. (4)-(9):
+
+* independent AND (``⊙``): counts multiply; the Banzhaf value of the child
+  containing ``x`` is scaled by the product of the other children's counts;
+* independent OR (``⊗``): *non*-model counts multiply; the Banzhaf value of
+  the child containing ``x`` is scaled by the product of the other children's
+  non-model counts;
+* exclusive OR (``⊕``): counts and Banzhaf values add.
+
+``exaban_all`` computes the Banzhaf values of *all* variables in two linear
+passes (one bottom-up for counts, one top-down for per-leaf multipliers),
+which is how the paper's prototype shares work across variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dtree.nodes import (
+    DecompAnd,
+    DecompOr,
+    DNFLeaf,
+    DTreeNode,
+    ExclusiveOr,
+    FalseLeaf,
+    LiteralLeaf,
+    TrueLeaf,
+)
+
+
+class IncompleteDTreeError(Exception):
+    """Raised when an exact computation is attempted on a partial d-tree."""
+
+
+def model_count(node: DTreeNode) -> int:
+    """Exact model count ``#phi`` of the function represented by ``node``.
+
+    Requires a complete d-tree (no :class:`DNFLeaf` leaves).
+    """
+    if isinstance(node, TrueLeaf):
+        return 1 << len(node.domain)
+    if isinstance(node, FalseLeaf):
+        return 0
+    if isinstance(node, LiteralLeaf):
+        return 1
+    if isinstance(node, DNFLeaf):
+        raise IncompleteDTreeError(
+            "model_count requires a complete d-tree; found an undecomposed leaf"
+        )
+    child_counts = [model_count(child) for child in node.children()]
+    if isinstance(node, DecompAnd):
+        product = 1
+        for count in child_counts:
+            product *= count
+        return product
+    if isinstance(node, DecompOr):
+        non_models = 1
+        for child, count in zip(node.children(), child_counts):
+            non_models *= (1 << len(child.domain)) - count
+        return (1 << len(node.domain)) - non_models
+    if isinstance(node, ExclusiveOr):
+        return sum(child_counts)
+    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+
+
+def exaban(node: DTreeNode, variable: int) -> Tuple[int, int]:
+    """Exact ``(Banzhaf(phi, x), #phi)`` for one variable (Fig. 1).
+
+    ``variable`` need not occur in the function; its Banzhaf value is then 0.
+    Raises :class:`IncompleteDTreeError` on partial d-trees.
+    """
+    if isinstance(node, LiteralLeaf):
+        if node.variable == variable:
+            return (-1 if node.negated else 1), 1
+        return 0, 1
+    if isinstance(node, TrueLeaf):
+        return 0, 1 << len(node.domain)
+    if isinstance(node, FalseLeaf):
+        return 0, 0
+    if isinstance(node, DNFLeaf):
+        raise IncompleteDTreeError(
+            "exaban requires a complete d-tree; found an undecomposed leaf"
+        )
+
+    results = [exaban(child, variable) for child in node.children()]
+    counts = [count for _, count in results]
+
+    if isinstance(node, DecompAnd):
+        total = 1
+        for count in counts:
+            total *= count
+        banzhaf = 0
+        for index, (child_banzhaf, _) in enumerate(results):
+            if child_banzhaf:
+                others = 1
+                for j, count in enumerate(counts):
+                    if j != index:
+                        others *= count
+                banzhaf += child_banzhaf * others
+        return banzhaf, total
+
+    if isinstance(node, DecompOr):
+        non_models = [
+            (1 << len(child.domain)) - count
+            for child, count in zip(node.children(), counts)
+        ]
+        total_non = 1
+        for value in non_models:
+            total_non *= value
+        total = (1 << len(node.domain)) - total_non
+        banzhaf = 0
+        for index, (child_banzhaf, _) in enumerate(results):
+            if child_banzhaf:
+                others = 1
+                for j, value in enumerate(non_models):
+                    if j != index:
+                        others *= value
+                banzhaf += child_banzhaf * others
+        return banzhaf, total
+
+    if isinstance(node, ExclusiveOr):
+        banzhaf = sum(child_banzhaf for child_banzhaf, _ in results)
+        total = sum(counts)
+        return banzhaf, total
+
+    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+
+
+def exaban_all(node: DTreeNode) -> Dict[int, int]:
+    """Exact Banzhaf values of *all* domain variables in two passes.
+
+    The bottom-up pass computes model counts; the top-down pass pushes a
+    multiplier to every leaf (the product of sibling counts / non-model
+    counts along the path), so that the Banzhaf value of a variable is the
+    signed sum of the multipliers of its literal leaves.  Variables in the
+    domain that never occur as literals get the Banzhaf value 0.
+    """
+    counts: Dict[int, int] = {}
+
+    def count_pass(current: DTreeNode) -> int:
+        value = _node_count(current, counts)
+        counts[id(current)] = value
+        return value
+
+    def _node_count(current: DTreeNode, memo: Dict[int, int]) -> int:
+        if isinstance(current, TrueLeaf):
+            return 1 << len(current.domain)
+        if isinstance(current, FalseLeaf):
+            return 0
+        if isinstance(current, LiteralLeaf):
+            return 1
+        if isinstance(current, DNFLeaf):
+            raise IncompleteDTreeError(
+                "exaban_all requires a complete d-tree; found an undecomposed leaf"
+            )
+        child_counts = [count_pass(child) for child in current.children()]
+        if isinstance(current, DecompAnd):
+            product = 1
+            for count in child_counts:
+                product *= count
+            return product
+        if isinstance(current, DecompOr):
+            non_models = 1
+            for child, count in zip(current.children(), child_counts):
+                non_models *= (1 << len(child.domain)) - count
+            return (1 << len(current.domain)) - non_models
+        if isinstance(current, ExclusiveOr):
+            return sum(child_counts)
+        raise TypeError(f"unknown d-tree node type {type(current).__name__}")
+
+    count_pass(node)
+
+    banzhaf: Dict[int, int] = {var: 0 for var in node.domain}
+
+    def push(current: DTreeNode, multiplier: int) -> None:
+        if multiplier == 0:
+            return
+        if isinstance(current, LiteralLeaf):
+            sign = -1 if current.negated else 1
+            banzhaf[current.variable] += sign * multiplier
+            return
+        if isinstance(current, (TrueLeaf, FalseLeaf)):
+            return
+        children = current.children()
+        if isinstance(current, DecompAnd):
+            for index, child in enumerate(children):
+                others = 1
+                for j, sibling in enumerate(children):
+                    if j != index:
+                        others *= counts[id(sibling)]
+                push(child, multiplier * others)
+            return
+        if isinstance(current, DecompOr):
+            non_models = [
+                (1 << len(sibling.domain)) - counts[id(sibling)]
+                for sibling in children
+            ]
+            for index, child in enumerate(children):
+                others = 1
+                for j, value in enumerate(non_models):
+                    if j != index:
+                        others *= value
+                push(child, multiplier * others)
+            return
+        if isinstance(current, ExclusiveOr):
+            for child in children:
+                push(child, multiplier)
+            return
+        raise TypeError(f"unknown d-tree node type {type(current).__name__}")
+
+    push(node, 1)
+    return banzhaf

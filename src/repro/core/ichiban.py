@@ -1,0 +1,202 @@
+"""IchiBan: Banzhaf-based ranking and top-k of facts (Section 4.1).
+
+IchiBan is a natural generalization of AdaBan: it maintains approximation
+intervals for the Banzhaf values of *all* variables of the lineage and keeps
+refining them (by expanding the shared partial d-tree) until the intervals
+are informative enough for the task at hand:
+
+* **top-k with certainty** -- a variable is discarded once its upper bound is
+  below the lower bounds of at least ``k`` other variables; the run stops
+  when only ``k`` candidates remain and their intervals are separated from
+  (or equal to) the rest;
+* **approximate top-k / ranking with error ``epsilon``** -- the run may also
+  stop once every remaining interval certifies relative error ``epsilon``;
+  variables are then ordered by interval midpoints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.boolean.dnf import DNF
+from repro.core.adaban import ApproximationTimeout, _AnytimeState
+from repro.core.intervals import Interval
+from repro.dtree.heuristics import Heuristic, select_most_frequent
+
+
+@dataclass(frozen=True)
+class RankedVariable:
+    """One entry of an IchiBan ranking."""
+
+    variable: int
+    interval: Interval
+    estimate: Fraction
+
+    @property
+    def lower(self) -> int:
+        """Lower bound of the Banzhaf interval."""
+        return self.interval.lower
+
+    @property
+    def upper(self) -> int:
+        """Upper bound of the Banzhaf interval."""
+        return self.interval.upper
+
+
+def _ranked(intervals: Dict[int, Interval]) -> List[RankedVariable]:
+    """Order variables by interval midpoint (descending), ties by id."""
+    entries = [
+        RankedVariable(variable=v, interval=interval,
+                       estimate=interval.midpoint())
+        for v, interval in intervals.items()
+    ]
+    entries.sort(key=lambda entry: (-entry.estimate, entry.variable))
+    return entries
+
+
+def _topk_separated(intervals: Dict[int, Interval], k: int) -> bool:
+    """``True`` iff a certain top-k set can be read off the intervals.
+
+    A variable is *certainly in* the top-k if at most ``k - 1`` other
+    variables can possibly exceed it; it is *certainly out* if at least ``k``
+    other variables certainly exceed it.  The top-k is decided when every
+    variable is certainly in or certainly out, allowing ties at the boundary
+    to count as decided when the boundary intervals are single points.
+    """
+    items = list(intervals.items())
+    for variable, interval in items:
+        better_certain = sum(
+            1 for other, other_interval in items
+            if other != variable and other_interval.lower > interval.upper
+        )
+        worse_possible = sum(
+            1 for other, other_interval in items
+            if other != variable and other_interval.upper > interval.lower
+        )
+        certainly_out = better_certain >= k
+        certainly_in = worse_possible < k
+        if not (certainly_in or certainly_out):
+            # Ties: if the undecided variables all have identical point
+            # intervals the choice among them is immaterial.
+            tied = [
+                other_interval for other, other_interval in items
+                if other != variable and other_interval.overlaps(interval)
+            ]
+            if interval.is_point() and all(
+                    t.is_point() and t.lower == interval.lower for t in tied):
+                continue
+            return False
+    return True
+
+
+class _IchiBanRun:
+    """Shared driver for ranking and top-k."""
+
+    def __init__(self, function: DNF, heuristic: Heuristic,
+                 variables: Optional[Sequence[int]] = None) -> None:
+        self.state = _AnytimeState(function, heuristic)
+        if variables is None:
+            variables = sorted(function.variables)
+        self.variables = list(variables)
+
+    def refine_all(self) -> Dict[int, Interval]:
+        """Refresh the best intervals of all tracked variables."""
+        return {v: self.state.refine(v) for v in self.variables}
+
+    def run(self, stop_condition, max_steps: Optional[int],
+            timeout_seconds: Optional[float]) -> Dict[int, Interval]:
+        """Refine until ``stop_condition(intervals)`` holds or budget runs out."""
+        started = time.monotonic()
+        steps = 0
+        while True:
+            intervals = self.refine_all()
+            steps += 1
+            if stop_condition(intervals) or self.state.is_complete():
+                return intervals
+            if max_steps is not None and steps >= max_steps:
+                raise ApproximationTimeout(
+                    f"IchiBan did not converge within {max_steps} steps"
+                )
+            if (timeout_seconds is not None
+                    and time.monotonic() - started > timeout_seconds):
+                raise ApproximationTimeout(
+                    f"IchiBan did not converge within {timeout_seconds} seconds"
+                )
+            self.state.expand(lazy=True)
+
+
+def ichiban_topk(function: DNF, k: int, epsilon: float = 0.1,
+                 heuristic: Heuristic = select_most_frequent,
+                 max_steps: Optional[int] = None,
+                 timeout_seconds: Optional[float] = None
+                 ) -> List[RankedVariable]:
+    """Approximate top-k: stop when separated or every interval reaches ``epsilon``.
+
+    Returns the ``k`` highest-ranked variables by interval midpoint.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    run = _IchiBanRun(function, heuristic)
+
+    def stop(intervals: Dict[int, Interval]) -> bool:
+        if _topk_separated(intervals, k):
+            return True
+        return all(interval.satisfies_relative_error(epsilon)
+                   for interval in intervals.values())
+
+    intervals = run.run(stop, max_steps, timeout_seconds)
+    return _ranked(intervals)[:k]
+
+
+def ichiban_topk_certain(function: DNF, k: int,
+                         heuristic: Heuristic = select_most_frequent,
+                         max_steps: Optional[int] = None,
+                         timeout_seconds: Optional[float] = None
+                         ) -> List[RankedVariable]:
+    """Top-k decided with certainty (the Appendix E variant)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    run = _IchiBanRun(function, heuristic)
+    intervals = run.run(lambda ivs: _topk_separated(ivs, k), max_steps,
+                        timeout_seconds)
+    return _ranked(intervals)[:k]
+
+
+def ichiban_rank(function: DNF, epsilon: Optional[float] = None,
+                 heuristic: Heuristic = select_most_frequent,
+                 max_steps: Optional[int] = None,
+                 timeout_seconds: Optional[float] = None
+                 ) -> List[RankedVariable]:
+    """Rank all variables by Banzhaf value.
+
+    With ``epsilon=None`` the run continues until the intervals are pairwise
+    separated or collapse to identical point values (a certain ranking up to
+    ties).  With an ``epsilon`` the run may also stop once every interval
+    certifies that relative error; the ranking is then by midpoints.
+    """
+    run = _IchiBanRun(function, heuristic)
+
+    def certain(intervals: Dict[int, Interval]) -> bool:
+        items = list(intervals.values())
+        for i, left in enumerate(items):
+            for right in items[i + 1:]:
+                if left.overlaps(right):
+                    same_point = (left.is_point() and right.is_point()
+                                  and left.lower == right.lower)
+                    if not same_point:
+                        return False
+        return True
+
+    def stop(intervals: Dict[int, Interval]) -> bool:
+        if certain(intervals):
+            return True
+        if epsilon is None:
+            return False
+        return all(interval.satisfies_relative_error(epsilon)
+                   for interval in intervals.values())
+
+    intervals = run.run(stop, max_steps, timeout_seconds)
+    return _ranked(intervals)

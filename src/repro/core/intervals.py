@@ -1,0 +1,123 @@
+"""Approximation intervals for the anytime algorithms.
+
+AdaBan and IchiBan reason about intervals ``[lower, upper]`` that are known
+to contain an exact Banzhaf value.  This module provides the small interval
+algebra they need:
+
+* intersection (keeping the best bounds seen so far);
+* the relative-error stopping test of Fig. 3:
+  ``(1 - eps) * upper <= (1 + eps) * lower``;
+* separation and midpoint ordering used for ranking and top-k.
+
+Bounds are integers (Banzhaf values of positive DNF functions are integers);
+error computations use :class:`fractions.Fraction` to stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lower, upper]`` containing an exact value."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(
+                f"invalid interval: lower {self.lower} > upper {self.upper}"
+            )
+
+    # -- refinement ----------------------------------------------------- #
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Keep the best bounds of both intervals (they must overlap)."""
+        lower = max(self.lower, other.lower)
+        upper = min(self.upper, other.upper)
+        if lower > upper:
+            raise ValueError(
+                f"intervals {self} and {other} do not overlap; "
+                "one of them cannot contain the exact value"
+            )
+        return Interval(lower, upper)
+
+    def width(self) -> int:
+        """Upper minus lower."""
+        return self.upper - self.lower
+
+    def is_point(self) -> bool:
+        """``True`` iff the interval is a single value."""
+        return self.lower == self.upper
+
+    def contains(self, value: Number) -> bool:
+        """``True`` iff ``value`` lies in the interval."""
+        return self.lower <= value <= self.upper
+
+    # -- relative error -------------------------------------------------- #
+
+    def satisfies_relative_error(self, epsilon: Number) -> bool:
+        """The stopping test of Fig. 3.
+
+        ``True`` iff ``(1 - eps) * upper <= (1 + eps) * lower``; any value in
+        ``[(1 - eps) * upper, (1 + eps) * lower]`` is then a relative
+        ``eps``-approximation of the exact value.
+        """
+        eps = Fraction(epsilon).limit_denominator(10**9) if not isinstance(
+            epsilon, (int, Fraction)) else Fraction(epsilon)
+        return (1 - eps) * self.upper <= (1 + eps) * self.lower
+
+    def epsilon_interval(self, epsilon: Number) -> tuple[Fraction, Fraction]:
+        """The certified interval ``[(1 - eps) * U, (1 + eps) * L]`` of Fig. 3."""
+        eps = Fraction(epsilon).limit_denominator(10**9) if not isinstance(
+            epsilon, (int, Fraction)) else Fraction(epsilon)
+        if not self.satisfies_relative_error(eps):
+            raise ValueError("interval does not satisfy the requested error")
+        return (1 - eps) * Fraction(self.upper), (1 + eps) * Fraction(self.lower)
+
+    def approximation(self, epsilon: Number) -> Fraction:
+        """A single certified ``eps``-approximation (the certified midpoint)."""
+        low, high = self.epsilon_interval(epsilon)
+        return (low + high) / 2
+
+    def relative_gap(self) -> Fraction:
+        """The smallest ``eps`` the interval currently certifies.
+
+        Solves ``(1 - eps) * upper = (1 + eps) * lower`` for ``eps``; returns
+        0 for point intervals and 1 when the lower bound is 0 (no relative
+        guarantee possible yet).
+        """
+        if self.is_point():
+            return Fraction(0)
+        if self.lower <= 0:
+            return Fraction(1)
+        return Fraction(self.upper - self.lower, self.upper + self.lower)
+
+    # -- ordering -------------------------------------------------------- #
+
+    def midpoint(self) -> Fraction:
+        """The midpoint, used for approximate ranking."""
+        return Fraction(self.lower + self.upper, 2)
+
+    def strictly_above(self, other: "Interval") -> bool:
+        """``True`` iff every value here exceeds every value of ``other``."""
+        return self.lower > other.upper
+
+    def strictly_below(self, other: "Interval") -> bool:
+        """``True`` iff every value here is below every value of ``other``."""
+        return self.upper < other.lower
+
+    def overlaps(self, other: "Interval") -> bool:
+        """``True`` iff the two intervals share at least one value."""
+        return not (self.strictly_above(other) or self.strictly_below(other))
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return Interval(value, value)

@@ -1,0 +1,257 @@
+"""Exact Shapley values of variables in positive DNF functions.
+
+The paper compares Banzhaf-based and Shapley-based attribution (Section 6 and
+Appendix D).  Both values are determined by the *critical-set counts*
+``#kC(x)``: the number of sets ``Y`` of size ``k`` (not containing ``x``)
+with ``phi[Y] = 0`` and ``phi[Y + x] = 1``:
+
+* ``Banzhaf(phi, x) = sum_k #kC(x)``
+* ``Shapley(phi, x) = sum_k k! (n-k-1)! / n! * #kC(x)``
+
+This module computes the critical-set counts exactly over a complete d-tree
+by propagating *size-indexed* model-count vectors: for every node we track,
+for each ``k``, how many models set exactly ``k`` variables of the node's
+domain to true, for the function itself and for its two cofactors on the
+target variable.  The combination rules mirror ExaBan's, lifted from scalars
+to vectors (convolutions at decomposable nodes, sums at exclusive nodes).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb, factorial
+from typing import Dict, List, Optional, Sequence
+
+from repro.boolean.assignments import critical_set_counts
+from repro.boolean.dnf import DNF
+from repro.dtree.compile import CompilationBudget, compile_dnf
+from repro.dtree.heuristics import Heuristic, select_most_frequent
+from repro.dtree.nodes import (
+    DecompAnd,
+    DecompOr,
+    DNFLeaf,
+    DTreeNode,
+    ExclusiveOr,
+    FalseLeaf,
+    LiteralLeaf,
+    TrueLeaf,
+)
+
+
+def _convolve(left: Sequence[int], right: Sequence[int]) -> List[int]:
+    """Convolution of two integer vectors."""
+    result = [0] * (len(left) + len(right) - 1)
+    for i, a in enumerate(left):
+        if a == 0:
+            continue
+        for j, b in enumerate(right):
+            if b:
+                result[i + j] += a * b
+    return result
+
+
+def _binomial_vector(n: int) -> List[int]:
+    """The vector ``[C(n,0), ..., C(n,n)]`` (size profile of the constant 1)."""
+    return [comb(n, k) for k in range(n + 1)]
+
+
+def _complement(vector: Sequence[int], n: int) -> List[int]:
+    """Turn a size-indexed model vector over ``n`` variables into non-models."""
+    return [comb(n, k) - vector[k] for k in range(n + 1)]
+
+
+class _SizeVectors:
+    """Size-indexed model-count vectors of a node and of its x-cofactors.
+
+    ``models[k]`` counts models with ``k`` true variables over the node's
+    domain.  ``positive``/``negative`` count models of the cofactors
+    ``phi[x:=1]`` / ``phi[x:=0]`` by size over the domain *minus x*; when the
+    node's domain does not contain ``x`` both equal ``models``.
+    """
+
+    __slots__ = ("models", "positive", "negative", "domain_size", "has_x")
+
+    def __init__(self, models: List[int], positive: List[int],
+                 negative: List[int], domain_size: int, has_x: bool) -> None:
+        self.models = models
+        self.positive = positive
+        self.negative = negative
+        self.domain_size = domain_size
+        self.has_x = has_x
+
+
+def _vectors(node: DTreeNode, variable: int) -> _SizeVectors:
+    domain_size = len(node.domain)
+    has_x = variable in node.domain
+
+    if isinstance(node, TrueLeaf):
+        models = _binomial_vector(domain_size)
+        cof = _binomial_vector(domain_size - 1) if has_x else models
+        return _SizeVectors(models, cof, list(cof), domain_size, has_x)
+
+    if isinstance(node, FalseLeaf):
+        models = [0] * (domain_size + 1)
+        cof = [0] * domain_size if has_x else models
+        return _SizeVectors(models, cof, list(cof), domain_size, has_x)
+
+    if isinstance(node, LiteralLeaf):
+        if node.negated:
+            models = [1, 0]
+        else:
+            models = [0, 1]
+        if node.variable == variable:
+            positive = [0] if node.negated else [1]
+            negative = [1] if node.negated else [0]
+            return _SizeVectors(models, positive, negative, 1, True)
+        return _SizeVectors(models, list(models), list(models), 1, False)
+
+    if isinstance(node, DNFLeaf):
+        raise ValueError("Shapley computation requires a complete d-tree")
+
+    children = [_vectors(child, variable) for child in node.children()]
+
+    if isinstance(node, DecompAnd):
+        return _combine_product(children, domain_size, has_x, conjunction=True)
+    if isinstance(node, DecompOr):
+        return _combine_product(children, domain_size, has_x, conjunction=False)
+    if isinstance(node, ExclusiveOr):
+        models = [0] * (domain_size + 1)
+        cof_len = domain_size if has_x else domain_size + 1
+        positive = [0] * cof_len
+        negative = [0] * cof_len
+        for child in children:
+            for k, value in enumerate(child.models):
+                models[k] += value
+            for k, value in enumerate(child.positive):
+                positive[k] += value
+            for k, value in enumerate(child.negative):
+                negative[k] += value
+        return _SizeVectors(models, positive, negative, domain_size, has_x)
+    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+
+
+def _combine_product(children: List[_SizeVectors], domain_size: int,
+                     has_x: bool, conjunction: bool) -> _SizeVectors:
+    """Combine children of a decomposable node by (non-)model convolution."""
+
+    def product(select) -> List[int]:
+        result = [1]
+        for child in children:
+            result = _convolve(result, select(child))
+        return result
+
+    if conjunction:
+        models = product(lambda c: c.models)
+        positive = product(lambda c: c.positive if c.has_x else c.models)
+        negative = product(lambda c: c.negative if c.has_x else c.models)
+        return _SizeVectors(models, positive, negative, domain_size, has_x)
+
+    # Disjunction of independent children: non-models convolve.
+    non_models = product(lambda c: _complement(c.models, c.domain_size))
+    models = [comb(domain_size, k) - non_models[k]
+              for k in range(domain_size + 1)]
+    cof_size = domain_size - 1 if has_x else domain_size
+
+    def cof_non_models(select) -> List[int]:
+        result = [1]
+        for child in children:
+            if child.has_x:
+                vec = select(child)
+                result = _convolve(result, _complement_raw(vec, child.domain_size - 1))
+            else:
+                result = _convolve(
+                    result, _complement(child.models, child.domain_size))
+        return result
+
+    positive_non = cof_non_models(lambda c: c.positive)
+    negative_non = cof_non_models(lambda c: c.negative)
+    positive = [comb(cof_size, k) - positive_non[k] for k in range(cof_size + 1)]
+    negative = [comb(cof_size, k) - negative_non[k] for k in range(cof_size + 1)]
+    return _SizeVectors(models, positive, negative, domain_size, has_x)
+
+
+def _complement_raw(vector: Sequence[int], n: int) -> List[int]:
+    """Complement a vector known to be over ``n`` variables."""
+    return [comb(n, k) - vector[k] for k in range(n + 1)]
+
+
+def critical_counts_exact(function: DNF, variable: int,
+                          heuristic: Heuristic = select_most_frequent,
+                          budget: CompilationBudget | None = None) -> List[int]:
+    """Exact critical-set counts ``#kC`` of ``variable`` via the d-tree.
+
+    Entry ``k`` counts the critical sets of size ``k``; the list has
+    ``n`` entries for a function over ``n`` variables (sizes 0..n-1).
+    """
+    if variable not in function.domain:
+        raise ValueError(f"variable {variable} not in the function's domain")
+    tree = compile_dnf(function, heuristic=heuristic, budget=budget)
+    vectors = _vectors(tree, variable)
+    n = function.num_variables()
+    counts = []
+    for k in range(n):
+        positive = vectors.positive[k] if k < len(vectors.positive) else 0
+        negative = vectors.negative[k] if k < len(vectors.negative) else 0
+        counts.append(positive - negative)
+    return counts
+
+
+def shapley_exact(function: DNF, variable: int,
+                  heuristic: Heuristic = select_most_frequent,
+                  budget: CompilationBudget | None = None) -> Fraction:
+    """Exact Shapley value of ``variable`` in a positive DNF function."""
+    counts = critical_counts_exact(function, variable, heuristic=heuristic,
+                                   budget=budget)
+    n = function.num_variables()
+    total = Fraction(0)
+    n_factorial = factorial(n)
+    for k, count in enumerate(counts):
+        if count:
+            coefficient = Fraction(factorial(k) * factorial(n - k - 1),
+                                   n_factorial)
+            total += coefficient * count
+    return total
+
+
+def shapley_all(function: DNF,
+                heuristic: Heuristic = select_most_frequent,
+                budget: CompilationBudget | None = None
+                ) -> Dict[int, Fraction]:
+    """Exact Shapley values of all variables occurring in the function."""
+    return {
+        variable: shapley_exact(function, variable, heuristic=heuristic,
+                                budget=budget)
+        for variable in sorted(function.variables)
+    }
+
+
+def shapley_brute_force(function: DNF, variable: int) -> Fraction:
+    """Definitional Shapley value by exhaustive enumeration (testing only)."""
+    counts = critical_set_counts(function, variable)
+    n = function.num_variables()
+    n_factorial = factorial(n)
+    total = Fraction(0)
+    for k, count in enumerate(counts):
+        if count:
+            total += Fraction(factorial(k) * factorial(n - k - 1),
+                              n_factorial) * count
+    return total
+
+
+def banzhaf_from_critical_counts(counts: Sequence[int]) -> int:
+    """Banzhaf value as the plain sum of critical-set counts (Eq. 16)."""
+    return sum(counts)
+
+
+def shapley_from_critical_counts(counts: Sequence[int],
+                                 num_variables: Optional[int] = None
+                                 ) -> Fraction:
+    """Shapley value from critical-set counts (Eq. 17)."""
+    n = num_variables if num_variables is not None else len(counts)
+    n_factorial = factorial(n)
+    total = Fraction(0)
+    for k, count in enumerate(counts):
+        if count:
+            total += Fraction(factorial(k) * factorial(n - k - 1),
+                              n_factorial) * count
+    return total

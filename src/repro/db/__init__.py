@@ -1,0 +1,52 @@
+"""Relational database substrate with provenance-aware query evaluation.
+
+This package is the stand-in for the PostgreSQL + ProvSQL stack the paper
+uses to produce lineage: an in-memory relational engine whose query
+evaluator returns, for every answer tuple, the positive DNF lineage over the
+endogenous facts (Section 2 of the paper).
+
+* :mod:`repro.db.schema` -- relation symbols and database schemas;
+* :mod:`repro.db.database` -- fact storage, endogenous/exogenous partition,
+  fact <-> variable-id registry;
+* :mod:`repro.db.query` -- conjunctive queries, unions of conjunctive
+  queries, selection predicates, free/bound variables;
+* :mod:`repro.db.hierarchy` -- hierarchical and self-join-free query checks
+  (the dichotomy's tractability frontier);
+* :mod:`repro.db.evaluation` -- join evaluation producing answer tuples with
+  their groundings;
+* :mod:`repro.db.lineage` -- lineage construction per answer tuple;
+* :mod:`repro.db.reductions` -- the Lemma 23 PP2DNF -> database construction
+  and the Appendix D example database;
+* :mod:`repro.db.datalog` -- a small textual syntax for queries (parsing
+  helper used by the examples).
+"""
+
+from repro.db.database import Database, Fact
+from repro.db.evaluation import evaluate_query
+from repro.db.hierarchy import is_hierarchical, is_self_join_free
+from repro.db.lineage import lineage_of_answers, lineage_of_boolean_query
+from repro.db.query import (
+    Atom,
+    ConjunctiveQuery,
+    QueryVariable,
+    Selection,
+    UnionQuery,
+)
+from repro.db.schema import RelationSymbol, Schema
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "Fact",
+    "QueryVariable",
+    "RelationSymbol",
+    "Schema",
+    "Selection",
+    "UnionQuery",
+    "evaluate_query",
+    "is_hierarchical",
+    "is_self_join_free",
+    "lineage_of_answers",
+    "lineage_of_boolean_query",
+]

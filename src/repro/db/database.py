@@ -1,0 +1,168 @@
+"""Fact storage with an endogenous/exogenous partition and variable registry.
+
+A database is a set of facts over a schema.  Following the paper (and the
+standard setup for fact attribution), the facts are partitioned into
+*endogenous* facts -- whose contribution we want to quantify, and which carry
+a propositional variable ``v(f)`` -- and *exogenous* facts, which are taken
+for granted and contribute the constant 1 to the lineage.
+
+The :class:`Database` also acts as the registry mapping endogenous facts to
+consecutive integer variable ids (the variables of the lineage DNF) and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.schema import RelationSymbol, Schema
+
+Value = object
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A fact ``R(c1, ..., ck)``: a relation name plus a tuple of constants."""
+
+    relation: str
+    values: Tuple[Value, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+    def arity(self) -> int:
+        """Number of values in the fact."""
+        return len(self.values)
+
+
+class Database:
+    """An in-memory database with endogenous/exogenous facts.
+
+    Parameters
+    ----------
+    schema:
+        Optional schema; relations are declared on the fly when facts are
+        added if no schema is given or the relation is missing.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema if schema is not None else Schema()
+        self._rows: Dict[str, List[Tuple[Value, ...]]] = {}
+        self._endogenous: Dict[Fact, int] = {}
+        self._exogenous: set[Fact] = set()
+        self._by_variable: Dict[int, Fact] = {}
+        self._next_variable = 0
+
+    # ------------------------------------------------------------------ #
+    # Fact insertion
+    # ------------------------------------------------------------------ #
+
+    def add_fact(self, relation: str, values: Sequence[Value],
+                 endogenous: bool = True) -> Fact:
+        """Insert a fact; returns the (possibly pre-existing) fact object.
+
+        Inserting the same fact twice is idempotent; a fact cannot be both
+        endogenous and exogenous.
+        """
+        fact = Fact(relation, tuple(values))
+        if relation not in self.schema:
+            self.schema.declare(relation, len(fact.values))
+        else:
+            expected = self.schema.relation(relation).arity
+            if expected != fact.arity():
+                raise ValueError(
+                    f"fact {fact} has arity {fact.arity()}, relation declared "
+                    f"with arity {expected}"
+                )
+        already_endogenous = fact in self._endogenous
+        already_exogenous = fact in self._exogenous
+        if already_endogenous or already_exogenous:
+            if endogenous != already_endogenous:
+                raise ValueError(
+                    f"fact {fact} already present with a different "
+                    "endogenous/exogenous status"
+                )
+            return fact
+        self._rows.setdefault(relation, []).append(fact.values)
+        if endogenous:
+            variable = self._next_variable
+            self._next_variable += 1
+            self._endogenous[fact] = variable
+            self._by_variable[variable] = fact
+        else:
+            self._exogenous.add(fact)
+        return fact
+
+    def add_facts(self, relation: str, rows: Iterable[Sequence[Value]],
+                  endogenous: bool = True) -> List[Fact]:
+        """Insert several facts of the same relation."""
+        return [self.add_fact(relation, row, endogenous=endogenous)
+                for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def rows(self, relation: str) -> Sequence[Tuple[Value, ...]]:
+        """All rows of a relation (empty if the relation has no facts)."""
+        return tuple(self._rows.get(relation, ()))
+
+    def relations(self) -> List[str]:
+        """Names of relations with at least one fact."""
+        return sorted(self._rows)
+
+    def contains_fact(self, relation: str, values: Sequence[Value]) -> bool:
+        """``True`` iff the database contains the fact."""
+        fact = Fact(relation, tuple(values))
+        return fact in self._endogenous or fact in self._exogenous
+
+    def is_endogenous(self, fact: Fact) -> bool:
+        """``True`` iff the fact is endogenous."""
+        return fact in self._endogenous
+
+    def is_exogenous(self, fact: Fact) -> bool:
+        """``True`` iff the fact is exogenous."""
+        return fact in self._exogenous
+
+    def variable_of(self, fact: Fact) -> int:
+        """The lineage variable id ``v(f)`` of an endogenous fact."""
+        try:
+            return self._endogenous[fact]
+        except KeyError:
+            raise KeyError(f"{fact} is not an endogenous fact") from None
+
+    def fact_of(self, variable: int) -> Fact:
+        """The endogenous fact associated with a lineage variable id."""
+        try:
+            return self._by_variable[variable]
+        except KeyError:
+            raise KeyError(f"no endogenous fact with variable id {variable}") from None
+
+    def endogenous_facts(self) -> List[Fact]:
+        """All endogenous facts, in insertion order of their variable ids."""
+        return [self._by_variable[v] for v in sorted(self._by_variable)]
+
+    def exogenous_facts(self) -> List[Fact]:
+        """All exogenous facts."""
+        return sorted(self._exogenous, key=repr)
+
+    def endogenous_variables(self) -> List[int]:
+        """All lineage variable ids."""
+        return sorted(self._by_variable)
+
+    def num_facts(self) -> int:
+        """Total number of facts."""
+        return len(self._endogenous) + len(self._exogenous)
+
+    def __iter__(self) -> Iterator[Fact]:
+        yield from self._endogenous
+        yield from self._exogenous
+
+    def __len__(self) -> int:
+        return self.num_facts()
+
+    def __repr__(self) -> str:
+        return (f"Database({len(self._endogenous)} endogenous, "
+                f"{len(self._exogenous)} exogenous facts, "
+                f"{len(self._rows)} relations)")

@@ -1,0 +1,170 @@
+"""Query evaluation producing answer tuples and their groundings.
+
+The evaluator is a straightforward nested-loop/semi-naive join over the
+in-memory relations.  Besides the answer tuples it returns, for every answer,
+the list of *groundings*: total assignments of the query variables to
+constants under which every atom is matched by a database fact.  Each
+grounding corresponds to one clause of the answer's lineage (Example 6 of the
+paper), so the lineage builder consumes groundings directly.
+
+Atoms are matched against both endogenous and exogenous facts; the
+distinction only matters when the lineage is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.db.database import Database, Fact
+from repro.db.query import (
+    Atom,
+    ConjunctiveQuery,
+    Query,
+    QueryVariable,
+    UnionQuery,
+    as_union,
+)
+
+Value = object
+Binding = Dict[QueryVariable, Value]
+
+
+@dataclass(frozen=True)
+class Grounding:
+    """One way of satisfying a CQ: a variable binding plus the matched facts."""
+
+    binding: Tuple[Tuple[str, Value], ...]
+    facts: Tuple[Fact, ...]
+
+    def as_dict(self) -> Dict[str, Value]:
+        """The binding as a plain dict keyed by variable name."""
+        return dict(self.binding)
+
+
+@dataclass
+class AnswerTuple:
+    """An output tuple together with all groundings that produce it."""
+
+    values: Tuple[Value, ...]
+    groundings: List[Grounding]
+
+    def __repr__(self) -> str:
+        return f"AnswerTuple({self.values}, {len(self.groundings)} groundings)"
+
+
+def _match_atom(atom: Atom, row: Sequence[Value],
+                binding: Binding) -> Binding | None:
+    """Try to extend ``binding`` so that ``atom`` matches ``row``."""
+    if len(row) != len(atom.terms):
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, QueryVariable):
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+class _Unbound:
+    """Sentinel distinct from any database value (including None)."""
+
+
+_UNBOUND = _Unbound()
+
+
+def _orderly_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Order atoms to bind variables early (simple greedy join order).
+
+    Starts from the atom with the fewest variables and repeatedly picks the
+    atom sharing the most variables with those already placed.
+    """
+    remaining = list(query.atoms)
+    ordered: List[Atom] = []
+    bound: set[QueryVariable] = set()
+    while remaining:
+        def score(candidate: Atom) -> Tuple[int, int]:
+            variables = candidate.variables()
+            return (len(variables & bound), -len(variables - bound))
+
+        best = max(remaining, key=score) if ordered else min(
+            remaining, key=lambda a: len(a.variables()))
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+def _selections_hold(query: ConjunctiveQuery, binding: Binding) -> bool:
+    return all(
+        selection.holds(binding[selection.variable])
+        for selection in query.selections
+        if selection.variable in binding
+    )
+
+
+def evaluate_cq(query: ConjunctiveQuery, database: Database) -> List[AnswerTuple]:
+    """Evaluate a conjunctive query, returning answers with their groundings.
+
+    For a Boolean query the single possible answer is the empty tuple; it is
+    returned iff the query is satisfied, with all its groundings.
+    """
+    atoms = _orderly_atoms(query)
+    answers: Dict[Tuple[Value, ...], AnswerTuple] = {}
+
+    def recurse(index: int, binding: Binding, used: List[Fact]) -> None:
+        if index == len(atoms):
+            if not _selections_hold(query, binding):
+                return
+            key = tuple(binding[v] for v in query.head)
+            answer = answers.get(key)
+            if answer is None:
+                answer = AnswerTuple(values=key, groundings=[])
+                answers[key] = answer
+            named_binding = tuple(sorted(
+                (variable.name, value) for variable, value in binding.items()
+            ))
+            answer.groundings.append(
+                Grounding(binding=named_binding, facts=tuple(used))
+            )
+            return
+        current = atoms[index]
+        for row in database.rows(current.relation):
+            extended = _match_atom(current, row, binding)
+            if extended is None:
+                continue
+            # Prune early on selections whose variable is already bound.
+            if not _selections_hold(query, extended):
+                continue
+            fact = Fact(current.relation, tuple(row))
+            recurse(index + 1, extended, used + [fact])
+
+    recurse(0, {}, [])
+    return list(answers.values())
+
+
+def evaluate_query(query: Query, database: Database) -> List[AnswerTuple]:
+    """Evaluate a CQ or UCQ; groundings of all disjuncts are merged per tuple."""
+    union = as_union(query)
+    merged: Dict[Tuple[Value, ...], AnswerTuple] = {}
+    for disjunct in union.disjuncts:
+        for answer in evaluate_cq(disjunct, database):
+            existing = merged.get(answer.values)
+            if existing is None:
+                merged[answer.values] = answer
+            else:
+                existing.groundings.extend(answer.groundings)
+    return list(merged.values())
+
+
+def boolean_query_holds(query: Query, database: Database) -> bool:
+    """``True`` iff a Boolean query is satisfied by the database."""
+    union = as_union(query)
+    if not union.is_boolean():
+        raise ValueError("boolean_query_holds expects a Boolean query")
+    return bool(evaluate_query(union, database))

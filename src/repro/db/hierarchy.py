@@ -1,0 +1,72 @@
+"""Hierarchical and self-join-free query checks.
+
+The paper's dichotomy (Theorem 17) separates Boolean, self-join-free
+conjunctive queries into hierarchical (tractable ranking, tractable exact
+Banzhaf) and non-hierarchical (intractable) queries.  A CQ is *hierarchical*
+when for any two variables ``X`` and ``Y`` the atom sets ``at(X)`` and
+``at(Y)`` are nested or disjoint; it is *self-join free* when no relation
+symbol appears in two atoms.
+
+For non-Boolean queries the property that determines tractability of the
+residual Boolean queries is hierarchy over the *existential* variables only,
+so both variants are provided.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.db.query import ConjunctiveQuery, QueryVariable, UnionQuery
+
+
+def is_self_join_free(query: ConjunctiveQuery) -> bool:
+    """``True`` iff no relation symbol occurs in two different atoms."""
+    names = query.relation_names()
+    return len(names) == len(set(names))
+
+
+def _nested_or_disjoint(query: ConjunctiveQuery,
+                        variables: Iterable[QueryVariable]) -> bool:
+    atom_sets = {
+        variable: frozenset(query.atoms_with(variable))
+        for variable in variables
+    }
+    for left, right in combinations(atom_sets.values(), 2):
+        if left & right and not (left <= right or right <= left):
+            return False
+    return True
+
+
+def is_hierarchical(query: ConjunctiveQuery,
+                    existential_only: bool = False) -> bool:
+    """``True`` iff the query is hierarchical.
+
+    With ``existential_only=True`` only the bound (existential) variables are
+    considered, which is the relevant notion for non-Boolean queries: each
+    answer tuple fixes the free variables to constants, so only the
+    quantified variables influence the structure of the residual lineage.
+    """
+    variables = (query.bound_variables() if existential_only
+                 else query.variables())
+    return _nested_or_disjoint(query, variables)
+
+
+def is_hierarchical_ucq(query: UnionQuery, existential_only: bool = False) -> bool:
+    """``True`` iff every disjunct of the UCQ is hierarchical."""
+    return all(is_hierarchical(q, existential_only=existential_only)
+               for q in query.disjuncts)
+
+
+def classify_query(query: ConjunctiveQuery) -> str:
+    """Human-readable classification used in reports and examples.
+
+    Returns one of ``"hierarchical"``, ``"non-hierarchical"`` or
+    ``"has-self-joins"`` (the dichotomy only speaks about self-join-free
+    queries, so self-joins are flagged separately).
+    """
+    if not is_self_join_free(query):
+        return "has-self-joins"
+    if is_hierarchical(query, existential_only=not query.is_boolean()):
+        return "hierarchical"
+    return "non-hierarchical"

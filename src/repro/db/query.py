@@ -1,0 +1,220 @@
+"""Conjunctive queries, unions of conjunctive queries, and selections.
+
+A conjunctive query (CQ) has the form ``Q = exists Y. R1(Y1) & ... & Rm(Ym)``
+where each ``Yj`` mixes query variables and constants; the variables not
+existentially quantified are the free (output) variables.  A union of
+conjunctive queries (UCQ) is a disjunction of CQs with the same free
+variables.  Selections of the form ``X theta const`` are supported so that
+the SPJU fragment of SQL used in the paper's experiments can be expressed.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+Value = object
+
+
+@dataclass(frozen=True)
+class QueryVariable:
+    """A query variable (upper-case by convention, e.g. ``X``)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[QueryVariable, Value]
+
+
+def var(name: str) -> QueryVariable:
+    """Shorthand constructor for a query variable."""
+    return QueryVariable(name)
+
+
+_COMPARATORS: Dict[str, Callable[[Value, Value], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A selection predicate ``X theta const`` on a query variable."""
+
+    variable: QueryVariable
+    comparator: str
+    constant: Value
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise ValueError(f"unsupported comparator {self.comparator!r}")
+
+    def holds(self, value: Value) -> bool:
+        """Evaluate the predicate on a candidate value."""
+        return _COMPARATORS[self.comparator](value, self.constant)
+
+    def __repr__(self) -> str:
+        return f"{self.variable} {self.comparator} {self.constant!r}"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``R(t1, ..., tk)`` whose terms are variables or constants."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def variables(self) -> FrozenSet[QueryVariable]:
+        """The query variables occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, QueryVariable))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+def atom(relation: str, *terms: Term) -> Atom:
+    """Shorthand constructor for an atom."""
+    return Atom(relation, tuple(terms))
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with optional free (output) variables and selections.
+
+    ``head`` lists the free variables in output order; a Boolean query has an
+    empty head.  Every head variable must occur in some atom.
+    """
+
+    atoms: Tuple[Atom, ...]
+    head: Tuple[QueryVariable, ...] = ()
+    selections: Tuple[Selection, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a conjunctive query needs at least one atom")
+        body_variables = self.variables()
+        for head_variable in self.head:
+            if head_variable not in body_variables:
+                raise ValueError(
+                    f"head variable {head_variable} does not occur in the body"
+                )
+        for selection in self.selections:
+            if selection.variable not in body_variables:
+                raise ValueError(
+                    f"selection on {selection.variable} which does not occur "
+                    "in the body"
+                )
+
+    def variables(self) -> FrozenSet[QueryVariable]:
+        """All query variables occurring in the body."""
+        result: set[QueryVariable] = set()
+        for body_atom in self.atoms:
+            result |= body_atom.variables()
+        return frozenset(result)
+
+    def free_variables(self) -> FrozenSet[QueryVariable]:
+        """The free (output) variables."""
+        return frozenset(self.head)
+
+    def bound_variables(self) -> FrozenSet[QueryVariable]:
+        """The existentially quantified variables."""
+        return self.variables() - self.free_variables()
+
+    def is_boolean(self) -> bool:
+        """``True`` iff the query has no free variables."""
+        return not self.head
+
+    def atoms_with(self, variable: QueryVariable) -> Tuple[Atom, ...]:
+        """The atoms containing ``variable`` (the ``at(X)`` of the paper)."""
+        return tuple(a for a in self.atoms if variable in a.variables())
+
+    def relation_names(self) -> List[str]:
+        """Relation names used in the body (with repetitions for self-joins)."""
+        return [a.relation for a in self.atoms]
+
+    def residual(self, values: Sequence[Value]) -> "ConjunctiveQuery":
+        """The Boolean residual query with the head variables bound to ``values``.
+
+        This is the ``Q[t/Z]`` of the paper: each free variable is replaced by
+        the corresponding constant and the head becomes empty.
+        """
+        if len(values) != len(self.head):
+            raise ValueError(
+                f"expected {len(self.head)} values for the head, got {len(values)}"
+            )
+        substitution = dict(zip(self.head, values))
+        new_atoms = []
+        for body_atom in self.atoms:
+            new_terms = tuple(
+                substitution.get(t, t) if isinstance(t, QueryVariable) else t
+                for t in body_atom.terms
+            )
+            new_atoms.append(Atom(body_atom.relation, new_terms))
+        for selection in self.selections:
+            if selection.variable in substitution and not selection.holds(
+                    substitution[selection.variable]):
+                raise ValueError(
+                    f"head values {tuple(values)} violate selection {selection}; "
+                    "the residual query is unsatisfiable"
+                )
+        new_selections = tuple(
+            s for s in self.selections if s.variable not in substitution
+        )
+        return ConjunctiveQuery(tuple(new_atoms), head=(),
+                                selections=new_selections,
+                                name=self.name)
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(v) for v in self.head)
+        body = ", ".join(repr(a) for a in self.atoms)
+        sel = (" | " + ", ".join(repr(s) for s in self.selections)
+               if self.selections else "")
+        return f"Q({head}) :- {body}{sel}"
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries with identical head arity."""
+
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a union query needs at least one disjunct")
+        arities = {len(q.head) for q in self.disjuncts}
+        if len(arities) != 1:
+            raise ValueError("all disjuncts must have the same head arity")
+
+    def head_arity(self) -> int:
+        """Arity of the output tuples."""
+        return len(self.disjuncts[0].head)
+
+    def is_boolean(self) -> bool:
+        """``True`` iff the query has no free variables."""
+        return self.head_arity() == 0
+
+    def __repr__(self) -> str:
+        return " UNION ".join(repr(q) for q in self.disjuncts)
+
+
+Query = Union[ConjunctiveQuery, UnionQuery]
+
+
+def as_union(query: Query) -> UnionQuery:
+    """View any query as a UCQ."""
+    if isinstance(query, UnionQuery):
+        return query
+    return UnionQuery((query,), name=query.name)

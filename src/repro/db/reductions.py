@@ -1,0 +1,104 @@
+"""Hardness-reduction databases and the Appendix D example.
+
+Two constructions from the paper are materialized here so that the theory
+sections can be exercised as running code:
+
+* **Lemma 23**: from any PP2DNF function ``phi`` build a database ``D`` such
+  that the lineage of the basic non-hierarchical query
+  ``Q_nh = exists X, Y. R(X), S(X, Y), T(Y)`` over ``D`` is exactly ``phi``
+  (``R`` and ``T`` facts endogenous, ``S`` facts exogenous).
+* **Appendix D**: the 18-fact database over ``R(X), S(X, Y), T(X, Z)`` on
+  which the Banzhaf-based and Shapley-based rankings of ``R(a1)`` and
+  ``R(a2)`` disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.boolean.pp2dnf import PP2DNF
+from repro.db.database import Database, Fact
+from repro.db.query import Atom, ConjunctiveQuery, QueryVariable
+
+
+def basic_non_hierarchical_query() -> ConjunctiveQuery:
+    """The query ``Q_nh = exists X, Y. R(X), S(X, Y), T(Y)`` (Eq. 12)."""
+    x, y = QueryVariable("X"), QueryVariable("Y")
+    return ConjunctiveQuery(
+        atoms=(Atom("R", (x,)), Atom("S", (x, y)), Atom("T", (y,))),
+        head=(),
+        name="Q_nh",
+    )
+
+
+@dataclass(frozen=True)
+class Lemma23Database:
+    """The Lemma 23 construction: database plus fact <-> PP2DNF-variable maps."""
+
+    database: Database
+    query: ConjunctiveQuery
+    fact_of_variable: Dict[int, Fact]
+    lineage_variable_of: Dict[int, int]
+
+
+def pp2dnf_to_database(function: PP2DNF) -> Lemma23Database:
+    """Build the Lemma 23 database for a PP2DNF function.
+
+    Left-part variables become endogenous ``R`` facts, right-part variables
+    become endogenous ``T`` facts, and each clause becomes an exogenous ``S``
+    fact.  ``lineage_variable_of`` maps each PP2DNF variable to the lineage
+    variable id of its fact, so Banzhaf values computed on the lineage can be
+    read back in terms of the original function.
+    """
+    database = Database()
+    fact_of_variable: Dict[int, Fact] = {}
+    lineage_variable_of: Dict[int, int] = {}
+    for variable in sorted(function.left):
+        fact = database.add_fact("R", (f"a{variable}",), endogenous=True)
+        fact_of_variable[variable] = fact
+        lineage_variable_of[variable] = database.variable_of(fact)
+    for variable in sorted(function.right):
+        fact = database.add_fact("T", (f"a{variable}",), endogenous=True)
+        fact_of_variable[variable] = fact
+        lineage_variable_of[variable] = database.variable_of(fact)
+    for left_variable, right_variable in sorted(function.clauses):
+        database.add_fact("S", (f"a{left_variable}", f"a{right_variable}"),
+                          endogenous=False)
+    return Lemma23Database(
+        database=database,
+        query=basic_non_hierarchical_query(),
+        fact_of_variable=fact_of_variable,
+        lineage_variable_of=lineage_variable_of,
+    )
+
+
+def appendix_d_query() -> ConjunctiveQuery:
+    """The query ``Q = exists X, Y, Z. R(X), S(X, Y), T(X, Z)`` of Appendix D."""
+    x, y, z = QueryVariable("X"), QueryVariable("Y"), QueryVariable("Z")
+    return ConjunctiveQuery(
+        atoms=(Atom("R", (x,)), Atom("S", (x, y)), Atom("T", (x, z))),
+        head=(),
+        name="Q_appendix_d",
+    )
+
+
+def appendix_d_database() -> Tuple[Database, Fact, Fact]:
+    """The 18-fact database of Appendix D.
+
+    Returns the database together with the two facts ``R(a1)`` and ``R(a2)``
+    whose Banzhaf ranking (``R(a1)`` above ``R(a2)``) differs from their
+    Shapley ranking (``R(a2)`` above ``R(a1)``).  All facts are endogenous.
+    """
+    database = Database()
+    r_a1 = database.add_fact("R", ("a1",))
+    r_a2 = database.add_fact("R", ("a2",))
+    for i in range(1, 4):
+        database.add_fact("S", ("a1", f"b{i}"))
+    for i in range(1, 3):
+        database.add_fact("S", ("a2", f"b{i}"))
+    for i in range(1, 4):
+        database.add_fact("T", ("a1", f"b{i}"))
+    for i in range(1, 9):
+        database.add_fact("T", ("a2", f"b{i}"))
+    return database, r_a1, r_a2

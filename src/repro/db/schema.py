@@ -1,0 +1,84 @@
+"""Database schemas: relation symbols with fixed arities and named columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity and optional column names.
+
+    Column names default to ``col0, col1, ...``; they are used only for
+    display and for the small textual query syntax.
+    """
+
+    name: str
+    arity: int
+    columns: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError("arity must be non-negative")
+        if self.columns and len(self.columns) != self.arity:
+            raise ValueError(
+                f"relation {self.name}: {len(self.columns)} column names for "
+                f"arity {self.arity}"
+            )
+        if not self.columns:
+            object.__setattr__(
+                self, "columns", tuple(f"col{i}" for i in range(self.arity))
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """A finite set of relation symbols, addressable by name."""
+
+    def __init__(self, relations: Iterable[RelationSymbol] = ()) -> None:
+        self._relations: Dict[str, RelationSymbol] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSymbol) -> RelationSymbol:
+        """Add a relation symbol; adding the same symbol twice is a no-op."""
+        existing = self._relations.get(relation.name)
+        if existing is not None:
+            if existing.arity != relation.arity:
+                raise ValueError(
+                    f"relation {relation.name} already declared with arity "
+                    f"{existing.arity}, cannot redeclare with {relation.arity}"
+                )
+            return existing
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str) -> RelationSymbol:
+        """Look up a relation symbol by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def declare(self, name: str, arity: int,
+                columns: Optional[Iterable[str]] = None) -> RelationSymbol:
+        """Declare (or fetch) a relation symbol by name and arity."""
+        symbol = RelationSymbol(name, arity,
+                                tuple(columns) if columns else ())
+        return self.add(symbol)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(repr(r) for r in self._relations.values()))
+        return f"Schema({names})"

@@ -1,0 +1,45 @@
+"""Experiment harness: runners, metrics, and table/figure reproduction.
+
+The harness mirrors the paper's evaluation protocol (Section 5):
+
+* an *instance* is the computation of the Banzhaf values of all variables of
+  one lineage by one algorithm;
+* each instance runs under a per-instance time budget (the paper uses one
+  hour; the synthetic workloads here use seconds) and either *succeeds* or
+  *fails*;
+* runtimes are reported as means and percentiles over instances, accuracy as
+  the l1 distance between normalized value vectors, and top-k quality as
+  precision@k against the exact ground truth.
+
+* :mod:`repro.experiments.runner` -- algorithm adapters and the timed runner;
+* :mod:`repro.experiments.metrics` -- percentiles, l1 error, precision@k;
+* :mod:`repro.experiments.tables` -- one function per paper table;
+* :mod:`repro.experiments.figures` -- data series for the paper's figures;
+* :mod:`repro.experiments.report` -- plain-text rendering of tables/series.
+"""
+
+from repro.experiments.metrics import (
+    l1_normalized_error,
+    percentile,
+    precision_at_k,
+    summarize_times,
+)
+from repro.experiments.runner import (
+    ALGORITHMS,
+    AlgorithmResult,
+    ExperimentConfig,
+    run_algorithm,
+    run_workloads,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmResult",
+    "ExperimentConfig",
+    "l1_normalized_error",
+    "percentile",
+    "precision_at_k",
+    "run_algorithm",
+    "run_workloads",
+    "summarize_times",
+]

@@ -1,0 +1,124 @@
+"""Metrics used in the paper's evaluation.
+
+* runtime summaries: mean, median and the p50/p75/p90/p95/p99/max percentiles
+  reported in Tables 3-6 and 9;
+* the l1 distance between normalized Banzhaf vectors (Table 7);
+* precision@k of a reported top-k set against the ground-truth top-k set
+  (Table 8), counting ties in the ground truth generously, exactly as the
+  standard measure does.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Union
+
+Number = Union[int, float, Fraction]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) using nearest-rank interpolation."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower_index = int(position)
+    upper_index = min(lower_index + 1, len(ordered) - 1)
+    weight = position - lower_index
+    return float(ordered[lower_index] * (1 - weight)
+                 + ordered[upper_index] * weight)
+
+
+def summarize_times(times: Sequence[float]) -> Dict[str, float]:
+    """Mean and the paper's percentile columns for a list of runtimes."""
+    if not times:
+        return {key: float("nan") for key in
+                ("mean", "p50", "p75", "p90", "p95", "p99", "max")}
+    return {
+        "mean": sum(times) / len(times),
+        "p50": percentile(times, 0.50),
+        "p75": percentile(times, 0.75),
+        "p90": percentile(times, 0.90),
+        "p95": percentile(times, 0.95),
+        "p99": percentile(times, 0.99),
+        "max": max(times),
+    }
+
+
+def normalize_vector(values: Mapping[int, Number]) -> Dict[int, Fraction]:
+    """Normalize a value vector to sum to 1 (all-zero stays all-zero)."""
+    total = Fraction(0)
+    for value in values.values():
+        total += Fraction(value)
+    if total == 0:
+        return {key: Fraction(0) for key in values}
+    return {key: Fraction(value) / total for key, value in values.items()}
+
+
+def l1_normalized_error(estimated: Mapping[int, Number],
+                        exact: Mapping[int, Number]) -> float:
+    """l1 distance between the normalized estimate and the normalized truth.
+
+    Missing keys on either side are treated as zeros, so an algorithm that
+    fails to score some facts is penalized rather than rewarded.
+    """
+    keys = set(estimated) | set(exact)
+    normalized_estimate = normalize_vector(
+        {key: estimated.get(key, 0) for key in keys})
+    normalized_exact = normalize_vector({key: exact.get(key, 0) for key in keys})
+    distance = Fraction(0)
+    for key in keys:
+        distance += abs(normalized_estimate[key] - normalized_exact[key])
+    return float(distance)
+
+
+def ground_truth_topk(exact: Mapping[int, Number], k: int) -> set[int]:
+    """The ground-truth top-k set, extended to include ties at the boundary."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ordered = sorted(exact.items(), key=lambda item: (-Fraction(item[1]), item[0]))
+    if len(ordered) <= k:
+        return {key for key, _ in ordered}
+    threshold = Fraction(ordered[k - 1][1])
+    return {key for key, value in ordered if Fraction(value) >= threshold}
+
+
+def precision_at_k(reported: Iterable[int], exact: Mapping[int, Number],
+                   k: int) -> float:
+    """Fraction of the reported top-k that belongs to the ground-truth top-k.
+
+    Ties in the ground truth at the k-th value are counted as correct (any of
+    the tied facts is a legitimate member of the top-k), matching how the
+    paper evaluates precision on workloads with many equal Banzhaf values.
+    """
+    reported_list = list(reported)[:k]
+    if not reported_list:
+        return 0.0
+    truth = ground_truth_topk(exact, k)
+    hits = sum(1 for key in reported_list if key in truth)
+    return hits / len(reported_list)
+
+
+def kendall_tau_distance(left: Sequence[int], right: Sequence[int]) -> float:
+    """Normalized Kendall tau distance between two rankings of the same items.
+
+    Used by the ablation benchmarks to compare heuristic rankings; 0 means
+    identical order, 1 means reversed order.
+    """
+    if set(left) != set(right):
+        raise ValueError("rankings must be over the same items")
+    if len(left) < 2:
+        return 0.0
+    position = {item: index for index, item in enumerate(right)}
+    discordant = 0
+    total = 0
+    for i in range(len(left)):
+        for j in range(i + 1, len(left)):
+            total += 1
+            if position[left[i]] > position[left[j]]:
+                discordant += 1
+    return discordant / total

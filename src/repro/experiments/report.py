@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark targets print their tables with these helpers so that the
+output of ``pytest benchmarks/ --benchmark-only`` can be compared line by
+line with the paper's tables (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Format one table cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) < 10 ** -precision:
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    materialized = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_mapping_table(rows: Sequence[Mapping[str, object]],
+                         columns: Sequence[str], title: str = "") -> str:
+    """Render a list of dict rows, selecting and ordering ``columns``."""
+    return render_table(columns,
+                        [[row.get(column, "") for column in columns]
+                         for row in rows],
+                        title=title)
+
+
+def render_series(name: str, points: Sequence[tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render a data series (used for the figure benchmarks)."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {format_value(float(x), 4):>12}  {format_value(float(y), 4)}")
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Timed algorithm adapters and the workload runner.
+
+Every algorithm is wrapped behind the same interface: it receives a lineage
+and a per-instance time budget and returns an :class:`AlgorithmResult` that
+records success/failure, the wall-clock time, and the computed values (exact
+or estimated Banzhaf values for all variables of the lineage).  Failures --
+budget exhaustion, representation blow-ups -- are recorded, not raised, so
+that success rates can be reported exactly like in the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.cnf_proxy import cnf_proxy_ranking
+from repro.baselines.monte_carlo import monte_carlo_banzhaf_all
+from repro.baselines.sig22 import Sig22Failure, sig22_banzhaf_all
+from repro.boolean.dnf import DNF
+from repro.core.adaban import ApproximationTimeout, adaban_all
+from repro.core.exaban import exaban_all
+from repro.core.ichiban import ichiban_topk
+from repro.dtree.compile import (
+    CompilationBudget,
+    CompilationLimitReached,
+    compile_dnf,
+)
+from repro.workloads.generators import LineageInstance
+from repro.workloads.suite import Workload
+
+#: Deep d-trees (one Shannon expansion per level) need head-room beyond
+#: CPython's default recursion limit.
+_RECURSION_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of the evaluation protocol.
+
+    The paper's per-instance budget is one hour on a large server; the
+    defaults here are per-instance seconds appropriate for the synthetic
+    workloads, and every benchmark prints the budget it used.
+    """
+
+    timeout_seconds: float = 5.0
+    epsilon: float = 0.1
+    mc_sample_factor: int = 50
+    max_shannon_steps: Optional[int] = 200_000
+    max_cnf_clauses: int = 2_000
+    topk: Tuple[int, ...] = (5, 10)
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Outcome of one algorithm on one instance."""
+
+    algorithm: str
+    instance: LineageInstance
+    success: bool
+    seconds: float
+    values: Dict[int, Fraction] = field(default_factory=dict)
+    failure_reason: str = ""
+
+    def float_values(self) -> Dict[int, float]:
+        """The value vector as floats (for reporting)."""
+        return {key: float(value) for key, value in self.values.items()}
+
+
+def _ensure_recursion_head_room() -> None:
+    if sys.getrecursionlimit() < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+
+
+def _run_exaban(lineage: DNF, config: ExperimentConfig) -> Dict[int, Fraction]:
+    budget = CompilationBudget(max_shannon_steps=config.max_shannon_steps,
+                               timeout_seconds=config.timeout_seconds)
+    tree = compile_dnf(lineage, budget=budget)
+    return {v: Fraction(value) for v, value in exaban_all(tree).items()}
+
+
+def _run_sig22(lineage: DNF, config: ExperimentConfig) -> Dict[int, Fraction]:
+    values = sig22_banzhaf_all(lineage,
+                               timeout_seconds=config.timeout_seconds,
+                               max_cnf_clauses=config.max_cnf_clauses)
+    return {v: Fraction(value) for v, value in values.items()}
+
+
+def _run_adaban(lineage: DNF, config: ExperimentConfig) -> Dict[int, Fraction]:
+    results = adaban_all(lineage, epsilon=config.epsilon,
+                         timeout_seconds=config.timeout_seconds)
+    return {v: Fraction(result.estimate) for v, result in results.items()}
+
+
+def _run_monte_carlo(lineage: DNF, config: ExperimentConfig
+                     ) -> Dict[int, Fraction]:
+    estimates = monte_carlo_banzhaf_all(
+        lineage,
+        num_samples=config.mc_sample_factor * max(1, len(lineage.variables)),
+        timeout_seconds=config.timeout_seconds,
+    )
+    return {v: Fraction(estimate.estimate) for v, estimate in estimates.items()}
+
+
+_RUNNERS: Dict[str, Callable[[DNF, ExperimentConfig], Dict[int, Fraction]]] = {
+    "exaban": _run_exaban,
+    "sig22": _run_sig22,
+    "adaban": _run_adaban,
+    "mc": _run_monte_carlo,
+}
+
+#: Algorithm names accepted by :func:`run_algorithm`.
+ALGORITHMS: Tuple[str, ...] = tuple(sorted(_RUNNERS))
+
+_FAILURE_EXCEPTIONS = (
+    CompilationLimitReached,
+    Sig22Failure,
+    ApproximationTimeout,
+    TimeoutError,
+    MemoryError,
+    RecursionError,
+)
+
+
+def run_algorithm(algorithm: str, instance: LineageInstance,
+                  config: ExperimentConfig) -> AlgorithmResult:
+    """Run one algorithm on one instance under the configured budget."""
+    try:
+        runner = _RUNNERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        ) from None
+    _ensure_recursion_head_room()
+    started = time.monotonic()
+    try:
+        values = runner(instance.lineage, config)
+    except _FAILURE_EXCEPTIONS as error:
+        return AlgorithmResult(
+            algorithm=algorithm,
+            instance=instance,
+            success=False,
+            seconds=time.monotonic() - started,
+            failure_reason=f"{type(error).__name__}: {error}",
+        )
+    return AlgorithmResult(
+        algorithm=algorithm,
+        instance=instance,
+        success=True,
+        seconds=time.monotonic() - started,
+        values=values,
+    )
+
+
+def run_workloads(workloads: Sequence[Workload], algorithms: Sequence[str],
+                  config: Optional[ExperimentConfig] = None
+                  ) -> Dict[Tuple[str, str], List[AlgorithmResult]]:
+    """Run every algorithm on every instance of every workload.
+
+    Returns a mapping ``(workload name, algorithm name) -> results`` with one
+    result per instance, in workload order.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    results: Dict[Tuple[str, str], List[AlgorithmResult]] = {}
+    for workload in workloads:
+        for algorithm in algorithms:
+            key = (workload.name, algorithm)
+            results[key] = [run_algorithm(algorithm, instance, config)
+                            for instance in workload.instances]
+    return results
+
+
+def exact_ground_truth(instance: LineageInstance,
+                       timeout_seconds: float = 60.0) -> Optional[Dict[int, int]]:
+    """Exact Banzhaf values with a generous budget (accuracy ground truth).
+
+    Returns ``None`` when even the generous budget is not enough.
+    """
+    config = ExperimentConfig(timeout_seconds=timeout_seconds,
+                              max_shannon_steps=None)
+    result = run_algorithm("exaban", instance, config)
+    if not result.success:
+        return None
+    return {v: int(value) for v, value in result.values.items()}
+
+
+def topk_with_ichiban(instance: LineageInstance, k: int,
+                      config: ExperimentConfig) -> Optional[List[int]]:
+    """IchiBan top-k variable ids for one instance (``None`` on failure)."""
+    _ensure_recursion_head_room()
+    try:
+        ranking = ichiban_topk(instance.lineage, k=k, epsilon=config.epsilon,
+                               timeout_seconds=config.timeout_seconds)
+    except _FAILURE_EXCEPTIONS:
+        return None
+    return [entry.variable for entry in ranking]
+
+
+def topk_with_cnf_proxy(instance: LineageInstance, k: int,
+                        config: ExperimentConfig) -> Optional[List[int]]:
+    """CNF-proxy top-k variable ids for one instance (``None`` on failure)."""
+    try:
+        ranking = cnf_proxy_ranking(instance.lineage,
+                                    max_cnf_clauses=config.max_cnf_clauses)
+    except _FAILURE_EXCEPTIONS:
+        return None
+    return [variable for variable, _ in ranking[:k]]
+
+
+def topk_from_values(values: Mapping[int, Fraction], k: int) -> List[int]:
+    """Top-k variable ids from a value vector (ties broken by variable id)."""
+    ordered = sorted(values.items(), key=lambda item: (-item[1], item[0]))
+    return [variable for variable, _ in ordered[:k]]

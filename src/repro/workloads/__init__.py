@@ -1,0 +1,43 @@
+"""Synthetic workloads standing in for the paper's Academic, IMDB and TPC-H data.
+
+The paper evaluates on ~1M lineages produced by ProvSQL from three real
+datasets.  Without those datasets (and without a one-hour-per-instance
+budget) we generate synthetic databases and SPJU queries of the same *shape*
+-- star and chain joins, hierarchical and non-hierarchical structures,
+selections, unions -- scaled so that the full pipeline (evaluation, lineage
+construction, all algorithms) runs in seconds.  The relative behaviour of the
+algorithms is governed by the size and structure of the lineages, which the
+generators control explicitly.
+
+* :mod:`repro.workloads.generators` -- direct random-lineage generators
+  (independent of the database layer) for stress tests and hard instances;
+* :mod:`repro.workloads.academic`, :mod:`repro.workloads.imdb`,
+  :mod:`repro.workloads.tpch` -- per-dataset database + query generators;
+* :mod:`repro.workloads.suite` -- the assembled benchmark workloads.
+"""
+
+from repro.workloads.generators import (
+    LineageInstance,
+    bipartite_lineage,
+    chain_lineage,
+    random_positive_dnf,
+    star_join_lineage,
+)
+from repro.workloads.suite import (
+    Workload,
+    build_workload,
+    default_workloads,
+    hard_instances,
+)
+
+__all__ = [
+    "LineageInstance",
+    "Workload",
+    "bipartite_lineage",
+    "build_workload",
+    "chain_lineage",
+    "default_workloads",
+    "hard_instances",
+    "random_positive_dnf",
+    "star_join_lineage",
+]

@@ -1,0 +1,107 @@
+"""Synthetic Academic workload (stand-in for the paper's Academic dataset).
+
+The schema mirrors a small bibliographic database: authors write papers,
+papers appear at venues and cite other papers.  Dimension-style relations
+(``Venue``) are exogenous; the relations a user would want attribution for
+(``Author``, ``Paper``, ``Writes``, ``Cites``) are endogenous.  Queries cover
+hierarchical star joins, non-hierarchical author-venue joins, selections on
+years, and one union query -- the mix the paper's Academic query log
+exhibits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.db.database import Database
+from repro.db.datalog import parse_query
+from repro.db.lineage import lineage_of_answers
+from repro.db.query import Query
+from repro.workloads.generators import LineageInstance
+
+DATASET_NAME = "academic"
+
+
+def generate_database(seed: int = 7, scale: float = 1.0) -> Database:
+    """Generate a synthetic Academic database.
+
+    ``scale`` multiplies the base table sizes; the default sizes keep the
+    whole workload (evaluation + all algorithms) within seconds.
+    """
+    rng = random.Random(seed)
+    database = Database()
+    num_authors = max(4, int(18 * scale))
+    num_papers = max(6, int(30 * scale))
+    num_venues = max(3, int(5 * scale))
+
+    venues = [f"venue{v}" for v in range(num_venues)]
+    for venue in venues:
+        database.add_fact("Venue", (venue, rng.choice(["conf", "journal"])),
+                          endogenous=False)
+
+    for author in range(num_authors):
+        database.add_fact("Author", (f"a{author}", f"Author {author}"),
+                          endogenous=True)
+
+    for paper in range(num_papers):
+        venue = rng.choice(venues)
+        year = rng.randint(1995, 2023)
+        database.add_fact("Paper", (f"p{paper}", venue, year), endogenous=True)
+        # Between one and four authors per paper.
+        for author in rng.sample(range(num_authors),
+                                 rng.randint(1, min(4, num_authors))):
+            database.add_fact("Writes", (f"a{author}", f"p{paper}"),
+                              endogenous=True)
+
+    for paper in range(num_papers):
+        for cited in rng.sample(range(num_papers),
+                                rng.randint(0, min(5, num_papers - 1))):
+            if cited != paper:
+                database.add_fact("Cites", (f"p{paper}", f"p{cited}"),
+                                  endogenous=True)
+    return database
+
+
+def queries() -> List[Tuple[str, Query]]:
+    """The Academic query workload (name, query) pairs."""
+    texts = [
+        ("authors_of_venue",
+         "Q(A) :- Author(A, N), Writes(A, P), Paper(P, V, Y), Venue(V, T)"),
+        ("recent_authors",
+         "Q(A) :- Author(A, N), Writes(A, P), Paper(P, V, Y), Y >= 2015"),
+        ("venue_activity",
+         "Q(V) :- Paper(P, V, Y), Writes(A, P), Author(A, N)"),
+        ("cited_papers",
+         "Q(P2) :- Cites(P1, P2), Paper(P1, V, Y), Paper(P2, V2, Y2)"),
+        ("coauthor_pairs",
+         "Q(A1, A2) :- Writes(A1, P), Writes(A2, P), Author(A1, N1), Author(A2, N2)"),
+        ("influential_authors",
+         "Q(A) :- Author(A, N), Writes(A, P), Cites(P2, P)"),
+        ("boolean_recent_citation",
+         "Q() :- Cites(P1, P2), Paper(P1, V, Y), Y >= 2018"),
+        ("venue_or_citation_union",
+         "Q(P) :- Paper(P, V, Y), Cites(P, P2) ; Q(P) :- Paper(P, V, Y), Cites(P2, P)"),
+    ]
+    return [(name, parse_query(text)) for name, text in texts]
+
+
+def workload(seed: int = 7, scale: float = 1.0,
+             max_answers_per_query: int = 6) -> List[LineageInstance]:
+    """Build the Academic benchmark instances (lineages with metadata)."""
+    database = generate_database(seed=seed, scale=scale)
+    instances: List[LineageInstance] = []
+    for name, query in queries():
+        answers = lineage_of_answers(query, database)
+        # Keep the largest lineages per query: those are the interesting ones.
+        answers.sort(key=lambda a: (-a.lineage.num_clauses(),
+                                    tuple(map(repr, a.values))))
+        for answer in answers[:max_answers_per_query]:
+            instances.append(LineageInstance(
+                dataset=DATASET_NAME,
+                query=name,
+                answer=answer.values,
+                lineage=answer.lineage,
+                tags=("db",),
+            ))
+    return instances

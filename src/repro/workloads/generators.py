@@ -1,0 +1,201 @@
+"""Direct lineage generators.
+
+These produce positive DNF functions with controlled size and structure,
+bypassing the database layer.  They are used for stress tests, property
+tests, and the "hard instance" portions of the benchmark workloads, where the
+paper draws lineages whose structure makes exact computation expensive.
+
+Structures provided:
+
+* ``random_positive_dnf`` -- clauses drawn uniformly from a variable pool;
+* ``star_join_lineage`` -- the lineage shape of hierarchical star queries
+  (every clause contains a hub variable plus private satellite variables);
+* ``chain_lineage`` -- the lineage shape of chain joins (consecutive clauses
+  overlap in one variable);
+* ``bipartite_lineage`` -- PP2DNF-shaped lineage (the non-hierarchical
+  worst case of the dichotomy: clauses pair a left and a right variable).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.boolean.dnf import DNF
+
+
+@dataclass(frozen=True)
+class LineageInstance:
+    """One benchmark instance: a lineage plus metadata for reporting."""
+
+    dataset: str
+    query: str
+    answer: Tuple[object, ...]
+    lineage: DNF
+    tags: Tuple[str, ...] = field(default=())
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables occurring in the lineage."""
+        return len(self.lineage.variables)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses of the lineage."""
+        return self.lineage.num_clauses()
+
+    def label(self) -> str:
+        """Short human-readable identifier."""
+        return f"{self.dataset}/{self.query}/{'_'.join(map(str, self.answer))}"
+
+
+def random_positive_dnf(rng: random.Random, num_variables: int,
+                        num_clauses: int,
+                        clause_width: Tuple[int, int] = (2, 4)) -> DNF:
+    """A random positive DNF over ``num_variables`` variables.
+
+    Every variable is guaranteed to occur in at least one clause (so the
+    occurring-variable count equals ``num_variables``).
+    """
+    if num_variables <= 0 or num_clauses <= 0:
+        raise ValueError("need at least one variable and one clause")
+    low, high = clause_width
+    low = max(1, min(low, num_variables))
+    high = max(low, min(high, num_variables))
+    variables = list(range(num_variables))
+    clauses: List[Tuple[int, ...]] = []
+    unused = set(variables)
+    for _ in range(num_clauses):
+        width = rng.randint(low, high)
+        clause = rng.sample(variables, width)
+        clauses.append(tuple(clause))
+        unused -= set(clause)
+    # Ensure every variable occurs somewhere.
+    for variable in sorted(unused):
+        index = rng.randrange(len(clauses))
+        clauses[index] = tuple(set(clauses[index]) | {variable})
+    return DNF(clauses, domain=variables)
+
+
+def star_join_lineage(rng: random.Random, num_hubs: int, satellites_per_hub: int,
+                      satellite_relations: int = 2) -> DNF:
+    """Lineage of a hierarchical star query over a synthetic database.
+
+    Each hub variable (e.g. an ``R(a)`` fact) is combined with the cartesian
+    product of its satellites from ``satellite_relations`` relations; the
+    resulting lineage decomposes fully with independence steps, so ExaBan
+    handles it in polynomial time.
+    """
+    if num_hubs <= 0 or satellites_per_hub <= 0:
+        raise ValueError("need at least one hub and one satellite per hub")
+    clauses: List[Tuple[int, ...]] = []
+    next_variable = 0
+    for _ in range(num_hubs):
+        hub = next_variable
+        next_variable += 1
+        groups: List[List[int]] = []
+        for _ in range(satellite_relations):
+            count = max(1, satellites_per_hub + rng.randint(-1, 1))
+            group = list(range(next_variable, next_variable + count))
+            next_variable += count
+            groups.append(group)
+        combos: List[Tuple[int, ...]] = [(hub,)]
+        for group in groups:
+            combos = [combo + (member,) for combo in combos for member in group]
+        clauses.extend(combos)
+    return DNF(clauses)
+
+
+def chain_lineage(rng: random.Random, length: int, width: int = 2) -> DNF:
+    """Lineage shaped like a chain join: consecutive clauses share a variable."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    clauses: List[Tuple[int, ...]] = []
+    previous_link = 0
+    next_variable = 1
+    for _ in range(length):
+        body = list(range(next_variable, next_variable + max(1, width - 1)))
+        next_variable += len(body)
+        clauses.append(tuple([previous_link] + body))
+        previous_link = body[-1]
+    rng.shuffle(clauses)
+    return DNF(clauses)
+
+
+def bipartite_lineage(rng: random.Random, left: int, right: int,
+                      density: float = 0.3) -> DNF:
+    """PP2DNF-shaped lineage: each clause pairs a left and a right variable.
+
+    This is the lineage of the basic non-hierarchical query and the hardest
+    structure for exact computation; density controls how many of the
+    ``left * right`` pairs appear.
+    """
+    if left <= 0 or right <= 0:
+        raise ValueError("both parts must be non-empty")
+    left_variables = list(range(left))
+    right_variables = list(range(left, left + right))
+    clauses: List[Tuple[int, int]] = []
+    for a in left_variables:
+        for b in right_variables:
+            if rng.random() < density:
+                clauses.append((a, b))
+    if not clauses:
+        clauses.append((left_variables[0], right_variables[0]))
+    return DNF(clauses, domain=left_variables + right_variables)
+
+
+def mixed_hard_instances(seed: int, count: int = 6,
+                         dataset: str = "synthetic") -> List[LineageInstance]:
+    """A batch of structurally hard lineages (used for Figure 5 and Table 6).
+
+    Four structures rotate: bipartite (non-hierarchical worst case, where the
+    CNF detour of the Sig22 baseline blows up), narrow random DNFs, chain
+    joins, and wide random DNFs (hard for every exact method within a short
+    per-instance budget, so they populate the failure rows of Table 2).
+    """
+    rng = random.Random(seed)
+    instances: List[LineageInstance] = []
+    for index in range(count):
+        kind = index % 4
+        if kind == 0:
+            lineage = bipartite_lineage(rng, left=9 + index, right=9 + index,
+                                        density=0.35)
+            name = "bipartite"
+        elif kind == 1:
+            lineage = random_positive_dnf(rng, num_variables=22 + 2 * index,
+                                          num_clauses=30 + 2 * index,
+                                          clause_width=(2, 3))
+            name = "random"
+        elif kind == 2:
+            lineage = chain_lineage(rng, length=min(14, 10 + index), width=3)
+            name = "chain"
+        else:
+            lineage = random_positive_dnf(rng, num_variables=40 + 4 * index,
+                                          num_clauses=64 + 4 * index,
+                                          clause_width=(4, 7))
+            name = "wide"
+        instances.append(LineageInstance(
+            dataset=dataset,
+            query=f"hard_{name}_{index}",
+            answer=(index,),
+            lineage=lineage,
+            tags=("hard", name),
+        ))
+    return instances
+
+
+def size_profile(instances: Sequence[LineageInstance]) -> Dict[str, float]:
+    """Aggregate statistics of a batch of instances (Table 1 shape)."""
+    if not instances:
+        return {"count": 0, "avg_vars": 0.0, "max_vars": 0,
+                "avg_clauses": 0.0, "max_clauses": 0}
+    vars_counts = [i.num_variables for i in instances]
+    clause_counts = [i.num_clauses for i in instances]
+    return {
+        "count": len(instances),
+        "avg_vars": sum(vars_counts) / len(vars_counts),
+        "max_vars": max(vars_counts),
+        "avg_clauses": sum(clause_counts) / len(clause_counts),
+        "max_clauses": max(clause_counts),
+    }

@@ -1,0 +1,93 @@
+"""Synthetic IMDB workload (stand-in for the paper's IMDB dataset).
+
+Movies, people, cast membership, directing credits and genres.  Genre and
+Person act as dimension-style relations and are exogenous; Movie, Cast and
+Directs are endogenous.  The query mix includes hierarchical star queries
+("who contributed to answers about a movie"), the classic non-hierarchical
+actor-director join, selections on years, and a union.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.db.database import Database
+from repro.db.datalog import parse_query
+from repro.db.lineage import lineage_of_answers
+from repro.db.query import Query
+from repro.workloads.generators import LineageInstance
+
+DATASET_NAME = "imdb"
+
+_GENRES = ("drama", "comedy", "thriller", "documentary", "animation")
+
+
+def generate_database(seed: int = 11, scale: float = 1.0) -> Database:
+    """Generate a synthetic IMDB-like database."""
+    rng = random.Random(seed)
+    database = Database()
+    num_movies = max(8, int(26 * scale))
+    num_people = max(10, int(30 * scale))
+
+    for person in range(num_people):
+        database.add_fact("Person", (f"per{person}", f"Person {person}"),
+                          endogenous=False)
+
+    for movie in range(num_movies):
+        year = rng.randint(1980, 2023)
+        database.add_fact("Movie", (f"m{movie}", f"Movie {movie}", year),
+                          endogenous=True)
+        database.add_fact("Genre", (f"m{movie}", rng.choice(_GENRES)),
+                          endogenous=False)
+        cast_size = rng.randint(2, 5)
+        for person in rng.sample(range(num_people), cast_size):
+            database.add_fact("Cast", (f"per{person}", f"m{movie}"),
+                              endogenous=True)
+        for person in rng.sample(range(num_people), rng.randint(1, 2)):
+            database.add_fact("Directs", (f"per{person}", f"m{movie}"),
+                              endogenous=True)
+    return database
+
+
+def queries() -> List[Tuple[str, Query]]:
+    """The IMDB query workload (name, query) pairs."""
+    texts = [
+        ("movies_of_genre",
+         "Q(M) :- Movie(M, T, Y), Genre(M, G), Cast(P, M)"),
+        ("actors_in_recent_movies",
+         "Q(P) :- Cast(P, M), Movie(M, T, Y), Y >= 2010"),
+        ("actor_director_pairs",
+         "Q(P1, P2) :- Cast(P1, M), Directs(P2, M), Movie(M, T, Y)"),
+        ("directors_of_dramas",
+         "Q(P) :- Directs(P, M), Movie(M, T, Y), Genre(M, 'drama')"),
+        ("people_working_together",
+         "Q(P1, P2) :- Cast(P1, M), Cast(P2, M), Movie(M, T, Y)"),
+        ("prolific_people_union",
+         "Q(P) :- Cast(P, M), Movie(M, T, Y) ; Q(P) :- Directs(P, M), Movie(M, T, Y)"),
+        ("boolean_old_movie_cast",
+         "Q() :- Cast(P, M), Movie(M, T, Y), Y <= 1995"),
+        ("movie_with_director_and_cast",
+         "Q(M) :- Movie(M, T, Y), Cast(P1, M), Directs(P2, M)"),
+    ]
+    return [(name, parse_query(text)) for name, text in texts]
+
+
+def workload(seed: int = 11, scale: float = 1.0,
+             max_answers_per_query: int = 6) -> List[LineageInstance]:
+    """Build the IMDB benchmark instances."""
+    database = generate_database(seed=seed, scale=scale)
+    instances: List[LineageInstance] = []
+    for name, query in queries():
+        answers = lineage_of_answers(query, database)
+        answers.sort(key=lambda a: (-a.lineage.num_clauses(),
+                                    tuple(map(repr, a.values))))
+        for answer in answers[:max_answers_per_query]:
+            instances.append(LineageInstance(
+                dataset=DATASET_NAME,
+                query=name,
+                answer=answer.values,
+                lineage=answer.lineage,
+                tags=("db",),
+            ))
+    return instances

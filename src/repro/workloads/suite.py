@@ -1,0 +1,81 @@
+"""Assembled benchmark workloads.
+
+A :class:`Workload` bundles the instances of one dataset (database-derived
+lineages plus a few structurally hard synthetic lineages, the way the paper's
+per-dataset instance pools mix easy and hard cases).  ``default_workloads``
+returns the three datasets used throughout the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.workloads import academic, imdb, tpch
+from repro.workloads.generators import (
+    LineageInstance,
+    mixed_hard_instances,
+    size_profile,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named collection of benchmark instances."""
+
+    name: str
+    instances: tuple[LineageInstance, ...]
+
+    def statistics(self) -> Dict[str, float]:
+        """Table 1-style statistics of the workload."""
+        return size_profile(self.instances)
+
+    def hard(self) -> List[LineageInstance]:
+        """The instances tagged as hard."""
+        return [i for i in self.instances if "hard" in i.tags]
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+
+_BUILDERS = {
+    "academic": academic.workload,
+    "imdb": imdb.workload,
+    "tpch": tpch.workload,
+}
+
+_HARD_SEEDS = {"academic": 101, "imdb": 202, "tpch": 303}
+_HARD_COUNTS = {"academic": 4, "imdb": 5, "tpch": 6}
+
+
+def build_workload(name: str, scale: float = 1.0,
+                   include_hard: bool = True) -> Workload:
+    """Build one of the named workloads (``academic``, ``imdb``, ``tpch``)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    instances = list(builder(scale=scale))
+    if include_hard:
+        hard = mixed_hard_instances(seed=_HARD_SEEDS[name],
+                                    count=_HARD_COUNTS[name],
+                                    dataset=name)
+        instances.extend(hard)
+    return Workload(name=name, instances=tuple(instances))
+
+
+def default_workloads(scale: float = 1.0,
+                      include_hard: bool = True) -> List[Workload]:
+    """The three benchmark workloads in the paper's order."""
+    return [build_workload(name, scale=scale, include_hard=include_hard)
+            for name in ("academic", "imdb", "tpch")]
+
+
+def hard_instances(workloads: Sequence[Workload]) -> List[LineageInstance]:
+    """All hard-tagged instances across workloads (Figure 5 / Table 6 pools)."""
+    result: List[LineageInstance] = []
+    for workload in workloads:
+        result.extend(workload.hard())
+    return result

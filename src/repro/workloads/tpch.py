@@ -1,0 +1,116 @@
+"""Synthetic TPC-H workload (stand-in for the paper's TPC-H SF1 dataset).
+
+A down-scaled star schema: customers place orders, orders contain line items
+supplied by suppliers, suppliers and customers live in nations.  Nation and
+Region are exogenous dimension tables; Customer, Orders, Lineitem, Supplier
+and Part are endogenous.  The queries correspond to SPJU versions of the
+TPC-H queries used in the paper (aggregates removed), which produce the
+largest and most symmetric lineages of the three workloads -- the property
+responsible for the many Banzhaf ties the paper observes for TPC-H.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.db.database import Database
+from repro.db.datalog import parse_query
+from repro.db.lineage import lineage_of_answers
+from repro.db.query import Query
+from repro.workloads.generators import LineageInstance
+
+DATASET_NAME = "tpch"
+
+_REGIONS = ("europe", "asia", "america")
+_NATIONS = ("fr", "de", "jp", "cn", "us", "br")
+_SEGMENTS = ("building", "machinery", "household")
+
+
+def generate_database(seed: int = 3, scale: float = 1.0) -> Database:
+    """Generate a synthetic TPC-H-like database."""
+    rng = random.Random(seed)
+    database = Database()
+    num_customers = max(6, int(14 * scale))
+    num_suppliers = max(4, int(8 * scale))
+    num_parts = max(6, int(12 * scale))
+    num_orders = max(10, int(24 * scale))
+
+    for index, nation in enumerate(_NATIONS):
+        region = _REGIONS[index % len(_REGIONS)]
+        database.add_fact("Nation", (nation, region), endogenous=False)
+        database.add_fact("Region", (region,), endogenous=False)
+
+    for customer in range(num_customers):
+        database.add_fact(
+            "Customer",
+            (f"c{customer}", rng.choice(_NATIONS), rng.choice(_SEGMENTS)),
+            endogenous=True,
+        )
+    for supplier in range(num_suppliers):
+        database.add_fact("Supplier", (f"s{supplier}", rng.choice(_NATIONS)),
+                          endogenous=True)
+    for part in range(num_parts):
+        database.add_fact("Part", (f"p{part}", rng.choice(["brass", "steel", "tin"])),
+                          endogenous=True)
+
+    for order in range(num_orders):
+        customer = rng.randrange(num_customers)
+        year = rng.randint(1992, 1998)
+        database.add_fact("Orders", (f"o{order}", f"c{customer}", year),
+                          endogenous=True)
+        for _ in range(rng.randint(1, 4)):
+            part = rng.randrange(num_parts)
+            supplier = rng.randrange(num_suppliers)
+            database.add_fact(
+                "Lineitem",
+                (f"o{order}", f"p{part}", f"s{supplier}"),
+                endogenous=True,
+            )
+    return database
+
+
+def queries() -> List[Tuple[str, Query]]:
+    """The TPC-H-style SPJU query workload (name, query) pairs."""
+    texts = [
+        ("customer_orders_by_segment",
+         "Q(C) :- Customer(C, N, 'building'), Orders(O, C, Y)"),
+        ("parts_shipped_to_nation",
+         "Q(P) :- Lineitem(O, P, S), Orders(O, C, Y), Customer(C, 'fr', Seg)"),
+        ("supplier_customer_same_nation",
+         "Q(S, C) :- Supplier(S, N), Customer(C, N, Seg), Orders(O, C, Y), "
+         "Lineitem(O, P, S)"),
+        ("recent_order_parts",
+         "Q(P) :- Lineitem(O, P, S), Orders(O, C, Y), Y >= 1996"),
+        ("brass_part_suppliers",
+         "Q(S) :- Supplier(S, N), Lineitem(O, P, S), Part(P, 'brass')"),
+        ("customers_with_any_order_union",
+         "Q(C) :- Customer(C, N, Seg), Orders(O, C, Y), Y <= 1994 ; "
+         "Q(C) :- Customer(C, N, Seg), Orders(O, C, Y), Y >= 1997"),
+        ("boolean_european_supply_chain",
+         "Q() :- Supplier(S, N), Nation(N, 'europe'), Lineitem(O, P, S), "
+         "Orders(O, C, Y)"),
+        ("order_part_supplier_triples",
+         "Q(O) :- Orders(O, C, Y), Lineitem(O, P, S), Supplier(S, N), Part(P, T)"),
+    ]
+    return [(name, parse_query(text)) for name, text in texts]
+
+
+def workload(seed: int = 3, scale: float = 1.0,
+             max_answers_per_query: int = 5) -> List[LineageInstance]:
+    """Build the TPC-H benchmark instances."""
+    database = generate_database(seed=seed, scale=scale)
+    instances: List[LineageInstance] = []
+    for name, query in queries():
+        answers = lineage_of_answers(query, database)
+        answers.sort(key=lambda a: (-a.lineage.num_clauses(),
+                                    tuple(map(repr, a.values))))
+        for answer in answers[:max_answers_per_query]:
+            instances.append(LineageInstance(
+                dataset=DATASET_NAME,
+                query=name,
+                answer=answer.values,
+                lineage=answer.lineage,
+                tags=("db",),
+            ))
+    return instances

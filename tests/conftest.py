@@ -1,0 +1,56 @@
+"""Shared pytest fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.boolean.dnf import DNF
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def example9_dnf() -> DNF:
+    """The function of Example 9/11: (x0 & x1) | (x0 & x2)."""
+    return DNF([[0, 1], [0, 2]])
+
+
+@pytest.fixture
+def example13_dnf() -> DNF:
+    """The function of Example 13: (x0 & x1) | (x0 & x2) | x3."""
+    return DNF([[0, 1], [0, 2], [3]])
+
+
+def small_dnfs(max_variables: int = 7, max_clauses: int = 6) -> st.SearchStrategy[DNF]:
+    """Hypothesis strategy for small positive DNFs (brute-force checkable)."""
+
+    @st.composite
+    def build(draw) -> DNF:
+        num_variables = draw(st.integers(min_value=1, max_value=max_variables))
+        num_clauses = draw(st.integers(min_value=1, max_value=max_clauses))
+        variables = list(range(num_variables))
+        clauses = []
+        for _ in range(num_clauses):
+            width = draw(st.integers(min_value=1,
+                                     max_value=min(3, num_variables)))
+            clause = draw(st.permutations(variables))[:width]
+            clauses.append(tuple(clause))
+        extra_domain = draw(st.integers(min_value=0, max_value=2))
+        domain = list(range(num_variables + extra_domain))
+        return DNF(clauses, domain=domain)
+
+    return build()

@@ -1,0 +1,113 @@
+"""Tests for AdaBan (anytime deterministic approximation)."""
+
+import pytest
+
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.boolean.assignments import banzhaf_brute_force
+from repro.boolean.dnf import DNF
+from repro.core.adaban import (
+    ApproximationTimeout,
+    adaban,
+    adaban_all,
+    adaban_trace,
+)
+from repro.workloads.generators import bipartite_lineage, random_positive_dnf
+
+
+class TestSingleVariable:
+    def test_result_contains_exact_value(self, rng):
+        for _ in range(25):
+            function = random_positive_dnf(rng, rng.randint(2, 7),
+                                           rng.randint(2, 7), (1, 3))
+            variable = sorted(function.variables)[0]
+            exact = banzhaf_brute_force(function, variable)
+            result = adaban(function, variable, epsilon=0.2)
+            assert result.lower <= exact <= result.upper
+
+    def test_epsilon_zero_gives_exact_value(self, rng):
+        for _ in range(15):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(2, 6), (1, 3))
+            variable = sorted(function.variables)[-1]
+            result = adaban(function, variable, epsilon=0.0)
+            assert result.interval.is_point()
+            assert result.lower == banzhaf_brute_force(function, variable)
+
+    def test_estimate_is_relative_approximation(self, rng):
+        for epsilon in (0.5, 0.1):
+            function = random_positive_dnf(rng, 8, 10, (2, 3))
+            variable = sorted(function.variables)[0]
+            exact = banzhaf_brute_force(function, variable)
+            result = adaban(function, variable, epsilon=epsilon)
+            assert result.converged
+            assert (1 - epsilon) * exact <= result.estimate <= (1 + epsilon) * exact
+
+    def test_variable_not_occurring(self):
+        function = DNF([[0]], domain=[0, 1])
+        result = adaban(function, 1, epsilon=0.1)
+        assert result.interval.is_point()
+        assert result.lower == 0
+
+    def test_max_steps_timeout(self):
+        function = bipartite_lineage(__import__("random").Random(3), 6, 6, 0.5)
+        with pytest.raises(ApproximationTimeout):
+            adaban(function, sorted(function.variables)[0], epsilon=0.0,
+                   max_steps=1)
+
+    def test_larger_epsilon_needs_no_more_steps(self, rng):
+        function = random_positive_dnf(rng, 9, 11, (2, 3))
+        variable = sorted(function.variables)[0]
+        loose = adaban(function, variable, epsilon=0.5)
+        tight = adaban(function, variable, epsilon=0.05)
+        assert loose.refinement_steps <= tight.refinement_steps
+
+
+class TestAllVariables:
+    def test_all_intervals_contain_truth(self, rng):
+        for _ in range(15):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(2, 6), (1, 3))
+            exact = banzhaf_all_brute_force(function)
+            results = adaban_all(function, epsilon=0.3)
+            assert set(results) == function.variables
+            for variable, result in results.items():
+                assert result.lower <= exact[variable] <= result.upper
+
+    def test_explicit_variable_subset(self, rng):
+        function = random_positive_dnf(rng, 6, 6, (2, 3))
+        subset = sorted(function.variables)[:2]
+        results = adaban_all(function, epsilon=0.2, variables=subset)
+        assert sorted(results) == subset
+
+    def test_shared_tree_makes_later_variables_cheap(self, rng):
+        function = random_positive_dnf(rng, 9, 12, (2, 3))
+        results = adaban_all(function, epsilon=0.1)
+        ordered = [results[v].refinement_steps for v in sorted(function.variables)]
+        # The first variable does (almost) all the expansion work.
+        assert ordered[0] >= max(ordered[1:])
+
+    def test_timeout_raises(self):
+        import random as _random
+        function = bipartite_lineage(_random.Random(1), 10, 10, 0.5)
+        with pytest.raises(ApproximationTimeout):
+            adaban_all(function, epsilon=0.0, timeout_seconds=0.0)
+
+
+class TestTrace:
+    def test_trace_intervals_shrink(self, rng):
+        function = random_positive_dnf(rng, 8, 10, (2, 3))
+        variable = sorted(function.variables)[0]
+        previous = None
+        for _, interval in adaban_trace(function, variable):
+            if previous is not None:
+                assert interval.lower >= previous.lower
+                assert interval.upper <= previous.upper
+            previous = interval
+        assert previous is not None and previous.is_point()
+        assert previous.lower == banzhaf_brute_force(function, variable)
+
+    def test_trace_respects_max_steps(self, rng):
+        function = random_positive_dnf(rng, 8, 10, (2, 3))
+        variable = sorted(function.variables)[0]
+        points = list(adaban_trace(function, variable, max_steps=3))
+        assert 1 <= len(points) <= 3

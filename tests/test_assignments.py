@@ -1,0 +1,110 @@
+"""Tests for assignments, brute-force counting and critical sets."""
+
+from repro.boolean.assignments import (
+    banzhaf_brute_force,
+    count_models,
+    count_non_models,
+    critical_set_counts,
+    enumerate_assignments,
+    enumerate_models,
+    evaluate_dnf,
+)
+from repro.boolean.dnf import DNF
+
+import pytest
+
+
+class TestEnumeration:
+    def test_enumerate_assignments_count(self):
+        assert len(list(enumerate_assignments([0, 1, 2]))) == 8
+        assert list(enumerate_assignments([])) == [frozenset()]
+
+    def test_enumerate_models(self):
+        function = DNF([[0, 1]])
+        assert set(enumerate_models(function)) == {frozenset({0, 1})}
+
+    def test_enumerate_models_with_silent_variable(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert set(enumerate_models(function)) == {
+            frozenset({0}), frozenset({0, 1})
+        }
+
+
+class TestCounting:
+    def test_count_models_or(self):
+        assert count_models(DNF([[0], [1]])) == 3
+
+    def test_count_models_and(self):
+        assert count_models(DNF([[0, 1]])) == 1
+
+    def test_count_models_false(self):
+        assert count_models(DNF.false([0, 1])) == 0
+
+    def test_count_non_models(self):
+        function = DNF([[0], [1]])
+        assert count_non_models(function) == 1
+
+    def test_example13_counts(self):
+        # phi = (x & y) | (x & z) | u has 11 models over four variables.
+        function = DNF([[0, 1], [0, 2], [3]])
+        assert count_models(function) == 11
+
+    def test_silent_variables_double_counts(self):
+        narrow = DNF([[0]])
+        wide = DNF([[0]], domain=[0, 1])
+        assert count_models(wide) == 2 * count_models(narrow)
+
+
+class TestEvaluation:
+    def test_evaluate_dnf(self):
+        function = DNF([[0, 1], [2]])
+        assert evaluate_dnf(function, [0, 1])
+        assert evaluate_dnf(function, [2, 0])
+        assert not evaluate_dnf(function, [1])
+
+
+class TestBanzhafBruteForce:
+    def test_example7_values(self):
+        # Lineage of Example 6: two clauses sharing the R and T facts.
+        # Note: the paper's Example 7 reports Banzhaf(R(1,2,3)) = 2, but by
+        # Definition 1 the count of models of phi[v(R):=1] over the three
+        # remaining variables is 3 ({S1,T}, {S2,T}, {S1,S2,T}), so the value
+        # is 3; the S facts indeed have value 1 as reported.
+        function = DNF([[0, 1, 3], [0, 2, 3]])
+        assert banzhaf_brute_force(function, 0) == 3
+        assert banzhaf_brute_force(function, 1) == 1
+        assert banzhaf_brute_force(function, 2) == 1
+        assert banzhaf_brute_force(function, 3) == 3
+
+    def test_example9_value(self):
+        function = DNF([[0, 1], [0, 2]])
+        assert banzhaf_brute_force(function, 0) == 3
+        assert banzhaf_brute_force(function, 1) == 1
+
+    def test_silent_variable_has_zero_banzhaf(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert banzhaf_brute_force(function, 1) == 0
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ValueError):
+            banzhaf_brute_force(DNF([[0]]), 5)
+
+    def test_single_literal(self):
+        assert banzhaf_brute_force(DNF([[0]]), 0) == 1
+
+
+class TestCriticalSets:
+    def test_counts_sum_to_banzhaf(self):
+        function = DNF([[0, 1], [0, 2], [3]])
+        for variable in function.variables:
+            counts = critical_set_counts(function, variable)
+            assert sum(counts) == banzhaf_brute_force(function, variable)
+
+    def test_counts_for_or_of_two(self):
+        function = DNF([[0], [1]])
+        # x0 is critical exactly for the empty set.
+        assert critical_set_counts(function, 0) == [1, 0]
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ValueError):
+            critical_set_counts(DNF([[0]]), 7)

@@ -1,0 +1,128 @@
+"""End-to-end tests: query + database -> attribution, ranking, top-k."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    Database,
+    attribute_facts,
+    parse_query,
+    rank_facts,
+    topk_facts,
+)
+from repro.core.attribution import AttributionResult
+from repro.db.reductions import appendix_d_database, appendix_d_query
+from repro.workloads import imdb
+
+
+def _example6_setup():
+    database = Database()
+    r = database.add_fact("R", (1, 2, 3))
+    s1 = database.add_fact("S", (1, 2, 4))
+    s2 = database.add_fact("S", (1, 2, 5))
+    t = database.add_fact("T", (1, 6))
+    query = parse_query("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U)")
+    return database, query, r, s1, s2, t
+
+
+class TestAttributeFacts:
+    def test_exact_attribution_example6(self):
+        database, query, r, s1, s2, t = _example6_setup()
+        results = attribute_facts(query, database, method="exact")
+        assert len(results) == 1
+        result = results[0]
+        assert isinstance(result, AttributionResult)
+        assert result.score_of(r) == result.score_of(t)
+        assert result.score_of(s1) == result.score_of(s2) == 1
+        assert result.score_of(r) > result.score_of(s1)
+        # Top facts come first.
+        assert result.attributions[0].fact in (r, t)
+
+    def test_approximate_attribution_contains_bounds(self):
+        database, query, *_ = _example6_setup()
+        results = attribute_facts(query, database, method="approximate",
+                                  epsilon=0.1)
+        for attribution in results[0].attributions:
+            assert attribution.lower is not None
+            assert attribution.lower <= attribution.value <= attribution.upper
+
+    def test_shapley_attribution(self):
+        database, query, r, s1, *_ = _example6_setup()
+        results = attribute_facts(query, database, method="shapley")
+        values = results[0]
+        assert values.score_of(r) > values.score_of(s1)
+        total = sum(a.value for a in values.attributions)
+        assert total == 1
+
+    def test_unknown_method(self):
+        database, query, *_ = _example6_setup()
+        with pytest.raises(ValueError):
+            attribute_facts(query, database, method="banzhaf-ish")
+
+    def test_non_boolean_query_per_answer_attribution(self):
+        database = Database()
+        database.add_fact("Cast", ("p1", "m1"))
+        database.add_fact("Cast", ("p2", "m1"))
+        database.add_fact("Cast", ("p1", "m2"))
+        database.add_fact("Movie", ("m1", 2000))
+        database.add_fact("Movie", ("m2", 2010))
+        query = parse_query("Q(M) :- Movie(M, Y), Cast(P, M)")
+        results = attribute_facts(query, database)
+        assert {r.answer for r in results} == {("m1",), ("m2",)}
+        m1 = [r for r in results if r.answer == ("m1",)][0]
+        movie_fact = [a for a in m1.attributions
+                      if a.fact.relation == "Movie"][0]
+        cast_scores = [a.value for a in m1.attributions
+                       if a.fact.relation == "Cast"]
+        assert movie_fact.value >= max(cast_scores)
+
+    def test_appendix_d_shapley_vs_banzhaf_disagree(self):
+        database, r_a1, r_a2 = appendix_d_database()
+        query = appendix_d_query()
+        banzhaf = attribute_facts(query, database, method="exact")[0]
+        shapley = attribute_facts(query, database, method="shapley")[0]
+        assert banzhaf.score_of(r_a1) > banzhaf.score_of(r_a2)
+        assert shapley.score_of(r_a1) < shapley.score_of(r_a2)
+
+
+class TestRankingAndTopK:
+    def test_rank_facts(self):
+        database, query, r, s1, s2, t = _example6_setup()
+        rankings = rank_facts(query, database, epsilon=None)
+        assert len(rankings) == 1
+        _, ranked = rankings[0]
+        facts_in_order = [fact for fact, _ in ranked]
+        assert set(facts_in_order[:2]) == {r, t}
+
+    def test_topk_facts(self):
+        database, query, r, s1, s2, t = _example6_setup()
+        results = topk_facts(query, database, k=2, epsilon=0.05)
+        _, top = results[0]
+        assert len(top) == 2
+        assert {fact for fact, _ in top} == {r, t}
+
+    def test_quickstart_snippet_runs(self):
+        # The snippet from the package docstring / README quickstart.
+        db = Database()
+        db.add_fact("R", ("a",))
+        db.add_fact("S", ("a", "b"))
+        db.add_fact("T", ("b",))
+        query = parse_query("Q() :- R(X), S(X, Y), T(Y)")
+        results = attribute_facts(query, db)
+        assert len(results) == 1
+        assert all(a.value == 1 for a in results[0].attributions)
+
+
+class TestWorkloadIntegration:
+    def test_imdb_pipeline_end_to_end(self):
+        database = imdb.generate_database(seed=1, scale=0.5)
+        name, query = imdb.queries()[1]
+        results = attribute_facts(query, database, method="approximate",
+                                  epsilon=0.2)
+        assert results
+        for result in results:
+            assert result.attributions
+            values = [a.value for a in result.attributions]
+            assert values == sorted(values, reverse=True)
+            assert all(value >= 0 for value in values)

@@ -1,0 +1,148 @@
+"""Tests for the baselines: brute force, Sig22, Monte Carlo, CNF proxy."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.baselines.cnf_proxy import cnf_proxy_ranking, cnf_proxy_scores, cnf_proxy_topk
+from repro.baselines.monte_carlo import (
+    default_sample_count,
+    monte_carlo_banzhaf,
+    monte_carlo_banzhaf_all,
+    monte_carlo_trace,
+)
+from repro.baselines.sig22 import (
+    Sig22Failure,
+    sig22_banzhaf,
+    sig22_banzhaf_all,
+    sig22_model_count,
+)
+from repro.boolean.assignments import count_models
+from repro.boolean.dnf import DNF
+from repro.workloads.generators import random_positive_dnf
+
+
+class TestBruteForce:
+    def test_default_covers_domain(self):
+        # Over the domain {0, 1} the silent variable doubles the count of
+        # critical sets for x0 and itself has no influence.
+        function = DNF([[0]], domain=[0, 1])
+        values = banzhaf_all_brute_force(function)
+        assert values == {0: 2, 1: 0}
+
+    def test_explicit_variables(self, example9_dnf):
+        assert banzhaf_all_brute_force(example9_dnf, [0]) == {0: 3}
+
+
+class TestSig22:
+    def test_matches_brute_force(self, rng):
+        for _ in range(30):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(1, 6), (1, 3))
+            assert sig22_banzhaf_all(function) == banzhaf_all_brute_force(
+                function, sorted(function.variables))
+
+    def test_single_variable(self, example9_dnf):
+        assert sig22_banzhaf(example9_dnf, 0) == 3
+
+    def test_model_count(self, rng):
+        for _ in range(15):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(1, 5), (1, 3))
+            assert sig22_model_count(function) == count_models(function)
+
+    def test_silent_variables(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert sig22_banzhaf_all(function, [0, 1]) == {0: 2, 1: 0}
+
+    def test_failure_on_cnf_blowup(self):
+        clauses = [(2 * i, 2 * i + 1) for i in range(8)]
+        function = DNF(clauses)
+        with pytest.raises(Sig22Failure):
+            sig22_banzhaf_all(function, max_cnf_clauses=10)
+
+    def test_false_function(self):
+        assert sig22_banzhaf_all(DNF.false([0, 1]), [0, 1]) == {0: 0, 1: 0}
+
+    def test_example13(self, example13_dnf):
+        values = sig22_banzhaf_all(example13_dnf)
+        assert values[0] == 3
+
+
+class TestMonteCarlo:
+    def test_default_sample_count(self, example9_dnf):
+        assert default_sample_count(example9_dnf) == 150
+
+    def test_exact_on_deterministic_structure(self):
+        # For phi = x0 the estimator is exact regardless of sampling.
+        function = DNF([[0]])
+        estimate = monte_carlo_banzhaf(function, 0, num_samples=10,
+                                       rng=random.Random(0))
+        assert estimate.estimate == 1
+
+    def test_estimates_close_with_many_samples(self, example9_dnf):
+        estimates = monte_carlo_banzhaf_all(example9_dnf, num_samples=4000,
+                                            rng=random.Random(7))
+        assert abs(float(estimates[0].estimate) - 3) < 0.6
+        assert abs(float(estimates[1].estimate) - 1) < 0.6
+
+    def test_shared_samples_cover_all_variables(self, rng):
+        function = random_positive_dnf(rng, 5, 5, (1, 3))
+        estimates = monte_carlo_banzhaf_all(function, num_samples=50,
+                                            rng=random.Random(1))
+        assert set(estimates) == function.variables
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo_banzhaf(DNF([[0]]), 9, num_samples=5)
+
+    def test_timeout(self):
+        function = DNF([[0, 1], [1, 2], [2, 3]])
+        with pytest.raises(TimeoutError):
+            monte_carlo_banzhaf_all(function, num_samples=10_000_000,
+                                    timeout_seconds=0.0)
+
+    def test_trace_yields_running_estimates(self, example9_dnf):
+        points = list(monte_carlo_trace(example9_dnf, 0, num_samples=100,
+                                        rng=random.Random(3),
+                                        report_every=25))
+        assert len(points) == 4
+        assert all(estimate >= 0 for _, estimate in points)
+
+    def test_reproducible_with_seeded_rng(self, example9_dnf):
+        first = monte_carlo_banzhaf(example9_dnf, 0, num_samples=200,
+                                    rng=random.Random(5))
+        second = monte_carlo_banzhaf(example9_dnf, 0, num_samples=200,
+                                     rng=random.Random(5))
+        assert first.estimate == second.estimate
+
+
+class TestCnfProxy:
+    def test_scores_cover_occurring_variables(self, example13_dnf):
+        scores = cnf_proxy_scores(example13_dnf)
+        assert set(scores) == example13_dnf.variables
+
+    def test_ranking_is_descending(self, rng):
+        function = random_positive_dnf(rng, 6, 6, (1, 3))
+        ranking = cnf_proxy_ranking(function)
+        values = [score for _, score in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_star_function_hub_ranks_first(self):
+        # x0 appears in every clause; any sensible proxy ranks it first.
+        function = DNF([[0, 1], [0, 2], [0, 3]])
+        assert cnf_proxy_topk(function, 1) == [0]
+
+    def test_topk_validation(self, example9_dnf):
+        with pytest.raises(ValueError):
+            cnf_proxy_topk(example9_dnf, 0)
+
+    def test_failure_on_cnf_blowup(self):
+        clauses = [(2 * i, 2 * i + 1) for i in range(8)]
+        with pytest.raises(Sig22Failure):
+            cnf_proxy_scores(DNF(clauses), max_cnf_clauses=10)
+
+    def test_restriction_to_variables(self, example13_dnf):
+        ranking = cnf_proxy_ranking(example13_dnf, variables=[0, 3])
+        assert {v for v, _ in ranking} == {0, 3}

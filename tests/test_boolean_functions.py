@@ -1,0 +1,138 @@
+"""Tests for the general Boolean expression trees."""
+
+import pytest
+
+from repro.boolean.functions import (
+    And,
+    Const,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    expr_banzhaf,
+    expr_model_count,
+)
+
+
+class TestConstruction:
+    def test_var_repr_and_variables(self):
+        x = Var("x")
+        assert x.variables() == frozenset({"x"})
+
+    def test_constants(self):
+        assert TRUE.value is True
+        assert FALSE.value is False
+        assert TRUE.variables() == frozenset()
+
+    def test_operators_build_nodes(self):
+        x, y = Var("x"), Var("y")
+        assert isinstance(x & y, And)
+        assert isinstance(x | y, Or)
+        assert isinstance(~x, Not)
+
+    def test_nary_flattening(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        expr = And(And(x, y), z)
+        assert len(expr.operands) == 3
+
+    def test_nary_equality_and_hash(self):
+        x, y = Var("x"), Var("y")
+        assert And(x, y) == And(x, y)
+        assert hash(And(x, y)) == hash(And(x, y))
+        assert And(x, y) != Or(x, y)
+
+    def test_nary_immutable(self):
+        expr = And(Var("x"), Var("y"))
+        with pytest.raises(AttributeError):
+            expr.operands = ()
+
+
+class TestEvaluation:
+    def test_variable_defaults_to_false(self):
+        assert Var("x").evaluate({}) is False
+        assert Var("x").evaluate({"x": True}) is True
+
+    def test_and_or_not(self):
+        x, y = Var("x"), Var("y")
+        expr = (x & y) | ~x
+        assert expr.evaluate({"x": False, "y": False}) is True
+        assert expr.evaluate({"x": True, "y": False}) is False
+        assert expr.evaluate({"x": True, "y": True}) is True
+
+    def test_example2_truth_table(self):
+        # phi = x1 | (x2 & ~x3) from Example 2 of the paper.
+        x1, x2, x3 = Var(1), Var(2), Var(3)
+        phi = x1 | (x2 & ~x3)
+        expectations = {
+            (): False, (1,): True, (2,): True, (3,): False,
+            (1, 2): True, (1, 3): True, (2, 3): False, (1, 2, 3): True,
+        }
+        for trues, expected in expectations.items():
+            assignment = {v: v in trues for v in (1, 2, 3)}
+            assert phi.evaluate(assignment) is expected
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        x, y = Var("x"), Var("y")
+        assert (x & y).substitute("x", True) == y
+        assert (x & y).substitute("x", False) == FALSE
+        assert (x | y).substitute("x", True) == TRUE
+        assert (x | y).substitute("x", False) == y
+
+    def test_substitute_in_negation(self):
+        x = Var("x")
+        assert (~x).substitute("x", True) == FALSE
+        assert (~x).substitute("x", False) == TRUE
+
+    def test_substitute_unknown_variable_is_noop(self):
+        x = Var("x")
+        assert x.substitute("z", True) == x
+
+
+class TestPositivity:
+    def test_positive_expression(self):
+        x, y = Var("x"), Var("y")
+        assert ((x & y) | y).is_positive()
+
+    def test_negation_is_not_positive(self):
+        x, y = Var("x"), Var("y")
+        assert not (x & ~y).is_positive()
+
+    def test_double_negation_is_positive(self):
+        x = Var("x")
+        assert (~~x).is_positive()
+
+
+class TestCounting:
+    def test_model_count_simple(self):
+        x, y = Var("x"), Var("y")
+        assert expr_model_count(x | y) == 3
+        assert expr_model_count(x & y) == 1
+
+    def test_model_count_with_domain(self):
+        x = Var("x")
+        assert expr_model_count(x, domain=["x", "y"]) == 2
+
+    def test_example4_counts(self):
+        x1, x2, x3 = Var(1), Var(2), Var(3)
+        phi = x1 | (x2 & ~x3)
+        assert expr_model_count(phi.substitute(1, True), domain=[2, 3]) == 4
+        assert expr_model_count(phi.substitute(1, False), domain=[2, 3]) == 1
+
+
+class TestBanzhaf:
+    def test_example2_banzhaf_values(self):
+        x1, x2, x3 = Var(1), Var(2), Var(3)
+        phi = x1 | (x2 & ~x3)
+        assert expr_banzhaf(phi, 1) == 3
+        assert expr_banzhaf(phi, 2) == 1
+        assert expr_banzhaf(phi, 3) == -1
+
+    def test_banzhaf_of_irrelevant_variable(self):
+        x = Var("x")
+        assert expr_banzhaf(x, "y", domain=["x", "y"]) == 0
+
+    def test_banzhaf_of_single_variable(self):
+        assert expr_banzhaf(Var("x"), "x") == 1

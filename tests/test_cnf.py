@@ -1,0 +1,74 @@
+"""Tests for CNF conversion (the Sig22 pipeline's detour)."""
+
+import pytest
+
+from repro.boolean.assignments import count_models, enumerate_assignments
+from repro.boolean.cnf import CNF, CNFTooLarge, cnf_to_dnf, dnf_to_cnf
+from repro.boolean.dnf import DNF
+from repro.workloads.generators import random_positive_dnf
+
+
+class TestCNF:
+    def test_construction_and_accessors(self):
+        cnf = CNF([[0, 1], [2]])
+        assert cnf.num_clauses() == 2
+        assert cnf.size() == 3
+        assert cnf.domain == frozenset({0, 1, 2})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNF([[]])
+
+    def test_domain_must_cover(self):
+        with pytest.raises(ValueError):
+            CNF([[0, 1]], domain=[0])
+
+    def test_evaluate(self):
+        cnf = CNF([[0, 1], [2]])
+        assert cnf.evaluate([0, 2])
+        assert not cnf.evaluate([0])
+
+
+class TestConversion:
+    def test_simple_conversion(self):
+        function = DNF([[0, 1]])
+        cnf = dnf_to_cnf(function)
+        assert cnf.clauses == frozenset({frozenset({0}), frozenset({1})})
+
+    def test_or_of_literals(self):
+        function = DNF([[0], [1]])
+        cnf = dnf_to_cnf(function)
+        assert cnf.clauses == frozenset({frozenset({0, 1})})
+
+    def test_equivalence_on_random_functions(self, rng):
+        for _ in range(25):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(1, 5), (1, 3))
+            cnf = dnf_to_cnf(function)
+            for assignment in enumerate_assignments(function.domain):
+                assert function.evaluate(assignment) == cnf.evaluate(assignment)
+
+    def test_preserves_domain(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert dnf_to_cnf(function).domain == frozenset({0, 1})
+
+    def test_false_rejected(self):
+        with pytest.raises(ValueError):
+            dnf_to_cnf(DNF.false([0]))
+
+    def test_size_cap(self):
+        # An iDNF of 5 disjoint two-variable clauses distributes into 2^5
+        # CNF clauses, none of which subsume each other.
+        clauses = [(2 * i, 2 * i + 1) for i in range(5)]
+        function = DNF(clauses)
+        with pytest.raises(CNFTooLarge):
+            dnf_to_cnf(function, max_clauses=20)
+        assert dnf_to_cnf(function, max_clauses=100).num_clauses() == 32
+
+    def test_roundtrip_model_count(self, rng):
+        for _ in range(10):
+            function = random_positive_dnf(rng, rng.randint(2, 5),
+                                           rng.randint(1, 4), (1, 3))
+            cnf = dnf_to_cnf(function)
+            back = cnf_to_dnf(cnf)
+            assert count_models(back) == count_models(function)

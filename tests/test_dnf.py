@@ -1,0 +1,156 @@
+"""Tests for the positive DNF representation."""
+
+import pytest
+
+from repro.boolean.dnf import DNF, ConstantTrue, make_clause
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        function = DNF([[0, 1], [2]])
+        assert function.num_clauses() == 2
+        assert function.variables == frozenset({0, 1, 2})
+        assert function.domain == frozenset({0, 1, 2})
+
+    def test_domain_superset(self):
+        function = DNF([[0]], domain=[0, 1, 2])
+        assert function.domain == frozenset({0, 1, 2})
+        assert function.variables == frozenset({0})
+        assert function.num_variables() == 3
+
+    def test_domain_must_cover_clauses(self):
+        with pytest.raises(ValueError):
+            DNF([[0, 1]], domain=[0])
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            DNF([[]])
+        with pytest.raises(ValueError):
+            make_clause([])
+
+    def test_false_function(self):
+        false = DNF.false([0, 1])
+        assert false.is_false()
+        assert false.num_variables() == 2
+        assert false.num_clauses() == 0
+
+    def test_literal_constructor(self):
+        lit = DNF.literal(3)
+        assert lit.is_single_literal()
+        assert lit.single_literal() == 3
+        wide = DNF.literal(3, domain=[3, 4])
+        assert wide.domain == frozenset({3, 4})
+
+    def test_single_literal_detection(self):
+        assert DNF([[5]]).is_single_literal()
+        assert not DNF([[5, 6]]).is_single_literal()
+        assert not DNF([[5], [6]]).is_single_literal()
+        with pytest.raises(ValueError):
+            DNF([[5, 6]]).single_literal()
+
+    def test_duplicate_clauses_collapse(self):
+        function = DNF([[0, 1], [1, 0]])
+        assert function.num_clauses() == 1
+
+
+class TestEqualityAndDisplay:
+    def test_equality_includes_domain(self):
+        assert DNF([[0]]) == DNF([[0]])
+        assert DNF([[0]]) != DNF([[0]], domain=[0, 1])
+
+    def test_hashable(self):
+        functions = {DNF([[0]]), DNF([[0]]), DNF([[1]])}
+        assert len(functions) == 2
+
+    def test_repr_mentions_silent_variables(self):
+        assert "silent" in repr(DNF([[0]], domain=[0, 1]))
+
+    def test_len_and_iter(self):
+        function = DNF([[0, 1], [2]])
+        assert len(function) == 2
+        assert set(function) == {frozenset({0, 1}), frozenset({2})}
+
+
+class TestSemantics:
+    def test_evaluate(self):
+        function = DNF([[0, 1], [2]])
+        assert function.evaluate({0, 1})
+        assert function.evaluate({2})
+        assert not function.evaluate({0})
+        assert not function.evaluate(set())
+
+    def test_evaluate_false(self):
+        assert not DNF.false([0]).evaluate({0})
+
+    def test_cofactor_true_removes_variable(self):
+        function = DNF([[0, 1], [0, 2]])
+        positive = function.cofactor(0, True)
+        assert positive == DNF([[1], [2]])
+        assert 0 not in positive.domain
+
+    def test_cofactor_false_drops_clauses(self):
+        function = DNF([[0, 1], [2]])
+        negative = function.cofactor(0, False)
+        assert negative == DNF([[2]], domain=[1, 2])
+
+    def test_cofactor_true_constant(self):
+        function = DNF([[0], [1, 2]])
+        with pytest.raises(ConstantTrue) as info:
+            function.cofactor(0, True)
+        assert info.value.domain == frozenset({1, 2})
+
+    def test_cofactor_preserves_silent_domain(self):
+        # Example 13: phi[x := 0] = u is still over three variables.
+        function = DNF([[0, 1], [0, 2], [3]])
+        negative = function.cofactor(0, False)
+        assert negative.domain == frozenset({1, 2, 3})
+        assert negative.variables == frozenset({3})
+
+
+class TestStructureHelpers:
+    def test_absorb(self):
+        function = DNF([[0], [0, 1], [1, 2]])
+        absorbed = function.absorb()
+        assert absorbed.clauses == frozenset({frozenset({0}), frozenset({1, 2})})
+        assert absorbed.domain == function.domain
+
+    def test_absorb_noop_returns_same_object(self):
+        function = DNF([[0, 1], [2]])
+        assert function.absorb() is function
+
+    def test_common_variables(self):
+        assert DNF([[0, 1], [0, 2]]).common_variables() == frozenset({0})
+        assert DNF([[0, 1], [2]]).common_variables() == frozenset()
+
+    def test_variable_frequencies(self):
+        function = DNF([[0, 1], [0, 2], [0, 1, 3]])
+        assert function.variable_frequencies() == {0: 3, 1: 2, 2: 1, 3: 1}
+
+    def test_union_and_conjoin(self):
+        left = DNF([[0]])
+        right = DNF([[1]])
+        assert left.union(right) == DNF([[0], [1]])
+        assert left.conjoin(right) == DNF([[0, 1]])
+
+    def test_conjoin_with_false(self):
+        left = DNF([[0]])
+        false = DNF.false([1])
+        assert left.conjoin(false).is_false()
+        assert left.conjoin(false).domain == frozenset({0, 1})
+
+    def test_size_counts_literal_occurrences(self):
+        assert DNF([[0, 1], [0, 2, 3]]).size() == 5
+
+    def test_sorted_clauses_deterministic(self):
+        function = DNF([[2, 1], [0]])
+        assert function.sorted_clauses() == ((0,), (1, 2))
+
+    def test_with_domain_and_restricted_domain(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert function.restricted_domain().domain == frozenset({0})
+        assert function.with_domain([0, 1, 2]).domain == frozenset({0, 1, 2})
+
+    def test_contains_variable(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert function.contains_variable(0)
+        assert not function.contains_variable(1)

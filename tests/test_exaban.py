@@ -1,0 +1,133 @@
+"""Tests for ExaBan (exact Banzhaf computation over complete d-trees)."""
+
+import pytest
+
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.boolean.assignments import banzhaf_brute_force, count_models
+from repro.boolean.dnf import DNF
+from repro.core.banzhaf import (
+    banzhaf_exact,
+    penrose_banzhaf_index,
+    penrose_banzhaf_power,
+)
+from repro.core.exaban import IncompleteDTreeError, exaban, exaban_all, model_count
+from repro.dtree.compile import compile_dnf
+from repro.dtree.incremental import IncrementalCompiler
+from repro.dtree.nodes import DecompAnd, DecompOr, ExclusiveOr, LiteralLeaf, TrueLeaf
+from repro.workloads.generators import (
+    bipartite_lineage,
+    chain_lineage,
+    random_positive_dnf,
+    star_join_lineage,
+)
+
+
+class TestWorkedExamples:
+    def test_example11(self, example9_dnf):
+        tree = compile_dnf(example9_dnf)
+        assert exaban(tree, 0) == (3, 3)
+        assert exaban(tree, 1) == (1, 3)
+
+    def test_example13(self, example13_dnf):
+        tree = compile_dnf(example13_dnf)
+        banzhaf, count = exaban(tree, 0)
+        assert banzhaf == 3
+        assert count == 11
+
+    def test_example7_lineage(self):
+        # Lineage of Example 6/7.  The S facts have Banzhaf value 1 as the
+        # paper reports; the R and T facts (appearing in both clauses) have
+        # value 3 by Definition 1 (see the note in test_assignments).
+        lineage = DNF([[0, 1, 3], [0, 2, 3]])
+        values = exaban_all(compile_dnf(lineage))
+        assert values[0] == 3 and values[3] == 3
+        assert values[1] == 1 and values[2] == 1
+
+
+class TestLeafCases:
+    def test_literal_cases(self):
+        assert exaban(LiteralLeaf(1), 1) == (1, 1)
+        assert exaban(LiteralLeaf(1, negated=True), 1) == (-1, 1)
+        assert exaban(LiteralLeaf(2), 1) == (0, 1)
+
+    def test_constant_cases(self):
+        assert exaban(TrueLeaf([1, 2]), 1) == (0, 4)
+        from repro.dtree.nodes import FalseLeaf
+        assert exaban(FalseLeaf([1, 2]), 1) == (0, 0)
+
+    def test_incomplete_tree_rejected(self):
+        compiler = IncrementalCompiler(DNF([[0, 1], [1, 2]]))
+        with pytest.raises(IncompleteDTreeError):
+            exaban(compiler.root, 0)
+        with pytest.raises(IncompleteDTreeError):
+            exaban_all(compiler.root)
+        with pytest.raises(IncompleteDTreeError):
+            model_count(compiler.root)
+
+
+class TestCombinationRules:
+    def test_decomp_and(self):
+        node = DecompAnd([LiteralLeaf(1), TrueLeaf([2, 3])])
+        assert exaban(node, 1) == (4, 4)
+
+    def test_decomp_or(self):
+        # x1 | (x2 & x3): Banzhaf(x1) = 2^2 - 1 = 3.
+        node = DecompOr([LiteralLeaf(1),
+                         DecompAnd([LiteralLeaf(2), LiteralLeaf(3)])])
+        assert exaban(node, 1) == (3, 5)
+
+    def test_exclusive_or(self):
+        positive = DecompAnd([LiteralLeaf(1), TrueLeaf([2])])
+        negative = DecompAnd([LiteralLeaf(1, negated=True), LiteralLeaf(2)])
+        node = ExclusiveOr([positive, negative])
+        assert exaban(node, 1)[1] == 3  # models: {1}, {1,2}, {2}
+
+
+class TestAgainstBruteForce:
+    def test_random_functions(self, rng):
+        for _ in range(60):
+            function = random_positive_dnf(rng, rng.randint(1, 7),
+                                           rng.randint(1, 7), (1, 3))
+            tree = compile_dnf(function)
+            expected = banzhaf_all_brute_force(function)
+            assert exaban_all(tree) == expected
+            for variable in sorted(function.domain):
+                assert exaban(tree, variable) == (expected[variable],
+                                                  count_models(function))
+
+    def test_structured_generators(self, rng):
+        for function in (
+            star_join_lineage(rng, 2, 2),
+            chain_lineage(rng, 4),
+            bipartite_lineage(rng, 3, 3, 0.5),
+        ):
+            tree = compile_dnf(function)
+            for variable in sorted(function.variables):
+                assert exaban(tree, variable)[0] == banzhaf_brute_force(
+                    function, variable)
+
+    def test_exaban_all_matches_single_variable_runs(self, rng):
+        function = random_positive_dnf(rng, 8, 10, (2, 3))
+        tree = compile_dnf(function)
+        all_values = exaban_all(tree)
+        for variable in sorted(function.domain):
+            assert all_values[variable] == exaban(tree, variable)[0]
+
+
+class TestConvenienceAPI:
+    def test_banzhaf_exact_single_and_all(self, example9_dnf):
+        assert banzhaf_exact(example9_dnf, 0) == 3
+        assert banzhaf_exact(example9_dnf) == {0: 3, 1: 1, 2: 1}
+
+    def test_penrose_power(self, example9_dnf):
+        # 3 / 2^(3-1) = 3/4.
+        from fractions import Fraction
+        assert penrose_banzhaf_power(example9_dnf, 0) == Fraction(3, 4)
+
+    def test_penrose_index_sums_to_one(self, example9_dnf):
+        index = penrose_banzhaf_index(example9_dnf)
+        assert sum(index.values()) == 1
+
+    def test_penrose_index_of_false(self):
+        index = penrose_banzhaf_index(DNF.false([0, 1]))
+        assert all(value == 0 for value in index.values())

@@ -1,0 +1,246 @@
+"""Tests for the experiment harness: metrics, runner, tables and figures."""
+
+import random
+
+import pytest
+
+from repro.experiments.figures import (
+    adaban_error_is_monotone,
+    figure4_size_breakdown,
+    figure5_convergence,
+)
+from repro.experiments.metrics import (
+    ground_truth_topk,
+    kendall_tau_distance,
+    l1_normalized_error,
+    percentile,
+    precision_at_k,
+    summarize_times,
+)
+from repro.experiments.report import format_value, render_mapping_table, render_series, render_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    ExperimentConfig,
+    exact_ground_truth,
+    run_algorithm,
+    run_workloads,
+    topk_from_values,
+    topk_with_cnf_proxy,
+    topk_with_ichiban,
+)
+from repro.experiments import tables
+from repro.workloads.generators import LineageInstance, random_positive_dnf
+from repro.workloads.suite import Workload
+
+
+@pytest.fixture(scope="module")
+def tiny_workloads():
+    rng = random.Random(77)
+    instances = []
+    for index in range(4):
+        lineage = random_positive_dnf(rng, 5 + index, 5 + index, (2, 3))
+        instances.append(LineageInstance("tiny", f"q{index % 2}", (index,), lineage))
+    return [Workload(name="tiny", instances=tuple(instances))]
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_workloads):
+    config = ExperimentConfig(timeout_seconds=5.0)
+    return run_workloads(tiny_workloads, ["exaban", "sig22", "adaban", "mc"],
+                         config)
+
+
+class TestMetrics:
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 2.5
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile(values, 2.0)
+
+    def test_summarize_times(self):
+        summary = summarize_times([1.0, 2.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["max"] == 3.0
+        empty = summarize_times([])
+        assert empty["mean"] != empty["mean"]  # NaN
+
+    def test_l1_error_zero_for_identical(self):
+        assert l1_normalized_error({0: 3, 1: 1}, {0: 3, 1: 1}) == 0.0
+
+    def test_l1_error_scale_invariant(self):
+        assert l1_normalized_error({0: 6, 1: 2}, {0: 3, 1: 1}) == 0.0
+
+    def test_l1_error_missing_keys(self):
+        assert l1_normalized_error({0: 1}, {0: 1, 1: 1}) == pytest.approx(1.0)
+
+    def test_precision_at_k(self):
+        exact = {0: 10, 1: 5, 2: 1}
+        assert precision_at_k([0, 1], exact, 2) == 1.0
+        assert precision_at_k([0, 2], exact, 2) == 0.5
+        assert precision_at_k([], exact, 2) == 0.0
+
+    def test_precision_counts_ties_generously(self):
+        exact = {0: 5, 1: 5, 2: 5}
+        assert precision_at_k([2], exact, 1) == 1.0
+
+    def test_ground_truth_topk_with_ties(self):
+        assert ground_truth_topk({0: 5, 1: 5, 2: 1}, 1) == {0, 1}
+        with pytest.raises(ValueError):
+            ground_truth_topk({0: 1}, 0)
+
+    def test_kendall_tau(self):
+        assert kendall_tau_distance([1, 2, 3], [1, 2, 3]) == 0.0
+        assert kendall_tau_distance([1, 2, 3], [3, 2, 1]) == 1.0
+        with pytest.raises(ValueError):
+            kendall_tau_distance([1], [2])
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.000012) == "1.20e-05"
+        assert format_value(float("nan")) == "-"
+        assert format_value("text") == "text"
+
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, 4.0]], title="T")
+        assert "T" in text and "2.5" in text
+
+    def test_render_mapping_table(self):
+        text = render_mapping_table([{"a": 1, "b": 2}], ["a", "b"])
+        assert "1" in text and "2" in text
+
+    def test_render_series(self):
+        text = render_series("s", [(0.1, 1.0), (0.2, 0.5)])
+        assert "s" in text and "0.5" in text
+
+
+class TestRunner:
+    def test_algorithm_registry(self):
+        assert set(ALGORITHMS) == {"adaban", "exaban", "mc", "sig22"}
+        with pytest.raises(ValueError):
+            run_algorithm("nope", None, ExperimentConfig())
+
+    def test_all_algorithms_succeed_on_small_instance(self, rng):
+        instance = LineageInstance("t", "q", (0,),
+                                   random_positive_dnf(rng, 5, 4, (2, 3)))
+        config = ExperimentConfig(timeout_seconds=5.0)
+        exact = None
+        for algorithm in ALGORITHMS:
+            result = run_algorithm(algorithm, instance, config)
+            assert result.success, result.failure_reason
+            if algorithm == "exaban":
+                exact = result.values
+        assert exact is not None
+
+    def test_failure_is_recorded_not_raised(self):
+        rng = random.Random(0)
+        instance = LineageInstance(
+            "t", "q", (0,), random_positive_dnf(rng, 40, 60, (4, 6)))
+        config = ExperimentConfig(timeout_seconds=0.05, max_shannon_steps=5)
+        result = run_algorithm("exaban", instance, config)
+        assert not result.success
+        assert result.failure_reason
+
+    def test_exact_ground_truth(self, rng):
+        instance = LineageInstance("t", "q", (0,),
+                                   random_positive_dnf(rng, 5, 4, (2, 3)))
+        truth = exact_ground_truth(instance)
+        assert truth is not None and set(truth) == instance.lineage.domain
+
+    def test_topk_helpers(self, rng):
+        instance = LineageInstance("t", "q", (0,),
+                                   random_positive_dnf(rng, 6, 6, (2, 3)))
+        config = ExperimentConfig(timeout_seconds=5.0)
+        assert len(topk_with_ichiban(instance, 3, config)) == 3
+        assert len(topk_with_cnf_proxy(instance, 3, config)) == 3
+        assert topk_from_values({0: 5, 1: 9}, 1) == [1]
+
+    def test_run_workloads_shape(self, tiny_workloads, tiny_results):
+        assert set(tiny_results) == {("tiny", a) for a in
+                                     ("exaban", "sig22", "adaban", "mc")}
+        for results in tiny_results.values():
+            assert len(results) == len(tiny_workloads[0].instances)
+
+
+class TestTables:
+    def test_table1(self, tiny_workloads):
+        rows = tables.table1_dataset_statistics(tiny_workloads)
+        assert rows[0]["dataset"] == "tiny"
+        assert rows[0]["queries"] == 2
+        assert rows[0]["lineages"] == 4
+
+    def test_table2(self, tiny_results):
+        rows = tables.table2_success_rates(tiny_results,
+                                           ["exaban", "sig22", "adaban", "mc"])
+        assert len(rows) == 4
+        exaban_row = [r for r in rows if r["algorithm"] == "exaban"][0]
+        assert exaban_row["lineage_success_rate"] == 1.0
+        assert exaban_row["query_success_rate"] == 1.0
+
+    def test_table3_and_5_have_runtime_columns(self, tiny_results):
+        for rows in (tables.table3_exact_runtime(tiny_results),
+                     tables.table5_approx_runtime(tiny_results)):
+            assert rows
+            assert {"mean", "p50", "p95", "max"} <= set(rows[0])
+
+    def test_table4_and_6_handle_no_failures(self, tiny_results):
+        rows4 = tables.table4_exaban_when_sig22_fails(tiny_results)
+        rows6 = tables.table6_adaban_when_exaban_fails(tiny_results)
+        assert rows4[0]["sig22_failures"] == 0
+        assert rows6[0]["exaban_failures"] == 0
+
+    def test_table7_accuracy(self, tiny_results):
+        rows = tables.table7_accuracy(tiny_results)
+        adaban_rows = [r for r in rows if r["algorithm"] == "adaban"
+                       and r["dataset"] == "tiny"]
+        mc_rows = [r for r in rows if r["algorithm"] == "mc"
+                   and r["dataset"] == "tiny"]
+        # AdaBan's certified 0.1-error estimates are far more accurate than MC.
+        assert adaban_rows[0]["mean"] <= mc_rows[0]["mean"]
+
+    def test_table8_topk_precision(self, tiny_workloads):
+        config = ExperimentConfig(timeout_seconds=5.0)
+        rows = tables.table8_topk_precision(tiny_workloads, config,
+                                            k_values=(3,))
+        ichiban_row = [r for r in rows if r["algorithm"] == "ichiban"][0]
+        assert ichiban_row["precision@3_mean"] == pytest.approx(1.0)
+
+    def test_table9_topk_certain(self, tiny_workloads):
+        config = ExperimentConfig(timeout_seconds=5.0)
+        rows = tables.table9_topk_certain(tiny_workloads, config, k_values=(1,))
+        assert rows[0]["success_rate"] == 1.0
+
+    def test_appendix_d_rows(self):
+        rows, summary = tables.appendix_d_rows()
+        assert summary["banzhaf_prefers"] == "R(a1)"
+        assert summary["shapley_prefers"] == "R(a2)"
+        assert rows[2]["critical_R_a1"] == 9
+
+    def test_instances_of(self, tiny_workloads):
+        assert len(tables.instances_of(tiny_workloads)) == 4
+
+
+class TestFigures:
+    def test_figure4_bins(self, tiny_results):
+        rows = figure4_size_breakdown(tiny_results[("tiny", "exaban")],
+                                      group_by="variables")
+        assert rows
+        assert all(0.0 <= row.success_rate <= 1.0 for row in rows)
+        with pytest.raises(ValueError):
+            figure4_size_breakdown([], group_by="bogus")
+
+    def test_figure5_trace(self, rng):
+        instance = LineageInstance("t", "q", (0,),
+                                   random_positive_dnf(rng, 7, 8, (2, 3)))
+        trace = figure5_convergence(instance, mc_samples=200,
+                                    config=ExperimentConfig(timeout_seconds=5.0))
+        assert trace is not None
+        assert trace.adaban and trace.monte_carlo
+        assert adaban_error_is_monotone(trace)
+        final_adaban, _ = trace.final_errors()
+        assert final_adaban == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for IchiBan (Banzhaf-based ranking and top-k)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.boolean.dnf import DNF
+from repro.core.ichiban import ichiban_rank, ichiban_topk, ichiban_topk_certain
+from repro.workloads.generators import random_positive_dnf, star_join_lineage
+
+
+def _exact_order(function: DNF):
+    exact = banzhaf_all_brute_force(function, sorted(function.variables))
+    return exact, sorted(exact, key=lambda v: (-exact[v], v))
+
+
+class TestTopK:
+    def test_rejects_non_positive_k(self, example9_dnf):
+        with pytest.raises(ValueError):
+            ichiban_topk(example9_dnf, 0)
+        with pytest.raises(ValueError):
+            ichiban_topk_certain(example9_dnf, -1)
+
+    def test_certain_topk_matches_brute_force(self, rng):
+        for _ in range(20):
+            function = random_positive_dnf(rng, rng.randint(3, 7),
+                                           rng.randint(2, 7), (1, 3))
+            exact, order = _exact_order(function)
+            for k in (1, 2, 3):
+                reported = ichiban_topk_certain(function, k)
+                assert len(reported) == min(k, len(order))
+                # Every reported variable's exact value must be at least the
+                # k-th largest exact value (ties make the set non-unique).
+                threshold = exact[order[min(k, len(order)) - 1]]
+                for entry in reported:
+                    assert exact[entry.variable] >= threshold
+
+    def test_certain_topk_intervals_contain_exact(self, rng):
+        function = random_positive_dnf(rng, 6, 8, (2, 3))
+        exact, _ = _exact_order(function)
+        for entry in ichiban_topk_certain(function, 3):
+            assert entry.lower <= exact[entry.variable] <= entry.upper
+
+    def test_approximate_topk_on_clear_winner(self, example9_dnf):
+        top = ichiban_topk(example9_dnf, 1, epsilon=0.1)
+        assert top[0].variable == 0
+
+    def test_approximate_topk_precision(self, rng):
+        # With a moderate epsilon the reported set should still be exact here.
+        for _ in range(10):
+            function = random_positive_dnf(rng, rng.randint(4, 7),
+                                           rng.randint(3, 7), (1, 3))
+            exact, order = _exact_order(function)
+            k = 3
+            reported = {entry.variable for entry in
+                        ichiban_topk(function, k, epsilon=0.05)}
+            threshold = exact[order[min(k, len(order)) - 1]]
+            legitimate = {v for v in exact if exact[v] >= threshold}
+            assert reported <= legitimate or reported == set(order[:k])
+
+    def test_star_lineage_top1_is_hub(self, rng):
+        function = star_join_lineage(rng, 1, 3)
+        top = ichiban_topk_certain(function, 1)
+        # Variable 0 is the hub appearing in every clause.
+        assert top[0].variable == 0
+
+
+class TestRanking:
+    def test_certain_ranking_matches_brute_force(self, rng):
+        for _ in range(15):
+            function = random_positive_dnf(rng, rng.randint(3, 6),
+                                           rng.randint(2, 6), (1, 3))
+            exact, order = _exact_order(function)
+            ranking = ichiban_rank(function, epsilon=None)
+            reported_values = [exact[entry.variable] for entry in ranking]
+            # The reported order must be non-increasing in the exact values.
+            assert reported_values == sorted(reported_values, reverse=True)
+            assert {entry.variable for entry in ranking} == function.variables
+
+    def test_epsilon_ranking_orders_by_midpoints(self, rng):
+        function = random_positive_dnf(rng, 6, 8, (2, 3))
+        ranking = ichiban_rank(function, epsilon=0.1)
+        midpoints = [entry.estimate for entry in ranking]
+        assert midpoints == sorted(midpoints, reverse=True)
+
+    def test_ranking_entry_fields(self, example9_dnf):
+        ranking = ichiban_rank(example9_dnf, epsilon=None)
+        first = ranking[0]
+        assert first.variable == 0
+        assert first.lower == first.upper == 3
+        assert first.estimate == Fraction(3)
+
+    def test_all_equal_values_rank_as_ties(self):
+        function = DNF([[0], [1], [2]])
+        ranking = ichiban_rank(function, epsilon=None)
+        values = {entry.variable: entry.estimate for entry in ranking}
+        assert len(set(values.values())) == 1

@@ -1,0 +1,107 @@
+"""Tests for PP2DNF functions, #BIS / #NSat, and the hardness constructions."""
+
+import pytest
+
+from repro.boolean.pp2dnf import (
+    BipartiteGraph,
+    PP2DNF,
+    count_independent_sets_nx,
+    graph_to_pp2dnf,
+    hat_and,
+    lemma24_gadget,
+    matching_function,
+)
+
+
+class TestBipartiteGraph:
+    def test_from_edges(self):
+        graph = BipartiteGraph.from_edges([(1, 10), (2, 11)])
+        assert graph.left == frozenset({1, 2})
+        assert graph.right == frozenset({10, 11})
+
+    def test_parts_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(frozenset({1}), frozenset({1}), frozenset())
+
+    def test_edges_must_cross(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(frozenset({1}), frozenset({2}),
+                           frozenset({(2, 1)}))
+
+    def test_count_independent_sets_path(self):
+        # A single edge: independent sets are {}, {u}, {w} -> 3.
+        graph = BipartiteGraph.from_edges([(1, 2)])
+        assert graph.count_independent_sets() == 3
+
+    def test_count_independent_sets_with_isolated_node(self):
+        graph = BipartiteGraph.from_edges([(1, 2)], left=[3])
+        assert graph.count_independent_sets() == 6
+
+    def test_two_counting_implementations_agree(self):
+        graph = BipartiteGraph.from_edges(
+            [(1, 10), (1, 11), (2, 11), (3, 12)], left=[4])
+        assert (graph.count_independent_sets()
+                == count_independent_sets_nx(graph))
+
+
+class TestPP2DNF:
+    def test_construction(self):
+        function = PP2DNF([1, 2], [10], [(1, 10)])
+        assert function.domain() == frozenset({1, 2, 10})
+        assert function.clauses == frozenset({(1, 10)})
+
+    def test_parts_disjoint(self):
+        with pytest.raises(ValueError):
+            PP2DNF([1], [1], [])
+
+    def test_clause_must_span(self):
+        with pytest.raises(ValueError):
+            PP2DNF([1], [2], [(2, 1)])
+
+    def test_to_dnf(self):
+        function = PP2DNF([1], [2], [(1, 2)])
+        dnf = function.to_dnf()
+        assert dnf.clauses == frozenset({frozenset({1, 2})})
+
+    def test_count_non_satisfying(self):
+        function = PP2DNF([1], [2], [(1, 2)])
+        assert function.count_non_satisfying() == 3
+
+
+class TestReductions:
+    def test_parsimonious_reduction(self):
+        graph = BipartiteGraph.from_edges([(1, 10), (2, 10), (2, 11)], left=[3])
+        function = graph_to_pp2dnf(graph)
+        assert graph.count_independent_sets() == function.count_non_satisfying()
+
+    def test_hat_and_adds_clauses(self):
+        function = PP2DNF([1], [10, 11], [(1, 10)])
+        extended = hat_and(99, function)
+        assert (99, 10) in extended.clauses
+        assert (99, 11) in extended.clauses
+        with pytest.raises(ValueError):
+            hat_and(1, function)
+
+    def test_matching_function_counts(self):
+        # psi_m for m = 2: non-satisfying assignments = 3^2 = 9.
+        psi = matching_function([(1, 2), (3, 4)])
+        assert psi.count_non_satisfying() == 9
+        with pytest.raises(ValueError):
+            matching_function([(1, 2), (1, 4)])
+
+    def test_lemma24_gadget_structure(self):
+        phi = PP2DNF([1], [2], [(1, 2)])
+        psi = matching_function([(10, 11)])
+        gadget = lemma24_gadget(phi, psi, x_var=100, y_var=101)
+        assert 100 in gadget.left and 101 in gadget.left
+        # The hat clauses connect the fresh variables to the right parts.
+        assert (100, 2) in gadget.clauses
+        assert (101, 11) in gadget.clauses
+
+    def test_lemma24_gadget_validation(self):
+        phi = PP2DNF([1], [2], [(1, 2)])
+        psi = matching_function([(10, 11)])
+        with pytest.raises(ValueError):
+            lemma24_gadget(phi, psi, x_var=1, y_var=101)
+        with pytest.raises(ValueError):
+            lemma24_gadget(phi, phi, x_var=100, y_var=101)

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper."""
+
+from hypothesis import given, settings
+
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.baselines.sig22 import sig22_banzhaf_all
+from repro.boolean.assignments import (
+    banzhaf_brute_force,
+    count_models,
+    enumerate_assignments,
+)
+from repro.boolean.dnf import DNF
+from repro.boolean.idnf import idnf_model_count, lower_idnf, upper_idnf
+from repro.core.adaban import adaban_all
+from repro.core.bounds import bounds_for_variable, count_bounds
+from repro.core.exaban import exaban_all, model_count
+from repro.core.ichiban import ichiban_rank
+from repro.core.shapley import shapley_all
+from repro.dtree.compile import compile_dnf
+from repro.dtree.incremental import IncrementalCompiler
+
+from .conftest import small_dnfs
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_dtree_compilation_preserves_semantics(function: DNF):
+    tree = compile_dnf(function)
+    tree.validate()
+    for assignment in enumerate_assignments(function.domain):
+        assert tree.evaluate(assignment) == function.evaluate(assignment)
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_model_count_matches_brute_force(function: DNF):
+    assert model_count(compile_dnf(function)) == count_models(function)
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_exaban_matches_definition(function: DNF):
+    assert exaban_all(compile_dnf(function)) == banzhaf_all_brute_force(function)
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_banzhaf_equals_cofactor_count_difference(function: DNF):
+    # Proposition 3: Banzhaf(phi, x) = #phi[x:=1] - #phi[x:=0].
+    from repro.boolean.dnf import ConstantTrue
+
+    for variable in sorted(function.variables):
+        try:
+            positive = count_models(function.cofactor(variable, True))
+        except ConstantTrue as constant:
+            positive = 1 << len(constant.domain)
+        negative = count_models(function.cofactor(variable, False))
+        assert banzhaf_brute_force(function, variable) == positive - negative
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_idnf_bounds_sandwich_model_count(function: DNF):
+    exact = count_models(function)
+    assert idnf_model_count(lower_idnf(function)) <= exact
+    assert exact <= idnf_model_count(upper_idnf(function))
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_partial_tree_bounds_contain_exact_values(function: DNF):
+    exact_counts = count_models(function)
+    exact_banzhaf = banzhaf_all_brute_force(function)
+    compiler = IncrementalCompiler(function)
+    for _ in range(4):
+        lower, upper = count_bounds(compiler.root)
+        assert lower <= exact_counts <= upper
+        for variable in sorted(function.variables):
+            bounds = bounds_for_variable(compiler.root, variable)
+            assert bounds.banzhaf_lower <= exact_banzhaf[variable] <= bounds.banzhaf_upper
+        if compiler.is_complete():
+            break
+        compiler.expand_step(lazy=False)
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_adaban_intervals_contain_exact_value(function: DNF):
+    exact = banzhaf_all_brute_force(function)
+    results = adaban_all(function, epsilon=0.25)
+    for variable, result in results.items():
+        assert result.lower <= exact[variable] <= result.upper
+        if result.converged and exact[variable] > 0:
+            assert 0.75 * exact[variable] <= result.estimate <= 1.25 * exact[variable]
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_sig22_agrees_with_exaban(function: DNF):
+    expected = banzhaf_all_brute_force(function, sorted(function.variables))
+    assert sig22_banzhaf_all(function) == expected
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_ichiban_certain_ranking_is_consistent(function: DNF):
+    exact = banzhaf_all_brute_force(function, sorted(function.variables))
+    if not exact:
+        return
+    ranking = ichiban_rank(function, epsilon=None)
+    values = [exact[entry.variable] for entry in ranking]
+    assert values == sorted(values, reverse=True)
+
+
+@_SETTINGS
+@given(function=small_dnfs())
+def test_shapley_efficiency_axiom(function: DNF):
+    # Efficiency: Shapley values sum to 1 for satisfiable positive functions
+    # with at least one clause (phi(empty) = 0, phi(all) = 1).
+    shapley = shapley_all(function)
+    assert sum(shapley.values()) == 1
+    assert all(value >= 0 for value in shapley.values())

@@ -1,0 +1,111 @@
+"""Tests for exact Shapley values and the Appendix D divergence example."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.boolean.assignments import critical_set_counts
+from repro.boolean.dnf import DNF
+from repro.core.shapley import (
+    banzhaf_from_critical_counts,
+    critical_counts_exact,
+    shapley_all,
+    shapley_brute_force,
+    shapley_exact,
+    shapley_from_critical_counts,
+)
+from repro.db.lineage import lineage_of_boolean_query
+from repro.db.reductions import appendix_d_database, appendix_d_query
+from repro.workloads.generators import random_positive_dnf
+
+
+class TestCriticalCounts:
+    def test_match_brute_force(self, rng):
+        for _ in range(25):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(1, 6), (1, 3))
+            for variable in sorted(function.variables):
+                assert (critical_counts_exact(function, variable)
+                        == critical_set_counts(function, variable))
+
+    def test_unknown_variable(self):
+        with pytest.raises(ValueError):
+            critical_counts_exact(DNF([[0]]), 5)
+
+    def test_silent_variable_counts_are_zero(self):
+        function = DNF([[0]], domain=[0, 1])
+        assert critical_counts_exact(function, 1) == [0, 0]
+
+    def test_banzhaf_from_counts(self, example9_dnf):
+        counts = critical_counts_exact(example9_dnf, 0)
+        assert banzhaf_from_critical_counts(counts) == 3
+
+
+class TestShapley:
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(1, 5), (1, 3))
+            for variable in sorted(function.variables):
+                assert (shapley_exact(function, variable)
+                        == shapley_brute_force(function, variable))
+
+    def test_efficiency_axiom(self, rng):
+        # Shapley values of all variables sum to phi(all) - phi(empty) = 1
+        # for any satisfiable positive function not satisfied by the empty set.
+        for _ in range(15):
+            function = random_positive_dnf(rng, rng.randint(2, 6),
+                                           rng.randint(1, 5), (1, 3))
+            total = sum(shapley_all(function).values())
+            assert total == 1
+
+    def test_single_literal(self):
+        assert shapley_exact(DNF([[0]]), 0) == 1
+
+    def test_symmetric_or(self):
+        function = DNF([[0], [1]])
+        assert shapley_exact(function, 0) == Fraction(1, 2)
+        assert shapley_exact(function, 1) == Fraction(1, 2)
+
+    def test_shapley_from_counts_helper(self):
+        counts = [1, 0]
+        assert shapley_from_critical_counts(counts, 2) == Fraction(1, 2)
+
+
+class TestAppendixD:
+    def test_banzhaf_and_shapley_rankings_diverge(self):
+        database, r_a1, r_a2 = appendix_d_database()
+        query = appendix_d_query()
+        lineage = lineage_of_boolean_query(query, database, domain="database")
+        v1 = database.variable_of(r_a1)
+        v2 = database.variable_of(r_a2)
+
+        counts_a1 = critical_counts_exact(lineage, v1)
+        counts_a2 = critical_counts_exact(lineage, v2)
+        banzhaf_a1 = banzhaf_from_critical_counts(counts_a1)
+        banzhaf_a2 = banzhaf_from_critical_counts(counts_a2)
+        shapley_a1 = shapley_from_critical_counts(counts_a1, 18)
+        shapley_a2 = shapley_from_critical_counts(counts_a2, 18)
+
+        # The exact Banzhaf totals reported in Appendix D.
+        assert banzhaf_a1 == 62_867
+        assert banzhaf_a2 == 60_435
+        assert banzhaf_a1 > banzhaf_a2
+        # The Shapley ranking is reversed.  The paper's per-row Shapley
+        # contributions (rounded to 4 decimals) sum to 0.2729 and 0.2766;
+        # compare with a tolerance that absorbs the rounding.
+        assert shapley_a1 < shapley_a2
+        assert abs(float(shapley_a1) - 0.2729) < 2e-3
+        assert abs(float(shapley_a2) - 0.2766) < 2e-3
+
+    def test_appendix_d_critical_set_table_row(self):
+        # Spot-check a row of the Appendix D table: k = 2 has 9 and 16 sets.
+        database, r_a1, r_a2 = appendix_d_database()
+        lineage = lineage_of_boolean_query(appendix_d_query(), database,
+                                           domain="database")
+        counts_a1 = critical_counts_exact(lineage, database.variable_of(r_a1))
+        counts_a2 = critical_counts_exact(lineage, database.variable_of(r_a2))
+        assert counts_a1[2] == 9
+        assert counts_a2[2] == 16
+        assert counts_a1[16] == 1
+        assert counts_a2[16] == 1

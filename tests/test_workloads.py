@@ -1,0 +1,154 @@
+"""Tests for the lineage generators and the synthetic dataset workloads."""
+
+import random
+
+import pytest
+
+from repro.boolean.idnf import is_idnf
+from repro.db.hierarchy import classify_query
+from repro.workloads import academic, imdb, tpch
+from repro.workloads.generators import (
+    LineageInstance,
+    bipartite_lineage,
+    chain_lineage,
+    mixed_hard_instances,
+    random_positive_dnf,
+    size_profile,
+    star_join_lineage,
+)
+from repro.workloads.suite import Workload, build_workload, default_workloads, hard_instances
+
+
+class TestGenerators:
+    def test_random_positive_dnf_covers_all_variables(self, rng):
+        function = random_positive_dnf(rng, 10, 6, (2, 3))
+        assert function.variables == frozenset(range(10))
+        assert function.num_clauses() <= 6
+
+    def test_random_positive_dnf_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_positive_dnf(rng, 0, 3)
+        with pytest.raises(ValueError):
+            random_positive_dnf(rng, 3, 0)
+
+    def test_star_join_is_hierarchy_shaped(self, rng):
+        function = star_join_lineage(rng, 2, 2)
+        # Every clause contains its hub; hubs partition the clauses, so no
+        # variable repeats across hub groups except inside a group.
+        assert function.num_clauses() >= 2
+
+    def test_chain_lineage_overlaps(self, rng):
+        function = chain_lineage(rng, 5, width=2)
+        assert function.num_clauses() == 5
+
+    def test_bipartite_lineage_structure(self, rng):
+        function = bipartite_lineage(rng, 4, 5, density=0.5)
+        for clause in function.clauses:
+            assert len(clause) == 2
+            left, right = sorted(clause)
+            assert left < 4 <= right
+
+    def test_bipartite_lineage_never_empty(self, rng):
+        function = bipartite_lineage(rng, 2, 2, density=0.0)
+        assert function.num_clauses() == 1
+
+    def test_generator_validation(self, rng):
+        with pytest.raises(ValueError):
+            star_join_lineage(rng, 0, 1)
+        with pytest.raises(ValueError):
+            chain_lineage(rng, 0)
+        with pytest.raises(ValueError):
+            bipartite_lineage(rng, 0, 1)
+
+    def test_reproducibility(self):
+        first = random_positive_dnf(random.Random(3), 8, 6, (2, 3))
+        second = random_positive_dnf(random.Random(3), 8, 6, (2, 3))
+        assert first == second
+
+    def test_mixed_hard_instances(self):
+        instances = mixed_hard_instances(seed=1, count=8)
+        assert len(instances) == 8
+        kinds = {i.tags[1] for i in instances}
+        assert kinds == {"bipartite", "random", "chain", "wide"}
+        assert all("hard" in i.tags for i in instances)
+
+    def test_size_profile(self):
+        instances = mixed_hard_instances(seed=2, count=3)
+        profile = size_profile(instances)
+        assert profile["count"] == 3
+        assert profile["max_vars"] >= profile["avg_vars"]
+        assert size_profile([])["count"] == 0
+
+    def test_lineage_instance_metadata(self, rng):
+        instance = LineageInstance("d", "q", (1, 2),
+                                   random_positive_dnf(rng, 4, 3))
+        assert instance.num_variables == 4
+        assert instance.label() == "d/q/1_2"
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("module", [academic, imdb, tpch])
+    def test_database_generation_is_reproducible(self, module):
+        first = module.generate_database(seed=5)
+        second = module.generate_database(seed=5)
+        assert first.num_facts() == second.num_facts()
+        assert first.num_facts() > 10
+
+    @pytest.mark.parametrize("module", [academic, imdb, tpch])
+    def test_databases_have_exogenous_dimension_facts(self, module):
+        database = module.generate_database()
+        assert database.exogenous_facts()
+        assert database.endogenous_facts()
+
+    @pytest.mark.parametrize("module", [academic, imdb, tpch])
+    def test_queries_parse_and_mix_structures(self, module):
+        names = [name for name, _ in module.queries()]
+        assert len(names) == len(set(names))
+        assert len(names) >= 6
+
+    def test_query_mix_contains_non_hierarchical(self):
+        classifications = set()
+        for _, query in imdb.queries():
+            disjuncts = getattr(query, "disjuncts", (query,))
+            for disjunct in disjuncts:
+                classifications.add(classify_query(disjunct))
+        assert "non-hierarchical" in classifications or "has-self-joins" in classifications
+
+    @pytest.mark.parametrize("module", [academic, imdb, tpch])
+    def test_workload_produces_instances(self, module):
+        instances = module.workload(max_answers_per_query=2)
+        assert instances
+        assert all(isinstance(i, LineageInstance) for i in instances)
+        assert all(i.num_clauses >= 1 for i in instances)
+
+
+class TestSuite:
+    def test_build_workload_includes_hard_instances(self):
+        workload = build_workload("imdb")
+        assert isinstance(workload, Workload)
+        assert workload.hard()
+        assert len(workload) > len(workload.hard())
+
+    def test_build_workload_without_hard(self):
+        workload = build_workload("academic", include_hard=False)
+        assert not workload.hard()
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            build_workload("synthetic-nope")
+
+    def test_default_workloads_order(self):
+        names = [w.name for w in default_workloads(include_hard=False)]
+        assert names == ["academic", "imdb", "tpch"]
+
+    def test_hard_instances_across_workloads(self):
+        workloads = default_workloads()
+        pool = hard_instances(workloads)
+        assert all("hard" in i.tags for i in pool)
+        assert len(pool) == sum(len(w.hard()) for w in workloads)
+
+    def test_statistics_shape(self):
+        workload = build_workload("tpch", include_hard=False)
+        stats = workload.statistics()
+        assert set(stats) >= {"count", "avg_vars", "max_vars",
+                              "avg_clauses", "max_clauses"}
