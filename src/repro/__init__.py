@@ -41,6 +41,7 @@ from repro.db.datalog import parse_query
 from repro.db.lineage import lineage_of_answers, lineage_of_boolean_query
 from repro.db.query import Atom, ConjunctiveQuery, QueryVariable, Selection, UnionQuery
 from repro.dtree.compile import CompilationBudget, compile_dnf
+from repro.engine import Engine, EngineConfig, EngineStats
 
 __version__ = "1.0.0"
 
@@ -52,6 +53,9 @@ __all__ = [
     "ConjunctiveQuery",
     "DNF",
     "Database",
+    "Engine",
+    "EngineConfig",
+    "EngineStats",
     "Fact",
     "FactAttribution",
     "QueryVariable",

@@ -3,24 +3,30 @@
 Lets a user run the library without writing Python::
 
     python -m repro --facts R=r.csv --facts S=s.csv --exogenous S \\
-        --query "Q(X) :- R(X, Y), S(Y, Z)" --method exact --top 5
+        --query "Q(X) :- R(X, Y), S(Y, Z)" --method auto --top 5
 
 Each ``--facts NAME=PATH`` loads one relation from a headerless CSV file (one
 fact per row; every value is kept as a string unless it parses as an
 integer).  Relations listed with ``--exogenous`` are loaded as exogenous
 facts; all others are endogenous and receive attribution scores.
+
+The CLI runs on the batched attribution engine: repeatable ``--query``
+attributes several queries in one process (sharing the lineage cache),
+``--jobs N`` fans independent answers out over N worker processes, and
+``--stats`` prints the engine's cache/timing counters afterwards.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.core.attribution import attribute_facts
 from repro.db.database import Database
 from repro.db.datalog import parse_query
+from repro.engine import Engine, EngineConfig
 
 
 def _coerce(value: str) -> object:
@@ -71,14 +77,25 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME",
                         help="treat this relation's facts as exogenous "
                              "(repeatable)")
-    parser.add_argument("--query", required=True,
-                        help="Datalog-style query, e.g. \"Q(X) :- R(X, Y)\"")
-    parser.add_argument("--method", choices=("exact", "approximate", "shapley"),
-                        default="exact", help="attribution method")
+    parser.add_argument("--query", action="append", required=True,
+                        metavar="QUERY",
+                        help="Datalog-style query, e.g. \"Q(X) :- R(X, Y)\" "
+                             "(repeatable; queries share the lineage cache)")
+    parser.add_argument("--method",
+                        choices=("auto", "exact", "approximate", "shapley"),
+                        default="exact",
+                        help="attribution method (auto = exact with "
+                             "approximate fallback)")
     parser.add_argument("--epsilon", type=float, default=0.1,
                         help="relative error for the approximate method")
     parser.add_argument("--top", type=int, default=0,
                         help="print only the top-K facts per answer (0 = all)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for independent answers "
+                             "(0 or 1 = serial)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print engine statistics (cache hits, "
+                             "compilations, stage timings) after the results")
     return parser
 
 
@@ -98,22 +115,34 @@ def run(argv: Sequence[str], output=None) -> int:
         print(f"loaded {loaded} facts into {name}"
               f"{' (exogenous)' if name in exogenous else ''}", file=stream)
 
-    query = parse_query(arguments.query)
-    results = attribute_facts(query, database, method=arguments.method,
-                              epsilon=arguments.epsilon)
-    if not results:
-        print("the query has no answers with endogenous support", file=stream)
-        return 1
+    queries = [parse_query(text) for text in arguments.query]
+    engine = Engine(EngineConfig(method=arguments.method,
+                                 epsilon=arguments.epsilon,
+                                 max_workers=arguments.jobs))
+    all_answered = True
+    for query, results in engine.attribute_many(queries, database):
+        if len(queries) > 1:
+            print(f"\n== query {query} ==", file=stream)
+        if not results:
+            print("the query has no answers with endogenous support",
+                  file=stream)
+            all_answered = False
+            continue
+        for result in results:
+            answer = result.answer if result.answer else "(true)"
+            print(f"\nanswer {answer}:", file=stream)
+            attributions: Iterable = result.attributions
+            if arguments.top > 0:
+                attributions = result.top(arguments.top)
+            for attribution in attributions:
+                print(f"  {attribution}", file=stream)
 
-    for result in results:
-        answer = result.answer if result.answer else "(true)"
-        print(f"\nanswer {answer}:", file=stream)
-        attributions: Iterable = result.attributions
-        if arguments.top > 0:
-            attributions = result.top(arguments.top)
-        for attribution in attributions:
-            print(f"  {attribution}", file=stream)
-    return 0
+    if arguments.stats:
+        print("\nengine stats:", file=stream)
+        print(json.dumps(engine.stats.as_dict(), indent=2), file=stream)
+    # Exit 0 only when every query produced answers, extending the
+    # single-query contract (exit 1 on an unanswered query) to batches.
+    return 0 if all_answered else 1
 
 
 def main(argv: List[str] | None = None) -> int:

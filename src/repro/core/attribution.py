@@ -1,27 +1,27 @@
 """End-to-end fact attribution: query + database -> Banzhaf values per fact.
 
-This is the public entry point a downstream user calls: it evaluates the
-query, builds the lineage of each answer tuple, runs the requested algorithm
-(exact ExaBan, anytime AdaBan, or ranking/top-k IchiBan) and maps the lineage
-variables back to database facts.
+This is the public entry point a downstream user calls.  Since the engine
+refactor it is a thin compatibility wrapper over
+:class:`repro.engine.Engine`, which evaluates the query, canonicalizes and
+memoizes each answer's lineage, runs the requested algorithm (exact ExaBan,
+anytime AdaBan, or Shapley; ``"auto"`` picks ExaBan with an AdaBan fallback)
+and maps the lineage variables back to database facts.  Ranking and top-k
+(IchiBan) retain their direct anytime paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Literal, Optional, Sequence, Tuple
+from typing import Dict, List, Literal, Optional, Tuple
 
-from repro.core.adaban import adaban_all
-from repro.core.banzhaf import banzhaf_exact
 from repro.core.ichiban import RankedVariable, ichiban_rank, ichiban_topk
-from repro.core.shapley import shapley_all
 from repro.db.database import Database, Fact
-from repro.db.lineage import AnswerLineage, lineage_of_answers
+from repro.db.lineage import lineage_of_answers
 from repro.db.query import Query
 from repro.dtree.compile import CompilationBudget
 
-Method = Literal["exact", "approximate", "shapley"]
+Method = Literal["auto", "exact", "approximate", "shapley"]
 
 
 @dataclass(frozen=True)
@@ -77,12 +77,61 @@ def _attributions_from_values(values: Dict[int, Fraction], database: Database,
     return tuple(entries)
 
 
+#: Shared serial engines, one per (method, epsilon) configuration.  Sharing
+#: keeps the lineage cache warm across ``attribute_facts`` calls -- repeat
+#: queries and isomorphic answers skip compilation entirely.  Bounded: the
+#: least recently created engines are dropped past ``_MAX_SHARED_ENGINES``
+#: so data-derived epsilon values cannot accumulate caches forever.
+_SHARED_ENGINES: Dict[Tuple[str, float], object] = {}
+_MAX_SHARED_ENGINES = 8
+
+_VALID_METHODS = ("auto", "exact", "approximate", "shapley")
+
+
+def clear_shared_engines() -> None:
+    """Drop the shared engines (and their lineage caches).
+
+    ``attribute_facts`` rebuilds them lazily; use this to release memory in
+    long-running processes or to force cold-cache measurements.
+    """
+    _SHARED_ENGINES.clear()
+
+
+def _engine_for_call(method: Method, epsilon: float,
+                     compilation_budget: Optional[CompilationBudget]):
+    from repro.engine.engine import engine_for
+
+    if method not in _VALID_METHODS:
+        raise ValueError(f"unknown attribution method {method!r}")
+    if method == "approximate":
+        # The budget governs the *exact* methods only (seed semantics);
+        # AdaBan runs unbounded here, converging deterministically.
+        compilation_budget = None
+    if compilation_budget is not None:
+        # A caller-supplied budget gets a private engine: its results are
+        # budget-dependent (they may raise) and must not pollute the shared
+        # cache of unlimited-budget runs.
+        return engine_for(method, epsilon=epsilon, budget=compilation_budget)
+    key = (method, epsilon)
+    engine = _SHARED_ENGINES.get(key)
+    if engine is None:
+        while len(_SHARED_ENGINES) >= _MAX_SHARED_ENGINES:
+            _SHARED_ENGINES.pop(next(iter(_SHARED_ENGINES)))
+        engine = engine_for(method, epsilon=epsilon)
+        _SHARED_ENGINES[key] = engine
+    return engine
+
+
 def attribute_facts(query: Query, database: Database,
                     method: Method = "exact",
                     epsilon: float = 0.1,
                     compilation_budget: Optional[CompilationBudget] = None
                     ) -> List[AttributionResult]:
     """Attribute every answer of ``query`` to the endogenous facts.
+
+    A thin wrapper over :class:`repro.engine.Engine` (kept for backward
+    compatibility); use the engine directly for batching, parallelism and
+    statistics.
 
     Parameters
     ----------
@@ -93,44 +142,17 @@ def attribute_facts(query: Query, database: Database,
     method:
         ``"exact"`` for ExaBan Banzhaf values, ``"approximate"`` for AdaBan
         with relative error ``epsilon``, ``"shapley"`` for exact Shapley
-        values (provided for comparison).
+        values (provided for comparison), ``"auto"`` for ExaBan with an
+        AdaBan fallback when the compilation budget is exhausted.
     epsilon:
-        Relative error for the approximate method.
+        Relative error for the approximate method (and the auto fallback).
     compilation_budget:
-        Optional resource budget for the exact methods.
+        Optional resource budget for the exact methods, applied per lineage.
 
     Returns one :class:`AttributionResult` per answer tuple.
     """
-    results: List[AttributionResult] = []
-    for answer in lineage_of_answers(query, database):
-        results.append(_attribute_single(answer, database, method, epsilon,
-                                         compilation_budget))
-    return results
-
-
-def _attribute_single(answer: AnswerLineage, database: Database,
-                      method: Method, epsilon: float,
-                      compilation_budget: Optional[CompilationBudget]
-                      ) -> AttributionResult:
-    lineage = answer.lineage
-    if method == "exact":
-        raw = banzhaf_exact(lineage, budget=compilation_budget)
-        values = {v: Fraction(value) for v, value in raw.items()}
-        bounds = {v: (value, value) for v, value in raw.items()}
-    elif method == "approximate":
-        approx = adaban_all(lineage, epsilon=epsilon)
-        values = {v: result.estimate for v, result in approx.items()}
-        bounds = {v: (result.lower, result.upper)
-                  for v, result in approx.items()}
-    elif method == "shapley":
-        values = dict(shapley_all(lineage, budget=compilation_budget))
-        bounds = {}
-    else:
-        raise ValueError(f"unknown attribution method {method!r}")
-    return AttributionResult(
-        answer=answer.values,
-        attributions=_attributions_from_values(values, database, bounds),
-    )
+    engine = _engine_for_call(method, epsilon, compilation_budget)
+    return engine.attribute(query, database)
 
 
 def rank_facts(query: Query, database: Database,

@@ -1,0 +1,37 @@
+"""Batched, cache-aware attribution engine (the library's execution path).
+
+The :class:`Engine` canonicalizes answer lineages into variable-order-
+independent keys, memoizes d-tree compilations and Banzhaf results across
+answers and queries, fans independent lineages out over a process pool, and
+auto-selects ExaBan or the AdaBan fallback per lineage.  See
+``docs/ARCHITECTURE.md`` for the design and
+:mod:`repro.engine.engine` for the pipeline details.
+"""
+
+from repro.engine.cache import CachedAttribution, LineageCache, LRUCache
+from repro.engine.canonical import CanonicalKey, CanonicalLineage, canonicalize
+from repro.engine.engine import (
+    Engine,
+    EngineConfig,
+    EngineMethod,
+    LineageAttribution,
+    engine_for,
+    ensure_recursion_head_room,
+)
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "CachedAttribution",
+    "CanonicalKey",
+    "CanonicalLineage",
+    "Engine",
+    "EngineConfig",
+    "EngineMethod",
+    "EngineStats",
+    "LineageAttribution",
+    "LineageCache",
+    "LRUCache",
+    "canonicalize",
+    "engine_for",
+    "ensure_recursion_head_room",
+]

@@ -1,0 +1,127 @@
+"""LRU cache of attribution results keyed by canonical lineage.
+
+The cache stores the *outcome* of attributing one canonical lineage with one
+method configuration: the per-variable values (in canonical variable space),
+the optional bounds, and which method actually produced them (relevant for
+``auto``, where the engine may have fallen back from ExaBan to AdaBan).
+Because entries live in canonical space they are shared by every answer --
+of any query -- whose lineage is isomorphic.
+
+Compiled d-trees are cached separately and only in-process (they are linked
+object graphs, cheap to reuse but pointless to ship across processes); the
+result cache is what makes repeat traffic fast.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.engine.canonical import CanonicalKey
+
+#: Cache key of a result: canonical lineage plus the method configuration
+#: that produced it (epsilon only matters for approximate results).
+ResultKey = Tuple[CanonicalKey, str, Optional[float]]
+
+_V = TypeVar("_V")
+
+
+@dataclass(frozen=True)
+class CachedAttribution:
+    """One memoized attribution, in canonical variable space.
+
+    Attributes
+    ----------
+    method_used:
+        The algorithm that produced the values (``"exact"``,
+        ``"approximate"`` or ``"shapley"``); under ``auto`` this records
+        which side of the fallback ran.
+    values:
+        Canonical variable id -> attribution value.
+    bounds:
+        Canonical variable id -> (lower, upper) certificate, present for
+        exact (degenerate interval) and approximate results.
+    """
+
+    method_used: str
+    values: Dict[int, Fraction]
+    bounds: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+
+class LRUCache(Generic[_V]):
+    """A minimal ordered-dict LRU with explicit capacity.
+
+    Individual operations are lock-protected, so concurrent readers and
+    writers (e.g. threads sharing one engine through ``attribute_facts``)
+    can never corrupt the structure; the worst cross-thread outcome is a
+    duplicated computation whose identical result is stored twice.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("cache capacity must be positive")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, _V]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[_V]:
+        """Return the cached value and refresh its recency (``None`` on miss)."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                return None
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: _V) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        with self._lock:
+            self._entries.clear()
+
+
+class LineageCache:
+    """The engine's two-level memo: results (primary) and compiled d-trees.
+
+    Result entries are small (per-variable Fractions keyed by tuples of int
+    tuples), so the default of 4096 is only a few megabytes for typical
+    workload lineages.  Compiled d-trees can be arbitrarily large object
+    graphs, so they get a much smaller independent bound
+    (``dtree_entries``): the result cache, not the tree cache, is what
+    serves repeat traffic.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 dtree_entries: int = 256) -> None:
+        self.results: LRUCache[CachedAttribution] = LRUCache(max_entries)
+        self.dtrees: LRUCache[object] = LRUCache(dtree_entries)
+
+    @staticmethod
+    def result_key(key: CanonicalKey, method: str,
+                   epsilon: Optional[float]) -> ResultKey:
+        """Build the result-cache key; epsilon is dropped for exact methods."""
+        return (key, method, epsilon if method == "approximate" else None)
+
+    def clear(self) -> None:
+        """Drop both cache levels."""
+        self.results.clear()
+        self.dtrees.clear()

@@ -1,0 +1,501 @@
+"""The batched, cache-aware attribution engine.
+
+This is the single execution path behind :func:`repro.attribute_facts`, the
+CLI, the examples and the experiment runner.  Given queries (or raw
+lineages) it runs a four-stage pipeline:
+
+1. **evaluate** -- evaluate each query and build per-answer lineage DNFs
+   (:mod:`repro.db.lineage`);
+2. **canonicalize** -- rename each lineage into its variable-order-independent
+   canonical form (:mod:`repro.engine.canonical`) and look it up in the
+   lineage cache, deduplicating isomorphic answers within the batch;
+3. **compute** -- for the distinct cache misses, compile d-trees and run the
+   selected algorithm, either serially or fanned out over a
+   ``concurrent.futures`` process pool with chunked scheduling and a
+   transparent serial fallback;
+4. **assemble** -- translate canonical-space values back through each
+   answer's variable mapping and attach database facts.
+
+Method selection mirrors the paper's fallback story (Tables 4 and 6):
+``method="auto"`` tries exact ExaBan under a compilation budget and falls
+back to anytime AdaBan with an epsilon guarantee when the budget is
+exhausted.  The fallback shares the wall-clock budget; a lineage that
+defeats both raises (``ApproximationTimeout``), which the experiment
+runner records as a failure rather than a crash.
+
+Typical use::
+
+    from repro.engine import Engine, EngineConfig
+
+    engine = Engine(EngineConfig(method="auto", max_workers=4))
+    for query, results in engine.attribute_many(queries, database):
+        ...
+    print(engine.stats.as_dict())
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Literal,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.boolean.dnf import DNF
+from repro.core.adaban import adaban_all
+from repro.core.exaban import exaban_all
+from repro.core.shapley import shapley_all
+from repro.db.database import Database
+from repro.db.lineage import AnswerLineage, DomainPolicy, lineage_of_answers
+from repro.db.query import Query
+from repro.dtree.compile import (
+    CompilationBudget,
+    CompilationLimitReached,
+    compile_dnf,
+)
+from repro.engine.cache import CachedAttribution, LineageCache
+from repro.engine.canonical import CanonicalLineage, canonicalize
+from repro.engine.stats import EngineStats
+
+EngineMethod = Literal["auto", "exact", "approximate", "shapley"]
+
+#: Compilation budget used by ``auto`` when the config leaves the Shannon
+#: budget unlimited: generous enough for every workload lineage that the
+#: paper's prototype solves exactly, small enough that pathological
+#: instances fall back to AdaBan instead of hanging.
+_DEFAULT_AUTO_SHANNON_STEPS = 50_000
+
+#: Deep d-trees (one Shannon expansion per level) need head-room beyond
+#: CPython's default recursion limit; mirrored in worker processes.
+_RECURSION_LIMIT = 100_000
+
+
+def ensure_recursion_head_room() -> None:
+    """Raise the interpreter recursion limit for deep d-tree traversals.
+
+    Shared by the engine's serial path, its pool workers, and the
+    experiment runner, so the head-room is defined in exactly one place.
+    """
+    if sys.getrecursionlimit() < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of the engine.
+
+    Attributes
+    ----------
+    method:
+        ``"auto"`` (exact with AdaBan fallback), ``"exact"``,
+        ``"approximate"`` or ``"shapley"``.
+    epsilon:
+        Relative-error guarantee for approximate results (used by
+        ``"approximate"`` and by the ``auto`` fallback).
+    max_shannon_steps:
+        Shannon-expansion budget for exact compilation.  ``None`` means
+        unlimited for ``"exact"``/``"shapley"``; ``auto`` substitutes a
+        generous default so the fallback can trigger.
+    timeout_seconds:
+        Per-lineage wall-clock budget for exact compilation (``None`` =
+        unlimited).
+    max_workers:
+        Process-pool width for the compute stage.  ``0`` or ``1`` runs
+        serially; values above 1 fan independent lineages out over
+        ``concurrent.futures.ProcessPoolExecutor``.
+    chunk_size:
+        Number of lineages submitted per pool task, amortizing IPC overhead
+        over several small computations.
+    parallel_min_tasks:
+        Minimum number of distinct cache misses before the pool is used at
+        all; tiny batches stay serial (pool startup would dominate).
+    cache_size:
+        Capacity of the result cache (entries).
+    dtree_cache_size:
+        Capacity of the in-process compiled-d-tree cache; kept much
+        smaller than the result cache because trees can be large object
+        graphs.
+    domain:
+        Lineage domain policy, forwarded to
+        :func:`repro.db.lineage.lineage_of_answers`.
+    """
+
+    method: EngineMethod = "auto"
+    epsilon: float = 0.1
+    max_shannon_steps: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+    max_workers: int = 0
+    chunk_size: int = 8
+    parallel_min_tasks: int = 4
+    cache_size: int = 4096
+    dtree_cache_size: int = 256
+    domain: DomainPolicy = "lineage"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("auto", "exact", "approximate", "shapley"):
+            raise ValueError(
+                f"unknown engine method {self.method!r}; expected 'auto', "
+                "'exact', 'approximate' or 'shapley'"
+            )
+
+
+@dataclass(frozen=True)
+class LineageAttribution:
+    """Attribution of one raw lineage, in *original* variable space.
+
+    ``method_used`` records the algorithm that actually ran (relevant under
+    ``auto``); ``bounds`` carries the certified interval per variable when
+    the method provides one.
+    """
+
+    lineage: DNF
+    method_used: str
+    values: Dict[int, Fraction]
+    bounds: Dict[int, Tuple[int, int]]
+
+
+# --------------------------------------------------------------------- #
+# The per-lineage computation, shared by the serial path and the workers
+# --------------------------------------------------------------------- #
+
+
+def _effective_shannon_steps(method: EngineMethod,
+                             configured: Optional[int]) -> Optional[int]:
+    if configured is not None:
+        return configured
+    return _DEFAULT_AUTO_SHANNON_STEPS if method == "auto" else None
+
+
+def _approximate(function: DNF, epsilon: float,
+                 timeout_seconds: Optional[float]) -> CachedAttribution:
+    approx = adaban_all(function, epsilon=epsilon,
+                        timeout_seconds=timeout_seconds)
+    return CachedAttribution(
+        method_used="approximate",
+        values={v: Fraction(r.estimate) for v, r in approx.items()},
+        bounds={v: (r.lower, r.upper) for v, r in approx.items()},
+    )
+
+
+def _compute_canonical(function: DNF, method: EngineMethod, epsilon: float,
+                       max_shannon_steps: Optional[int],
+                       timeout_seconds: Optional[float],
+                       tree: object = None
+                       ) -> Tuple[CachedAttribution, bool, object]:
+    """Attribute one canonical lineage; returns (result, fell_back, tree).
+
+    ``tree`` may carry an already compiled d-tree (from the in-process
+    d-tree cache); it is only consulted for the exact method, and the tree
+    that was compiled (if any) is handed back so the caller can cache it.
+    """
+    if method == "approximate":
+        return _approximate(function, epsilon, timeout_seconds), False, None
+
+    steps = _effective_shannon_steps(method, max_shannon_steps)
+    budget = CompilationBudget(max_shannon_steps=steps,
+                               timeout_seconds=timeout_seconds)
+    if method == "shapley":
+        values = shapley_all(function, budget=budget)
+        return CachedAttribution(method_used="shapley",
+                                 values=dict(values)), False, None
+
+    started = time.monotonic()
+    try:
+        if tree is None:
+            tree = compile_dnf(function, budget=budget)
+        raw = exaban_all(tree)
+    except (CompilationLimitReached, RecursionError):
+        if method != "auto":
+            raise
+        # The fallback shares the wall-clock budget: AdaBan only gets what
+        # the failed exact attempt left over.  If it cannot certify epsilon
+        # in that remainder, ApproximationTimeout propagates (the
+        # experiment runner records it as a failure, matching the paper's
+        # Table 6 where AdaBan too fails on some instances).
+        remaining = None
+        if timeout_seconds is not None:
+            remaining = max(0.0, timeout_seconds
+                            - (time.monotonic() - started))
+        return _approximate(function, epsilon, remaining), True, None
+    return CachedAttribution(
+        method_used="exact",
+        values={v: Fraction(value) for v, value in raw.items()},
+        bounds={v: (value, value) for v, value in raw.items()},
+    ), False, tree
+
+
+def _worker_compute_chunk(payload: Tuple) -> List[Tuple[int, CachedAttribution, bool]]:
+    """Process-pool task: attribute a chunk of canonical lineages.
+
+    The payload is fully picklable: clause tuples plus the scalar method
+    configuration.  Exceptions propagate to the parent through the future.
+    """
+    chunk, method, epsilon, max_shannon_steps, timeout_seconds = payload
+    ensure_recursion_head_room()
+    results = []
+    for index, num_variables, clauses in chunk:
+        function = DNF(clauses, domain=range(num_variables))
+        outcome, fell_back, _ = _compute_canonical(
+            function, method, epsilon, max_shannon_steps, timeout_seconds)
+        results.append((index, outcome, fell_back))
+    return results
+
+
+class Engine:
+    """Batched attribution engine with a lineage cache and parallel fan-out.
+
+    One engine instance owns one cache and one stats object; reuse the
+    instance across queries to benefit from cross-query memoization.  Cache
+    operations are individually lock-protected, so threads sharing an
+    engine can at worst duplicate a computation (never corrupt state);
+    stats counters are best-effort under concurrency.  The process pool is
+    created per compute batch and always torn down before the batch
+    returns.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.cache = LineageCache(self.config.cache_size,
+                                  self.config.dtree_cache_size)
+        self.stats = EngineStats()
+
+    # ----------------------------------------------------------------- #
+    # Public API
+    # ----------------------------------------------------------------- #
+
+    def attribute(self, query: Query, database: Database
+                  ) -> List["AttributionResult"]:
+        """Attribute every answer of one query (batched internally)."""
+        for _, results in self.attribute_many([query], database):
+            return results
+        return []
+
+    def attribute_many(self, queries: Iterable[Query], database: Database
+                       ) -> Iterator[Tuple[Query, List["AttributionResult"]]]:
+        """Attribute a stream of queries; yields ``(query, results)`` pairs.
+
+        Results for each query are yielded as soon as that query's batch
+        completes, so callers can start consuming attributions while later
+        queries are still being computed.  The cache persists across the
+        whole stream: queries sharing lineage structure pay for compilation
+        once.
+        """
+        from repro.core.attribution import AttributionResult
+
+        for query in queries:
+            self.stats.queries += 1
+            with self.stats.timed("evaluate"):
+                answers = lineage_of_answers(query, database,
+                                             domain=self.config.domain)
+            outcomes = self._attribute_batch([a.lineage for a in answers])
+            with self.stats.timed("assemble"):
+                results = [
+                    self._assemble(answer, outcome, database)
+                    for answer, outcome in zip(answers, outcomes)
+                ]
+            yield query, results
+
+    def attribute_lineages(self, lineages: Sequence[DNF]
+                           ) -> List[LineageAttribution]:
+        """Attribute raw lineage DNFs (the experiment-runner entry point).
+
+        Skips query evaluation entirely; values and bounds come back in the
+        lineages' own variable space.
+        """
+        outcomes = self._attribute_batch(lineages)
+        attributions = []
+        with self.stats.timed("assemble"):
+            for lineage, (canonical, cached) in zip(lineages, outcomes):
+                attributions.append(LineageAttribution(
+                    lineage=lineage,
+                    method_used=cached.method_used,
+                    values=self._map_back(cached.values, canonical),
+                    bounds={canonical.from_canonical[v]: bound
+                            for v, bound in cached.bounds.items()},
+                ))
+        return attributions
+
+    def reset_stats(self) -> None:
+        """Zero the stats counters (the cache is left intact)."""
+        self.stats.reset()
+
+    # ----------------------------------------------------------------- #
+    # Pipeline stages
+    # ----------------------------------------------------------------- #
+
+    def _attribute_batch(self, lineages: Sequence[DNF]
+                         ) -> List[Tuple[CanonicalLineage, CachedAttribution]]:
+        """Canonicalize, cache-check, compute and return per-lineage outcomes."""
+        config = self.config
+        self.stats.answers += len(lineages)
+
+        with self.stats.timed("canonicalize"):
+            canonicals = [canonicalize(lineage) for lineage in lineages]
+            keys = [self.cache.result_key(c.key, config.method, config.epsilon)
+                    for c in canonicals]
+            cached: Dict[int, CachedAttribution] = {}
+            pending: Dict[object, List[int]] = {}
+            for index, key in enumerate(keys):
+                hit = self.cache.results.get(key)
+                if hit is not None:
+                    cached[index] = hit
+                    self.stats.cache_hits += 1
+                elif key in pending:
+                    # An isomorphic lineage earlier in this batch is already
+                    # scheduled; share its computation.
+                    pending[key].append(index)
+                    self.stats.cache_hits += 1
+                else:
+                    pending[key] = [index]
+                    self.stats.cache_misses += 1
+
+        with self.stats.timed("compute"):
+            tasks = [(key, indices[0]) for key, indices in pending.items()]
+            # Cache each outcome as soon as it is computed: if a later task
+            # fails (budget exhaustion on a pathological lineage), the work
+            # already done stays reusable and a per-instance retry hits it.
+            for position, outcome in self._compute_tasks(
+                    [canonicals[index] for _, index in tasks]):
+                key = tasks[position][0]
+                self.cache.results.put(key, outcome)
+                for index in pending[key]:
+                    cached[index] = outcome
+
+        return [(canonicals[index], cached[index])
+                for index in range(len(lineages))]
+
+    def _compute_tasks(self, tasks: Sequence[CanonicalLineage]
+                       ) -> Iterator[Tuple[int, CachedAttribution]]:
+        """Run the distinct cache misses, in the pool or serially.
+
+        Yields ``(task position, outcome)`` pairs as they complete, so the
+        caller can cache incrementally; ``compilations`` is counted per
+        completed outcome, never for work a failure prevented.
+        """
+        if not tasks:
+            return
+        config = self.config
+        done = set()
+        if (config.max_workers > 1
+                and len(tasks) >= config.parallel_min_tasks):
+            try:
+                for position, outcome in self._compute_parallel(tasks):
+                    self.stats.compilations += 1
+                    done.add(position)
+                    yield position, outcome
+                return
+            except (OSError, ImportError, BrokenProcessPool):
+                # Pool creation can fail in restricted environments, and a
+                # worker can die mid-batch (OOM-killed on a huge d-tree);
+                # the serial path computes identical results either way,
+                # picking up where the pool left off.
+                pass
+        for position, canonical in enumerate(tasks):
+            if position in done:
+                continue
+            outcome = self._compute_serial(canonical)
+            self.stats.compilations += 1
+            yield position, outcome
+
+    def _compute_serial(self, canonical: CanonicalLineage) -> CachedAttribution:
+        config = self.config
+        tree = None
+        if config.method in ("auto", "exact"):
+            tree = self.cache.dtrees.get(canonical.key)
+        ensure_recursion_head_room()
+        outcome, fell_back, compiled = _compute_canonical(
+            canonical.dnf, config.method, config.epsilon,
+            config.max_shannon_steps, config.timeout_seconds, tree=tree)
+        if fell_back:
+            self.stats.fallbacks += 1
+        if compiled is not None and tree is None:
+            self.cache.dtrees.put(canonical.key, compiled)
+        return outcome
+
+    def _compute_parallel(self, tasks: Sequence[CanonicalLineage]
+                          ) -> Iterator[Tuple[int, CachedAttribution]]:
+        """Fan the tasks out over a process pool, yielding as chunks finish.
+
+        The chunk size amortizes IPC over several small computations but is
+        capped so every requested worker gets at least one chunk -- a fixed
+        chunk size would silently throttle parallelism on mid-size batches.
+        """
+        config = self.config
+        max_workers = min(config.max_workers, os.cpu_count() or 1)
+        chunk_size = max(1, min(config.chunk_size,
+                                -(-len(tasks) // max(1, max_workers))))
+        chunks: List[List[Tuple[int, int, Tuple[Tuple[int, ...], ...]]]] = []
+        for start in range(0, len(tasks), chunk_size):
+            chunk = [
+                (position, canonical.dnf.num_variables(), canonical.key[1])
+                for position, canonical
+                in enumerate(tasks[start:start + chunk_size], start)
+            ]
+            chunks.append(chunk)
+
+        workers = min(config.max_workers, len(chunks), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = [
+                (chunk, config.method, config.epsilon,
+                 config.max_shannon_steps, config.timeout_seconds)
+                for chunk in chunks
+            ]
+            for chunk_results in pool.map(_worker_compute_chunk, payloads):
+                for position, outcome, fell_back in chunk_results:
+                    if fell_back:
+                        self.stats.fallbacks += 1
+                    yield position, outcome
+        self.stats.parallel_batches += 1
+
+    # ----------------------------------------------------------------- #
+    # Assembly helpers
+    # ----------------------------------------------------------------- #
+
+    @staticmethod
+    def _map_back(values: Dict[int, Fraction], canonical: CanonicalLineage
+                  ) -> Dict[int, Fraction]:
+        return {canonical.from_canonical[variable]: value
+                for variable, value in values.items()}
+
+    def _assemble(self, answer: AnswerLineage,
+                  outcome: Tuple[CanonicalLineage, CachedAttribution],
+                  database: Database) -> "AttributionResult":
+        from repro.core.attribution import (
+            AttributionResult,
+            _attributions_from_values,
+        )
+
+        canonical, cached = outcome
+        values = self._map_back(cached.values, canonical)
+        bounds = {canonical.from_canonical[v]: bound
+                  for v, bound in cached.bounds.items()}
+        return AttributionResult(
+            answer=answer.values,
+            attributions=_attributions_from_values(values, database, bounds),
+        )
+
+
+def engine_for(method: EngineMethod = "auto", *,
+               epsilon: float = 0.1,
+               budget: Optional[CompilationBudget] = None,
+               max_workers: int = 0) -> Engine:
+    """Build an engine from the legacy per-call knobs of ``attribute_facts``."""
+    config = EngineConfig(method=method, epsilon=epsilon,
+                          max_workers=max_workers)
+    if budget is not None:
+        config = replace(config,
+                         max_shannon_steps=budget.max_shannon_steps,
+                         timeout_seconds=budget.timeout_seconds)
+    return Engine(config)

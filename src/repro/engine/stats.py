@@ -1,0 +1,110 @@
+"""Execution statistics of the attribution engine.
+
+The engine is the hot path of the library, so it accounts for its own work:
+how often the lineage cache hit, how many d-trees were actually compiled,
+how often the exact method fell back to the anytime approximation, and how
+much wall-clock time each pipeline stage consumed.  Benchmarks and the CLI
+``--stats`` flag print these numbers; tests assert on them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class EngineStats:
+    """Counters and per-stage timings accumulated by an :class:`~repro.engine.engine.Engine`.
+
+    Attributes
+    ----------
+    queries:
+        Number of queries attributed (``attribute``/``attribute_many`` calls
+        count one per query; ``attribute_lineages`` counts none).
+    answers:
+        Number of answer tuples (or raw lineages) attributed.
+    cache_hits:
+        Answers served from the lineage cache, including answers
+        deduplicated against an isomorphic answer of the same batch.
+    cache_misses:
+        Answers that required a fresh computation.
+    compilations:
+        Fresh computations actually executed (one per distinct canonical
+        lineage that missed the cache).
+    fallbacks:
+        ``auto``-method computations where exact compilation exhausted its
+        budget and the engine fell back to AdaBan.
+    parallel_batches:
+        Batches dispatched to the process pool (0 when running serially).
+    stage_seconds:
+        Wall-clock seconds per pipeline stage (``evaluate``,
+        ``canonicalize``, ``compute``, ``assemble``).
+    """
+
+    queries: int = 0
+    answers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    compilations: int = 0
+    fallbacks: int = 0
+    parallel_batches: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def timed(self, stage: str) -> Iterator[None]:
+        """Time a ``with`` block and add it to ``stage_seconds[stage]``."""
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            elapsed = time.monotonic() - started
+            self.stage_seconds[stage] = (
+                self.stage_seconds.get(stage, 0.0) + elapsed
+            )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across all stages."""
+        return sum(self.stage_seconds.values())
+
+    def hit_rate(self) -> float:
+        """Cache hit rate over all answers (0.0 when nothing ran yet)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict snapshot for reports and JSON output."""
+        return {
+            "queries": self.queries,
+            "answers": self.answers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate(), 4),
+            "compilations": self.compilations,
+            "fallbacks": self.fallbacks,
+            "parallel_batches": self.parallel_batches,
+            "stage_seconds": {stage: round(seconds, 6)
+                              for stage, seconds in self.stage_seconds.items()},
+            "total_seconds": round(self.total_seconds, 6),
+        }
+
+    def reset(self) -> None:
+        """Zero all counters and timers."""
+        self.queries = 0
+        self.answers = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.compilations = 0
+        self.fallbacks = 0
+        self.parallel_batches = 0
+        self.stage_seconds = {}
+
+    def __repr__(self) -> str:
+        return (f"EngineStats(answers={self.answers}, "
+                f"hits={self.cache_hits}, misses={self.cache_misses}, "
+                f"compilations={self.compilations}, "
+                f"fallbacks={self.fallbacks}, "
+                f"total={self.total_seconds:.3f}s)")

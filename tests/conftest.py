@@ -12,7 +12,6 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 import pytest
-from hypothesis import strategies as st
 
 from repro.boolean.dnf import DNF
 
@@ -35,22 +34,3 @@ def example13_dnf() -> DNF:
     return DNF([[0, 1], [0, 2], [3]])
 
 
-def small_dnfs(max_variables: int = 7, max_clauses: int = 6) -> st.SearchStrategy[DNF]:
-    """Hypothesis strategy for small positive DNFs (brute-force checkable)."""
-
-    @st.composite
-    def build(draw) -> DNF:
-        num_variables = draw(st.integers(min_value=1, max_value=max_variables))
-        num_clauses = draw(st.integers(min_value=1, max_value=max_clauses))
-        variables = list(range(num_variables))
-        clauses = []
-        for _ in range(num_clauses):
-            width = draw(st.integers(min_value=1,
-                                     max_value=min(3, num_variables)))
-            clause = draw(st.permutations(variables))[:width]
-            clauses.append(tuple(clause))
-        extra_domain = draw(st.integers(min_value=0, max_value=2))
-        domain = list(range(num_variables + extra_domain))
-        return DNF(clauses, domain=domain)
-
-    return build()

@@ -1,0 +1,33 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Lives in its own module (not ``conftest.py``) so test modules can import it
+by name: ``conftest`` is ambiguous on ``sys.path`` when several test roots
+(``tests/``, ``benchmarks/``) are collected in one pytest run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.boolean.dnf import DNF
+
+
+def small_dnfs(max_variables: int = 7, max_clauses: int = 6) -> st.SearchStrategy[DNF]:
+    """Hypothesis strategy for small positive DNFs (brute-force checkable)."""
+
+    @st.composite
+    def build(draw) -> DNF:
+        num_variables = draw(st.integers(min_value=1, max_value=max_variables))
+        num_clauses = draw(st.integers(min_value=1, max_value=max_clauses))
+        variables = list(range(num_variables))
+        clauses = []
+        for _ in range(num_clauses):
+            width = draw(st.integers(min_value=1,
+                                     max_value=min(3, num_variables)))
+            clause = draw(st.permutations(variables))[:width]
+            clauses.append(tuple(clause))
+        extra_domain = draw(st.integers(min_value=0, max_value=2))
+        domain = list(range(num_variables + extra_domain))
+        return DNF(clauses, domain=domain)
+
+    return build()

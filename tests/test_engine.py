@@ -1,0 +1,253 @@
+"""Tests for the batched attribution engine (repro.engine)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Database, attribute_facts, parse_query
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.boolean.dnf import DNF
+from repro.dtree.compile import CompilationLimitReached
+from repro.engine import Engine, EngineConfig, canonicalize
+from repro.engine.cache import LRUCache
+from repro.experiments.runner import ExperimentConfig, run_workload_batched
+from repro.workloads.suite import build_workload
+
+
+def _permuted(function: DNF, mapping) -> DNF:
+    return DNF([[mapping[v] for v in clause] for clause in function.clauses],
+               domain=[mapping[v] for v in function.domain])
+
+
+class TestCanonicalize:
+    def test_isomorphic_dnfs_share_key(self):
+        function = DNF([[0, 1], [0, 2], [3, 4]])
+        mapping = {0: 42, 1: 7, 2: 99, 3: 5, 4: 13}
+        assert (canonicalize(function).key
+                == canonicalize(_permuted(function, mapping)).key)
+
+    def test_clause_order_is_irrelevant(self):
+        a = DNF([[0, 1], [2, 3], [0, 3]])
+        b = DNF([[0, 3], [0, 1], [2, 3]])
+        assert canonicalize(a).key == canonicalize(b).key
+
+    def test_non_isomorphic_dnfs_differ(self):
+        path = DNF([[0, 1], [1, 2], [2, 3]])
+        star = DNF([[0, 1], [0, 2], [0, 3]])
+        assert canonicalize(path).key != canonicalize(star).key
+
+    def test_silent_domain_variables_count(self):
+        bare = DNF([[0, 1]])
+        widened = DNF([[0, 1]], domain=[0, 1, 2])
+        assert canonicalize(bare).key != canonicalize(widened).key
+
+    def test_mapping_roundtrip(self):
+        function = DNF([[3, 8], [3, 9], [11]])
+        canonical = canonicalize(function)
+        for original, renamed in canonical.to_canonical.items():
+            assert canonical.from_canonical[renamed] == original
+
+
+class TestCacheReuse:
+    def test_isomorphic_lineages_hit_cache_with_correct_values(self):
+        function = DNF([[0, 1], [0, 2], [3]])
+        mapping = {0: 20, 1: 11, 2: 12, 3: 30}
+        permuted = _permuted(function, mapping)
+        engine = Engine(EngineConfig(method="exact"))
+        first, second = engine.attribute_lineages([function, permuted])
+
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.compilations == 1
+
+        expected = banzhaf_all_brute_force(function)
+        assert first.values == {v: Fraction(x) for v, x in expected.items()}
+        # The permuted lineage's values come from the cached canonical
+        # result, mapped back through its own renaming.
+        for variable, value in expected.items():
+            assert second.values[mapping[variable]] == value
+
+    def test_cache_persists_across_calls(self):
+        function = DNF([[0, 1], [1, 2]])
+        engine = Engine(EngineConfig(method="exact"))
+        engine.attribute_lineages([function])
+        engine.attribute_lineages([function])
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.compilations == 1
+
+    def test_repeated_query_hits_cache(self):
+        database = Database()
+        database.add_fact("R", (1, 2, 3))
+        database.add_fact("S", (1, 2, 4))
+        database.add_fact("S", (1, 2, 5))
+        database.add_fact("T", (1, 6))
+        query = parse_query("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U)")
+        engine = Engine(EngineConfig(method="exact"))
+        results = list(engine.attribute_many([query, query], database))
+        assert len(results) == 2
+        assert engine.stats.queries == 2
+        assert engine.stats.cache_hits == 1
+        first, second = (r for _, r in results)
+        assert [a.attributions for a in first] == [a.attributions for a in second]
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        workload = build_workload("academic", include_hard=False)
+        lineages = [instance.lineage for instance in workload.instances][:12]
+        serial = Engine(EngineConfig(method="exact"))
+        parallel = Engine(EngineConfig(method="exact", max_workers=2,
+                                       chunk_size=3, parallel_min_tasks=1))
+        serial_values = [a.values for a in serial.attribute_lineages(lineages)]
+        parallel_values = [a.values
+                           for a in parallel.attribute_lineages(lineages)]
+        assert serial_values == parallel_values
+        assert parallel.stats.parallel_batches == 1
+
+    def test_small_batches_stay_serial(self):
+        engine = Engine(EngineConfig(method="exact", max_workers=4,
+                                     parallel_min_tasks=10))
+        engine.attribute_lineages([DNF([[0, 1]])])
+        assert engine.stats.parallel_batches == 0
+
+
+class TestAutoFallback:
+    # Non-hierarchical cycle: compilation must Shannon-expand, so a
+    # zero-step budget forces the exact path to give up.
+    CYCLE = DNF([[0, 1], [1, 2], [2, 3], [3, 4], [4, 0]])
+
+    def test_auto_falls_back_to_approximate(self):
+        engine = Engine(EngineConfig(method="auto", max_shannon_steps=0,
+                                     epsilon=0.2))
+        (attribution,) = engine.attribute_lineages([self.CYCLE])
+        assert attribution.method_used == "approximate"
+        assert engine.stats.fallbacks == 1
+        exact = banzhaf_all_brute_force(self.CYCLE)
+        for variable, value in exact.items():
+            lower, upper = attribution.bounds[variable]
+            assert lower <= value <= upper
+
+    def test_exact_method_raises_instead_of_falling_back(self):
+        engine = Engine(EngineConfig(method="exact", max_shannon_steps=0))
+        with pytest.raises(CompilationLimitReached):
+            engine.attribute_lineages([self.CYCLE])
+
+    def test_auto_stays_exact_within_budget(self):
+        engine = Engine(EngineConfig(method="auto"))
+        (attribution,) = engine.attribute_lineages([self.CYCLE])
+        assert attribution.method_used == "exact"
+        assert engine.stats.fallbacks == 0
+        expected = banzhaf_all_brute_force(self.CYCLE)
+        assert attribution.values == {v: Fraction(x)
+                                      for v, x in expected.items()}
+
+
+class TestStats:
+    def test_stats_report_all_stages(self):
+        engine = Engine(EngineConfig(method="exact"))
+        engine.attribute_lineages([DNF([[0, 1], [1, 2]])])
+        report = engine.stats.as_dict()
+        assert report["answers"] == 1
+        assert report["compilations"] == 1
+        for stage in ("canonicalize", "compute", "assemble"):
+            assert stage in report["stage_seconds"]
+        assert report["total_seconds"] >= 0
+
+    def test_reset_keeps_cache(self):
+        function = DNF([[0, 1]])
+        engine = Engine(EngineConfig(method="exact"))
+        engine.attribute_lineages([function])
+        engine.reset_stats()
+        assert engine.stats.answers == 0
+        engine.attribute_lineages([function])
+        assert engine.stats.cache_hits == 1
+
+    def test_hit_rate(self):
+        engine = Engine(EngineConfig(method="exact"))
+        assert engine.stats.hit_rate() == 0.0
+        engine.attribute_lineages([DNF([[0, 1]]), DNF([[5, 6]])])
+        assert engine.stats.hit_rate() == 0.5
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestEngineAgainstSeedPath:
+    def test_engine_matches_attribute_facts(self):
+        database = Database()
+        r = database.add_fact("R", (1, 2, 3))
+        database.add_fact("S", (1, 2, 4))
+        database.add_fact("S", (1, 2, 5))
+        database.add_fact("T", (1, 6))
+        query = parse_query("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U)")
+
+        wrapper = attribute_facts(query, database, method="exact")
+        engine = Engine(EngineConfig(method="exact"))
+        direct = engine.attribute(query, database)
+        assert len(wrapper) == len(direct) == 1
+        assert wrapper[0].attributions == direct[0].attributions
+        assert direct[0].score_of(r) == 3
+
+
+class TestRunnerIntegration:
+    def test_run_workload_batched(self):
+        workload = build_workload("academic", include_hard=False)
+        config = ExperimentConfig(timeout_seconds=10.0)
+        results, stats = run_workload_batched(workload, config)
+        assert len(results) == len(workload.instances)
+        assert all(result.success for result in results)
+        assert stats["cache_hits"] > 0
+        # Spot-check one instance against brute force where feasible.
+        small = next(r for r in results
+                     if r.instance.num_variables <= 10)
+        expected = banzhaf_all_brute_force(small.instance.lineage)
+        assert small.values == {v: Fraction(x) for v, x in expected.items()}
+
+    def test_run_workload_batched_is_reproducible(self):
+        workload = build_workload("academic", include_hard=False)
+        config = ExperimentConfig(timeout_seconds=10.0)
+        _, first = run_workload_batched(workload, config)
+        _, second = run_workload_batched(workload, config)
+        # A fresh engine per call: the second run must not be served from a
+        # warm cache left behind by the first.
+        assert second["cache_misses"] == first["cache_misses"]
+        assert second["compilations"] == first["compilations"]
+
+    def test_run_workload_batched_records_failures(self):
+        from repro.workloads.generators import LineageInstance
+        from repro.workloads.suite import Workload
+
+        import random
+
+        from repro.workloads.generators import random_positive_dnf
+
+        easy = LineageInstance(dataset="t", query="q", answer=(1,),
+                               lineage=DNF([[0, 1], [0, 2]]))
+        # A wide random DNF under a zero Shannon budget and a tight
+        # wall-clock: exact compilation fails immediately and the AdaBan
+        # fallback times out, so this instance must be recorded as a
+        # failure -- without taking the easy instance down with it.
+        hard = LineageInstance(
+            dataset="t", query="q", answer=(2,),
+            lineage=random_positive_dnf(random.Random(99),
+                                        num_variables=52, num_clauses=76))
+        workload = Workload(name="t", instances=(easy, hard))
+        config = ExperimentConfig(timeout_seconds=0.2, max_shannon_steps=0)
+        results, _ = run_workload_batched(workload, config)
+        by_answer = {r.instance.answer: r for r in results}
+        assert by_answer[(1,)].success
+        assert not by_answer[(2,)].success
+        assert "Timeout" in by_answer[(2,)].failure_reason

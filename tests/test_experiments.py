@@ -121,7 +121,7 @@ class TestReport:
 
 class TestRunner:
     def test_algorithm_registry(self):
-        assert set(ALGORITHMS) == {"adaban", "exaban", "mc", "sig22"}
+        assert set(ALGORITHMS) == {"adaban", "engine", "exaban", "mc", "sig22"}
         with pytest.raises(ValueError):
             run_algorithm("nope", None, ExperimentConfig())
 

@@ -19,7 +19,7 @@ from repro.core.shapley import shapley_all
 from repro.dtree.compile import compile_dnf
 from repro.dtree.incremental import IncrementalCompiler
 
-from .conftest import small_dnfs
+from dnf_strategies import small_dnfs
 
 _SETTINGS = settings(max_examples=60, deadline=None)
 
