@@ -34,7 +34,15 @@ from repro.core.attribution import (
 )
 from repro.core.banzhaf import banzhaf_exact
 from repro.core.exaban import exaban, exaban_all
-from repro.core.ichiban import ichiban_rank, ichiban_topk, ichiban_topk_certain
+from repro.core.ichiban import (
+    IchiBanTimeout,
+    RankedVariable,
+    ichiban_rank,
+    ichiban_topk,
+    ichiban_topk_certain,
+    ranked_from_bounds,
+    ranked_from_intervals,
+)
 from repro.core.shapley import shapley_all, shapley_exact
 from repro.db.database import Database, Fact
 from repro.db.datalog import parse_query
@@ -58,7 +66,9 @@ __all__ = [
     "EngineStats",
     "Fact",
     "FactAttribution",
+    "IchiBanTimeout",
     "QueryVariable",
+    "RankedVariable",
     "Selection",
     "UnionQuery",
     "adaban",
@@ -75,6 +85,8 @@ __all__ = [
     "lineage_of_boolean_query",
     "parse_query",
     "rank_facts",
+    "ranked_from_bounds",
+    "ranked_from_intervals",
     "shapley_all",
     "shapley_exact",
     "topk_facts",

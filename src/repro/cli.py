@@ -5,15 +5,22 @@ Lets a user run the library without writing Python::
     python -m repro --facts R=r.csv --facts S=s.csv --exogenous S \\
         --query "Q(X) :- R(X, Y), S(Y, Z)" --method auto --top 5
 
-Each ``--facts NAME=PATH`` loads one relation from a headerless CSV file (one
-fact per row; every value is kept as a string unless it parses as an
-integer).  Relations listed with ``--exogenous`` are loaded as exogenous
-facts; all others are endogenous and receive attribution scores.
+The default method is ``exact`` (ExaBan); ``--method auto`` as above adds
+the AdaBan fallback.  Each ``--facts NAME=PATH`` loads one relation from a
+headerless CSV file (one fact per row; every value is kept as a string
+unless it parses as an integer).  Relations listed with ``--exogenous`` are
+loaded as exogenous facts; all others are endogenous and receive
+attribution scores.
+
+Ranking instead of scoring (IchiBan): ``--rank`` prints every answer's
+facts in Banzhaf order with certified intervals, ``--top-k K`` only the
+top K.
 
 The CLI runs on the batched attribution engine: repeatable ``--query``
 attributes several queries in one process (sharing the lineage cache),
-``--jobs N`` fans independent answers out over N worker processes, and
-``--stats`` prints the engine's cache/timing counters afterwards.
+``--jobs N`` fans independent answers out over N worker processes (capped
+at the machine's core count), and ``--stats`` prints the engine's
+cache/timing counters afterwards.
 """
 
 from __future__ import annotations
@@ -83,13 +90,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable; queries share the lineage cache)")
     parser.add_argument("--method",
                         choices=("auto", "exact", "approximate", "shapley"),
-                        default="exact",
-                        help="attribution method (auto = exact with "
-                             "approximate fallback)")
-    parser.add_argument("--epsilon", type=float, default=0.1,
-                        help="relative error for the approximate method")
+                        default=None,
+                        help="attribution method (default: exact; auto = "
+                             "exact with approximate fallback)")
+    parser.add_argument("--epsilon", type=float, default=None,
+                        metavar="EPS",
+                        help="relative error for the approximate method, "
+                             "the auto fallback and ranking (default: 0.1; "
+                             "ignored, with a warning, for exact/shapley)")
+    parser.add_argument("--rank", action="store_true",
+                        help="rank every answer's facts by Banzhaf value "
+                             "with certified intervals (IchiBan) instead "
+                             "of printing attribution scores")
+    parser.add_argument("--top-k", dest="top_k", type=int, default=None,
+                        metavar="K",
+                        help="print only the top-K facts per answer, "
+                             "decided by IchiBan's top-k-aware refinement")
     parser.add_argument("--top", type=int, default=0,
-                        help="print only the top-K facts per answer (0 = all)")
+                        help="print only the top-K facts per answer "
+                             "(0 = all; trims the output, unlike --top-k "
+                             "which changes the algorithm)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for independent answers "
                              "(0 or 1 = serial)")
@@ -99,13 +119,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate(parser: argparse.ArgumentParser, arguments) -> None:
+    """Reject inconsistent flag combinations instead of silently ignoring."""
+    if not arguments.facts:
+        parser.error("at least one --facts NAME=PATH is required")
+    if arguments.top < 0:
+        parser.error("--top must be non-negative (0 prints all facts)")
+    if arguments.top_k is not None and arguments.top_k < 1:
+        parser.error("--top-k must be at least 1")
+    if arguments.rank and arguments.top_k is not None:
+        parser.error("--rank and --top-k are mutually exclusive")
+    if (arguments.rank or arguments.top_k is not None) \
+            and arguments.method is not None:
+        parser.error("--method cannot be combined with --rank/--top-k "
+                     "(they select the IchiBan ranking method)")
+    if (arguments.rank or arguments.top_k is not None) and arguments.top:
+        parser.error("--top cannot be combined with --rank/--top-k "
+                     "(use --top-k to bound a ranking)")
+
+
 def run(argv: Sequence[str], output=None) -> int:
     """Run the CLI; returns a process exit code."""
     stream = output if output is not None else sys.stdout
     parser = build_parser()
     arguments = parser.parse_args(list(argv))
-    if not arguments.facts:
-        parser.error("at least one --facts NAME=PATH is required")
+    _validate(parser, arguments)
+    ranking = arguments.rank or arguments.top_k is not None
+    method = arguments.method if arguments.method is not None else "exact"
+    epsilon = arguments.epsilon if arguments.epsilon is not None else 0.1
+    if (arguments.epsilon is not None and not ranking
+            and method in ("exact", "shapley")):
+        print(f"warning: --epsilon is ignored for method {method!r} "
+              "(it only affects approximate, the auto fallback, and "
+              "ranking)", file=stream)
 
     exogenous = set(arguments.exogenous)
     database = Database()
@@ -116,9 +162,28 @@ def run(argv: Sequence[str], output=None) -> int:
               f"{' (exogenous)' if name in exogenous else ''}", file=stream)
 
     queries = [parse_query(text) for text in arguments.query]
-    engine = Engine(EngineConfig(method=arguments.method,
-                                 epsilon=arguments.epsilon,
-                                 max_workers=arguments.jobs))
+    if ranking:
+        engine = Engine(EngineConfig(
+            method="topk" if arguments.top_k is not None else "rank",
+            epsilon=epsilon, k=arguments.top_k,
+            max_workers=arguments.jobs))
+        all_answered = _run_ranking(engine, queries, database, stream)
+    else:
+        engine = Engine(EngineConfig(method=method, epsilon=epsilon,
+                                     max_workers=arguments.jobs))
+        all_answered = _run_attribution(engine, queries, database,
+                                        arguments.top, stream)
+
+    if arguments.stats:
+        print("\nengine stats:", file=stream)
+        print(json.dumps(engine.stats.as_dict(), indent=2), file=stream)
+    # Exit 0 only when every query produced answers, extending the
+    # single-query contract (exit 1 on an unanswered query) to batches.
+    return 0 if all_answered else 1
+
+
+def _run_attribution(engine: Engine, queries, database, top: int,
+                     stream) -> bool:
     all_answered = True
     for query, results in engine.attribute_many(queries, database):
         if len(queries) > 1:
@@ -132,17 +197,31 @@ def run(argv: Sequence[str], output=None) -> int:
             answer = result.answer if result.answer else "(true)"
             print(f"\nanswer {answer}:", file=stream)
             attributions: Iterable = result.attributions
-            if arguments.top > 0:
-                attributions = result.top(arguments.top)
+            if top > 0:
+                attributions = result.top(top)
             for attribution in attributions:
                 print(f"  {attribution}", file=stream)
+    return all_answered
 
-    if arguments.stats:
-        print("\nengine stats:", file=stream)
-        print(json.dumps(engine.stats.as_dict(), indent=2), file=stream)
-    # Exit 0 only when every query produced answers, extending the
-    # single-query contract (exit 1 on an unanswered query) to batches.
-    return 0 if all_answered else 1
+
+def _run_ranking(engine: Engine, queries, database, stream) -> bool:
+    all_answered = True
+    for query, rankings in engine.rank_many(queries, database):
+        if len(queries) > 1:
+            print(f"\n== query {query} ==", file=stream)
+        if not rankings:
+            print("the query has no answers with endogenous support",
+                  file=stream)
+            all_answered = False
+            continue
+        for answer_values, entries in rankings:
+            answer = answer_values if answer_values else "(true)"
+            print(f"\nanswer {answer}:", file=stream)
+            for position, (fact, entry) in enumerate(entries, 1):
+                print(f"  {position}. {fact}: "
+                      f"{float(entry.estimate):.6g} "
+                      f"in [{entry.lower}, {entry.upper}]", file=stream)
+    return all_answered
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -34,10 +34,13 @@ from repro.core.banzhaf import (
 from repro.core.bounds import BanzhafBounds, bounds_for_variable
 from repro.core.exaban import exaban, exaban_all, model_count
 from repro.core.ichiban import (
+    IchiBanTimeout,
     RankedVariable,
     ichiban_rank,
     ichiban_topk,
     ichiban_topk_certain,
+    ranked_from_bounds,
+    ranked_from_intervals,
 )
 from repro.core.intervals import Interval
 from repro.core.shapley import shapley_brute_force, shapley_exact, shapley_all
@@ -47,6 +50,7 @@ __all__ = [
     "AttributionResult",
     "BanzhafBounds",
     "FactAttribution",
+    "IchiBanTimeout",
     "Interval",
     "RankedVariable",
     "adaban",
@@ -64,6 +68,8 @@ __all__ = [
     "normalized_banzhaf",
     "penrose_banzhaf_index",
     "penrose_banzhaf_power",
+    "ranked_from_bounds",
+    "ranked_from_intervals",
     "shapley_all",
     "shapley_brute_force",
     "shapley_exact",

@@ -6,7 +6,8 @@ refactor it is a thin compatibility wrapper over
 memoizes each answer's lineage, runs the requested algorithm (exact ExaBan,
 anytime AdaBan, or Shapley; ``"auto"`` picks ExaBan with an AdaBan fallback)
 and maps the lineage variables back to database facts.  Ranking and top-k
-(IchiBan) retain their direct anytime paths.
+(IchiBan) run through the same pipeline via the engine's ``rank``/``topk``
+methods, so repeat ranking traffic is served from the lineage cache.
 """
 
 from __future__ import annotations
@@ -15,9 +16,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Literal, Optional, Tuple
 
-from repro.core.ichiban import RankedVariable, ichiban_rank, ichiban_topk
+from repro.core.ichiban import RankedVariable
 from repro.db.database import Database, Fact
-from repro.db.lineage import lineage_of_answers
 from repro.db.query import Query
 from repro.dtree.compile import CompilationBudget
 
@@ -97,6 +97,21 @@ def clear_shared_engines() -> None:
     _SHARED_ENGINES.clear()
 
 
+def _shared_engine(method: str, epsilon: Optional[float],
+                   k: Optional[int] = None):
+    """The shared engine for one (method, epsilon, k) configuration."""
+    from repro.engine.engine import engine_for
+
+    key = (method, epsilon, k)
+    engine = _SHARED_ENGINES.get(key)
+    if engine is None:
+        while len(_SHARED_ENGINES) >= _MAX_SHARED_ENGINES:
+            _SHARED_ENGINES.pop(next(iter(_SHARED_ENGINES)))
+        engine = engine_for(method, epsilon=epsilon, k=k)
+        _SHARED_ENGINES[key] = engine
+    return engine
+
+
 def _engine_for_call(method: Method, epsilon: float,
                      compilation_budget: Optional[CompilationBudget]):
     from repro.engine.engine import engine_for
@@ -112,14 +127,7 @@ def _engine_for_call(method: Method, epsilon: float,
         # budget-dependent (they may raise) and must not pollute the shared
         # cache of unlimited-budget runs.
         return engine_for(method, epsilon=epsilon, budget=compilation_budget)
-    key = (method, epsilon)
-    engine = _SHARED_ENGINES.get(key)
-    if engine is None:
-        while len(_SHARED_ENGINES) >= _MAX_SHARED_ENGINES:
-            _SHARED_ENGINES.pop(next(iter(_SHARED_ENGINES)))
-        engine = engine_for(method, epsilon=epsilon)
-        _SHARED_ENGINES[key] = engine
-    return engine
+    return _shared_engine(method, epsilon)
 
 
 def attribute_facts(query: Query, database: Database,
@@ -158,24 +166,27 @@ def attribute_facts(query: Query, database: Database,
 def rank_facts(query: Query, database: Database,
                epsilon: Optional[float] = 0.1
                ) -> List[Tuple[Tuple[object, ...], List[Tuple[Fact, RankedVariable]]]]:
-    """Rank the facts of every answer by Banzhaf value using IchiBan."""
-    results = []
-    for answer in lineage_of_answers(query, database):
-        ranking = ichiban_rank(answer.lineage, epsilon=epsilon)
-        results.append((answer.values,
-                        [(database.fact_of(entry.variable), entry)
-                         for entry in ranking]))
-    return results
+    """Rank the facts of every answer by Banzhaf value using IchiBan.
+
+    A thin wrapper over the engine's ``rank`` method: lineages are
+    canonicalized and deduplicated, so isomorphic answers share one anytime
+    run and repeat ranking traffic is served from the shared lineage cache.
+    ``epsilon=None`` demands a certain ranking (pairwise-separated
+    intervals); otherwise the run may also stop at relative error
+    ``epsilon``.
+    """
+    return _shared_engine("rank", epsilon).rank(query, database)
 
 
 def topk_facts(query: Query, database: Database, k: int,
                epsilon: float = 0.1
                ) -> List[Tuple[Tuple[object, ...], List[Tuple[Fact, RankedVariable]]]]:
-    """The top-``k`` facts of every answer by Banzhaf value using IchiBan."""
-    results = []
-    for answer in lineage_of_answers(query, database):
-        ranking = ichiban_topk(answer.lineage, k=k, epsilon=epsilon)
-        results.append((answer.values,
-                        [(database.fact_of(entry.variable), entry)
-                         for entry in ranking]))
-    return results
+    """The top-``k`` facts of every answer by Banzhaf value using IchiBan.
+
+    A thin wrapper over the engine's ``topk`` method.  One shared engine
+    per epsilon serves every ``k`` (results are cached per canonical
+    lineage, epsilon *and* k; completed d-trees are shared across k).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    return _shared_engine("topk", epsilon).rank(query, database, k=k)

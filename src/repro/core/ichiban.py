@@ -9,9 +9,29 @@ are informative enough for the task at hand:
   below the lower bounds of at least ``k`` other variables; the run stops
   when only ``k`` candidates remain and their intervals are separated from
   (or equal to) the rest;
-* **approximate top-k / ranking with error ``epsilon``** -- the run may also
-  stop once every remaining interval certifies relative error ``epsilon``;
-  variables are then ordered by interval midpoints.
+* **approximate top-k / ranking with error ``epsilon``** -- the run may
+  also stop at a certified relative error: top-k once every *still
+  undecided* interval certifies ``epsilon`` (decided variables need no
+  tight interval to be reported correctly), full ranking once *every*
+  interval does (the ranking reports an estimate per variable, so each
+  one carries the guarantee); variables are then ordered by interval
+  midpoints.
+
+Refinement is *task-aware*: each round only re-evaluates bounds for the
+variables whose intervals still matter for the answer -- for top-k, the
+variables straddling the k-th boundary (neither certainly in nor certainly
+out); for ranking, the variables still overlapping a competitor (plus, with
+an ``epsilon``, those not yet certifying it).  Decided variables keep their
+last certified interval, which remains sound because refinement only ever
+tightens intervals.
+
+Budget accounting matches AdaBan: ``max_steps`` counts individual bound
+evaluations (one per variable refined per round), not refinement rounds, so
+step budgets are comparable across the anytime algorithms.  Budgets are
+checked between rounds, so the final round may overshoot by at most one
+evaluation per tracked variable.  Budget exhaustion raises
+:class:`IchiBanTimeout`, which carries the best-so-far intervals so callers
+can degrade to an uncertified answer instead of losing the work.
 """
 
 from __future__ import annotations
@@ -19,12 +39,34 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.boolean.dnf import DNF
 from repro.core.adaban import ApproximationTimeout, _AnytimeState
 from repro.core.intervals import Interval
 from repro.dtree.heuristics import Heuristic, select_most_frequent
+
+
+class IchiBanTimeout(ApproximationTimeout):
+    """IchiBan budget exhaustion that preserves the work already done.
+
+    Attributes
+    ----------
+    intervals:
+        Best-so-far interval per tracked variable (always sound: every
+        interval contains the exact Banzhaf value).
+    steps:
+        Bound evaluations performed before giving up.
+    rounds:
+        Refinement rounds performed before giving up.
+    """
+
+    def __init__(self, message: str, intervals: Dict[int, Interval],
+                 steps: int = 0, rounds: int = 0) -> None:
+        super().__init__(message)
+        self.intervals = dict(intervals)
+        self.steps = steps
+        self.rounds = rounds
 
 
 @dataclass(frozen=True)
@@ -57,43 +99,170 @@ def _ranked(intervals: Dict[int, Interval]) -> List[RankedVariable]:
     return entries
 
 
-def _topk_separated(intervals: Dict[int, Interval], k: int) -> bool:
-    """``True`` iff a certain top-k set can be read off the intervals.
+#: Top-k decidedness classes (order matters: it is the ranking sort key).
+_IN, _UNDECIDED, _OUT = 0, 1, 2
+
+
+def _topk_classify(intervals: Dict[int, Interval], k: int) -> Dict[int, int]:
+    """Classify every variable as certainly in / undecided / certainly out.
 
     A variable is *certainly in* the top-k if at most ``k - 1`` other
-    variables can possibly exceed it; it is *certainly out* if at least ``k``
-    other variables certainly exceed it.  The top-k is decided when every
-    variable is certainly in or certainly out, allowing ties at the boundary
-    to count as decided when the boundary intervals are single points.
+    variables can possibly exceed it; it is *certainly out* if at least
+    ``k`` other variables certainly exceed it.
     """
     items = list(intervals.items())
+    classes: Dict[int, int] = {}
     for variable, interval in items:
         better_certain = sum(
             1 for other, other_interval in items
             if other != variable and other_interval.lower > interval.upper
         )
+        if better_certain >= k:
+            classes[variable] = _OUT
+            continue
         worse_possible = sum(
             1 for other, other_interval in items
             if other != variable and other_interval.upper > interval.lower
         )
-        certainly_out = better_certain >= k
-        certainly_in = worse_possible < k
-        if not (certainly_in or certainly_out):
-            # Ties: if the undecided variables all have identical point
-            # intervals the choice among them is immaterial.
-            tied = [
-                other_interval for other, other_interval in items
-                if other != variable and other_interval.overlaps(interval)
-            ]
-            if interval.is_point() and all(
-                    t.is_point() and t.lower == interval.lower for t in tied):
-                continue
+        classes[variable] = _IN if worse_possible < k else _UNDECIDED
+    return classes
+
+
+def _topk_undecided(intervals: Dict[int, Interval], k: int) -> List[int]:
+    """The variables whose intervals still straddle the k-th boundary."""
+    return [variable
+            for variable, cls in _topk_classify(intervals, k).items()
+            if cls == _UNDECIDED]
+
+
+def _ties_decide(intervals: Dict[int, Interval],
+                 undecided: List[int]) -> bool:
+    """``True`` iff every undecided variable is an immaterial point tie.
+
+    If the undecided variables all have identical point intervals the
+    choice among them is immaterial, so the top-k counts as decided.
+    """
+    for variable in undecided:
+        interval = intervals[variable]
+        if not interval.is_point():
+            return False
+        tied = [
+            other_interval for other, other_interval in intervals.items()
+            if other != variable and other_interval.overlaps(interval)
+        ]
+        if not all(t.is_point() and t.lower == interval.lower for t in tied):
             return False
     return True
 
 
+def ranked_from_intervals(intervals: Dict[int, Interval],
+                          k: Optional[int] = None) -> List[RankedVariable]:
+    """Order variables by the interval evidence.
+
+    Without ``k``: midpoint descending (ties by id).  This is sound for full
+    rankings because a certified separation between two intervals implies
+    their midpoints are ordered the same way.
+
+    With ``k``: certainly-in variables first, undecided next, certainly-out
+    last (midpoint order within each class), truncated to ``k``.  The
+    classes matter because task-aware refinement leaves decided intervals
+    wide: a certainly-out variable can retain a large midpoint, so midpoints
+    alone would rank it above a certain member of the top-k.
+    """
+    if k is None:
+        return _ranked(intervals)
+    classes = _topk_classify(intervals, k)
+    entries = [
+        RankedVariable(variable=v, interval=interval,
+                       estimate=interval.midpoint())
+        for v, interval in intervals.items()
+    ]
+    entries.sort(key=lambda entry: (classes[entry.variable],
+                                    -entry.estimate, entry.variable))
+    return entries[:k]
+
+
+def ranked_from_bounds(bounds: Dict[int, Tuple[int, int]],
+                       k: Optional[int] = None) -> List[RankedVariable]:
+    """:func:`ranked_from_intervals` over raw ``(lower, upper)`` pairs.
+
+    Convenience for reading a ranking off engine results, whose ``bounds``
+    store plain tuples (picklable for the process pool) rather than
+    :class:`Interval` objects.
+    """
+    return ranked_from_intervals(
+        {variable: Interval(lower, upper)
+         for variable, (lower, upper) in bounds.items()},
+        k,
+    )
+
+
+#: A per-round controller: consumes the fresh intervals, returns
+#: ``(done, targets)`` -- whether the run may stop, and otherwise which
+#: variables are worth refining next round.  Bundling the two decisions
+#: lets each round pay for one O(n^2) interval sweep instead of separate
+#: stop and schedule passes.
+Controller = Callable[[Dict[int, Interval]], Tuple[bool, List[int]]]
+
+
+def _topk_controller(k: int, epsilon: Optional[float]) -> Controller:
+    """The controller of a top-k run; ``epsilon=None`` demands certainty.
+
+    Refines only the variables straddling the k-th boundary; stops on full
+    separation (ties at the boundary count once their intervals are single
+    points) or -- with an ``epsilon`` -- once every still-undecided
+    interval certifies that relative error (decided variables need no
+    tight interval to be reported correctly).
+    """
+    def controller(intervals: Dict[int, Interval]
+                   ) -> Tuple[bool, List[int]]:
+        undecided = _topk_undecided(intervals, k)
+        if _ties_decide(intervals, undecided):
+            return True, []
+        if epsilon is not None and all(
+                intervals[v].satisfies_relative_error(epsilon)
+                for v in undecided):
+            return True, []
+        return False, undecided
+
+    return controller
+
+
+def _rank_controller(epsilon: Optional[float]) -> Controller:
+    """The controller of a full-ranking run.
+
+    Refines the variables still overlapping a competitor (plus, with an
+    ``epsilon``, those not yet certifying it); stops when all pairs are
+    separated or identical points, or when every interval reaches
+    ``epsilon``.
+    """
+    def controller(intervals: Dict[int, Interval]
+                   ) -> Tuple[bool, List[int]]:
+        items = list(intervals.items())
+        contended = [
+            variable for variable, interval in items
+            if any(
+                other != variable and other_interval.overlaps(interval)
+                and not (interval.is_point() and other_interval.is_point()
+                         and other_interval.lower == interval.lower)
+                for other, other_interval in items
+            )
+        ]
+        if not contended:
+            return True, []
+        if epsilon is None:
+            return False, contended
+        loose = [variable for variable, interval in items
+                 if not interval.satisfies_relative_error(epsilon)]
+        if not loose:
+            return True, []
+        return False, sorted(set(contended) | set(loose))
+
+    return controller
+
+
 class _IchiBanRun:
-    """Shared driver for ranking and top-k."""
+    """Shared driver for ranking and top-k (used directly by the engine)."""
 
     def __init__(self, function: DNF, heuristic: Heuristic,
                  variables: Optional[Sequence[int]] = None) -> None:
@@ -101,31 +270,50 @@ class _IchiBanRun:
         if variables is None:
             variables = sorted(function.variables)
         self.variables = list(variables)
+        self.steps = 0
+        self.rounds = 0
 
-    def refine_all(self) -> Dict[int, Interval]:
-        """Refresh the best intervals of all tracked variables."""
-        return {v: self.state.refine(v) for v in self.variables}
+    def refine(self, targets: Sequence[int]) -> Dict[int, Interval]:
+        """Refresh the intervals of ``targets``; return all best intervals."""
+        for variable in targets:
+            self.state.refine(variable)
+            self.steps += 1
+        self.rounds += 1
+        return {v: self.state.best[v] for v in self.variables}
 
-    def run(self, stop_condition, max_steps: Optional[int],
+    def run(self, controller: Controller, max_steps: Optional[int],
             timeout_seconds: Optional[float]) -> Dict[int, Interval]:
-        """Refine until ``stop_condition(intervals)`` holds or budget runs out."""
+        """Refine until the controller is satisfied or the budget runs out.
+
+        The controller sees the fresh intervals once per round and decides
+        both whether to stop and which variables to refine next (an empty
+        target list falls back to refining everything, so progress never
+        stalls); the first round always refines everything so every
+        variable has an interval.  ``max_steps`` counts bound evaluations
+        (AdaBan's unit).  Budget exhaustion raises :class:`IchiBanTimeout`
+        carrying the best-so-far intervals.
+        """
         started = time.monotonic()
-        steps = 0
+        intervals = self.refine(self.variables)
         while True:
-            intervals = self.refine_all()
-            steps += 1
-            if stop_condition(intervals) or self.state.is_complete():
+            done, targets = controller(intervals)
+            if done or self.state.is_complete():
                 return intervals
-            if max_steps is not None and steps >= max_steps:
-                raise ApproximationTimeout(
-                    f"IchiBan did not converge within {max_steps} steps"
+            if max_steps is not None and self.steps >= max_steps:
+                raise IchiBanTimeout(
+                    f"IchiBan did not converge within {max_steps} "
+                    "bound evaluations",
+                    intervals, steps=self.steps, rounds=self.rounds,
                 )
             if (timeout_seconds is not None
                     and time.monotonic() - started > timeout_seconds):
-                raise ApproximationTimeout(
-                    f"IchiBan did not converge within {timeout_seconds} seconds"
+                raise IchiBanTimeout(
+                    f"IchiBan did not converge within {timeout_seconds} "
+                    "seconds",
+                    intervals, steps=self.steps, rounds=self.rounds,
                 )
             self.state.expand(lazy=True)
+            intervals = self.refine(targets or self.variables)
 
 
 def ichiban_topk(function: DNF, k: int, epsilon: float = 0.1,
@@ -133,22 +321,17 @@ def ichiban_topk(function: DNF, k: int, epsilon: float = 0.1,
                  max_steps: Optional[int] = None,
                  timeout_seconds: Optional[float] = None
                  ) -> List[RankedVariable]:
-    """Approximate top-k: stop when separated or every interval reaches ``epsilon``.
+    """Approximate top-k: stop when separated or the contenders reach ``epsilon``.
 
-    Returns the ``k`` highest-ranked variables by interval midpoint.
+    Returns the ``k`` highest-ranked variables (certain members first, then
+    boundary contenders by interval midpoint).
     """
     if k <= 0:
         raise ValueError("k must be positive")
     run = _IchiBanRun(function, heuristic)
-
-    def stop(intervals: Dict[int, Interval]) -> bool:
-        if _topk_separated(intervals, k):
-            return True
-        return all(interval.satisfies_relative_error(epsilon)
-                   for interval in intervals.values())
-
-    intervals = run.run(stop, max_steps, timeout_seconds)
-    return _ranked(intervals)[:k]
+    intervals = run.run(_topk_controller(k, epsilon), max_steps,
+                        timeout_seconds)
+    return ranked_from_intervals(intervals, k)
 
 
 def ichiban_topk_certain(function: DNF, k: int,
@@ -160,9 +343,9 @@ def ichiban_topk_certain(function: DNF, k: int,
     if k <= 0:
         raise ValueError("k must be positive")
     run = _IchiBanRun(function, heuristic)
-    intervals = run.run(lambda ivs: _topk_separated(ivs, k), max_steps,
+    intervals = run.run(_topk_controller(k, epsilon=None), max_steps,
                         timeout_seconds)
-    return _ranked(intervals)[:k]
+    return ranked_from_intervals(intervals, k)
 
 
 def ichiban_rank(function: DNF, epsilon: Optional[float] = None,
@@ -178,25 +361,6 @@ def ichiban_rank(function: DNF, epsilon: Optional[float] = None,
     certifies that relative error; the ranking is then by midpoints.
     """
     run = _IchiBanRun(function, heuristic)
-
-    def certain(intervals: Dict[int, Interval]) -> bool:
-        items = list(intervals.values())
-        for i, left in enumerate(items):
-            for right in items[i + 1:]:
-                if left.overlaps(right):
-                    same_point = (left.is_point() and right.is_point()
-                                  and left.lower == right.lower)
-                    if not same_point:
-                        return False
-        return True
-
-    def stop(intervals: Dict[int, Interval]) -> bool:
-        if certain(intervals):
-            return True
-        if epsilon is None:
-            return False
-        return all(interval.satisfies_relative_error(epsilon)
-                   for interval in intervals.values())
-
-    intervals = run.run(stop, max_steps, timeout_seconds)
+    intervals = run.run(_rank_controller(epsilon), max_steps,
+                        timeout_seconds)
     return _ranked(intervals)

@@ -15,9 +15,11 @@ from repro.engine.engine import (
     EngineConfig,
     EngineMethod,
     LineageAttribution,
+    RankedAnswer,
     engine_for,
     ensure_recursion_head_room,
 )
+from repro.engine.ranking import RankingComputation, compute_ranking
 from repro.engine.stats import EngineStats
 
 __all__ = [
@@ -31,7 +33,10 @@ __all__ = [
     "LineageAttribution",
     "LineageCache",
     "LRUCache",
+    "RankedAnswer",
+    "RankingComputation",
     "canonicalize",
+    "compute_ranking",
     "engine_for",
     "ensure_recursion_head_room",
 ]

@@ -3,7 +3,10 @@
 The cache stores the *outcome* of attributing one canonical lineage with one
 method configuration: the per-variable values (in canonical variable space),
 the optional bounds, and which method actually produced them (relevant for
-``auto``, where the engine may have fallen back from ExaBan to AdaBan).
+``auto``, where the engine may have fallen back from ExaBan to AdaBan, and
+for the ranking methods, where a cached complete d-tree yields an exact
+result).  Ranking entries store the full per-variable interval map, so one
+entry serves any downstream ranking or top-k read.
 Because entries live in canonical space they are shared by every answer --
 of any query -- whose lineage is isomorphic.
 
@@ -23,8 +26,15 @@ from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
 from repro.engine.canonical import CanonicalKey
 
 #: Cache key of a result: canonical lineage plus the method configuration
-#: that produced it (epsilon only matters for approximate results).
-ResultKey = Tuple[CanonicalKey, str, Optional[float]]
+#: that produced it (epsilon for every epsilon-dependent method, k for
+#: top-k).
+ResultKey = Tuple[CanonicalKey, str, Optional[float], Optional[int]]
+
+#: Methods whose cached values depend on epsilon: ``approximate`` outright,
+#: ``auto`` through its AdaBan fallback (each Engine pins one epsilon, but
+#: the key must not rely on that), ``rank``/``topk`` through their anytime
+#: stopping rules.
+_EPSILON_METHODS = ("approximate", "auto", "rank", "topk")
 
 _V = TypeVar("_V")
 
@@ -49,6 +59,9 @@ class CachedAttribution:
     method_used: str
     values: Dict[int, Fraction]
     bounds: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: ``False`` for best-so-far ranking results whose anytime run exhausted
+    #: its budget; such entries are never written to the cache.
+    converged: bool = True
 
 
 class LRUCache(Generic[_V]):
@@ -117,9 +130,18 @@ class LineageCache:
 
     @staticmethod
     def result_key(key: CanonicalKey, method: str,
-                   epsilon: Optional[float]) -> ResultKey:
-        """Build the result-cache key; epsilon is dropped for exact methods."""
-        return (key, method, epsilon if method == "approximate" else None)
+                   epsilon: Optional[float],
+                   k: Optional[int] = None) -> ResultKey:
+        """Build the result-cache key.
+
+        Epsilon is kept for every epsilon-dependent method -- including
+        ``auto``, whose fallback values depend on it -- and dropped for the
+        exact methods (``exact``/``shapley``), whose results never do.
+        ``k`` is kept for ``topk`` only.
+        """
+        return (key, method,
+                epsilon if method in _EPSILON_METHODS else None,
+                k if method == "topk" else None)
 
     def clear(self) -> None:
         """Drop both cache levels."""

@@ -23,6 +23,15 @@ exhausted.  The fallback shares the wall-clock budget; a lineage that
 defeats both raises (``ApproximationTimeout``), which the experiment
 runner records as a failure rather than a crash.
 
+Ranking is first-class: ``method="rank"`` and ``method="topk"`` (with
+``k``) run IchiBan (Section 4.1) through the same pipeline -- canonical
+variable space, shared lineage cache, optional pool fan-out -- so
+isomorphic answers share one anytime run and repeat ranking traffic is
+served from the cache.  A cached complete d-tree short-circuits to an
+exact ranking; budget exhaustion degrades to best-so-far intervals (see
+:mod:`repro.engine.ranking`).  Read rankings through :meth:`Engine.rank`
+/ :meth:`Engine.rank_many`.
+
 Typical use::
 
     from repro.engine import Engine, EngineConfig
@@ -31,6 +40,10 @@ Typical use::
     for query, results in engine.attribute_many(queries, database):
         ...
     print(engine.stats.as_dict())
+
+    ranker = Engine(EngineConfig(method="topk", k=5))
+    for answer, entries in ranker.rank(query, database):
+        ...
 """
 
 from __future__ import annotations
@@ -56,8 +69,9 @@ from typing import (
 from repro.boolean.dnf import DNF
 from repro.core.adaban import adaban_all
 from repro.core.exaban import exaban_all
+from repro.core.ichiban import RankedVariable, ranked_from_bounds
 from repro.core.shapley import shapley_all
-from repro.db.database import Database
+from repro.db.database import Database, Fact
 from repro.db.lineage import AnswerLineage, DomainPolicy, lineage_of_answers
 from repro.db.query import Query
 from repro.dtree.compile import (
@@ -67,9 +81,15 @@ from repro.dtree.compile import (
 )
 from repro.engine.cache import CachedAttribution, LineageCache
 from repro.engine.canonical import CanonicalLineage, canonicalize
+from repro.engine.ranking import compute_ranking
 from repro.engine.stats import EngineStats
 
-EngineMethod = Literal["auto", "exact", "approximate", "shapley"]
+EngineMethod = Literal["auto", "exact", "approximate", "shapley",
+                       "rank", "topk"]
+
+#: One per-answer ranking: the answer tuple plus (fact, entry) pairs in
+#: rank order.
+RankedAnswer = Tuple[Tuple[object, ...], List[Tuple[Fact, RankedVariable]]]
 
 #: Compilation budget used by ``auto`` when the config leaves the Shannon
 #: budget unlimited: generous enough for every workload lineage that the
@@ -100,14 +120,27 @@ class EngineConfig:
     ----------
     method:
         ``"auto"`` (exact with AdaBan fallback), ``"exact"``,
-        ``"approximate"`` or ``"shapley"``.
+        ``"approximate"``, ``"shapley"``, or the IchiBan ranking methods
+        ``"rank"`` (full per-answer ranking) and ``"topk"`` (requires
+        ``k``).
     epsilon:
         Relative-error guarantee for approximate results (used by
-        ``"approximate"`` and by the ``auto`` fallback).
+        ``"approximate"``, the ``auto`` fallback, and the ranking
+        methods).  ``None`` is allowed for ``"rank"``/``"topk"`` only and
+        demands certainty: pairwise-separated intervals for ``rank``, a
+        decided top-k set for ``topk``.
+    k:
+        Top-k size for ``method="topk"``.  May be left ``None`` when every
+        :meth:`Engine.rank` / :meth:`Engine.rank_many` call supplies its
+        own ``k`` (the per-call override); must be ``None`` for every
+        other method.
     max_shannon_steps:
         Shannon-expansion budget for exact compilation.  ``None`` means
         unlimited for ``"exact"``/``"shapley"``; ``auto`` substitutes a
-        generous default so the fallback can trigger.
+        generous default so the fallback can trigger.  For the ranking
+        methods the same number bounds the anytime run's bound
+        evaluations (IchiBan's budget unit); exhaustion degrades to a
+        best-so-far result instead of raising.
     timeout_seconds:
         Per-lineage wall-clock budget for exact compilation (``None`` =
         unlimited).
@@ -133,7 +166,7 @@ class EngineConfig:
     """
 
     method: EngineMethod = "auto"
-    epsilon: float = 0.1
+    epsilon: Optional[float] = 0.1
     max_shannon_steps: Optional[int] = None
     timeout_seconds: Optional[float] = None
     max_workers: int = 0
@@ -142,12 +175,28 @@ class EngineConfig:
     cache_size: int = 4096
     dtree_cache_size: int = 256
     domain: DomainPolicy = "lineage"
+    k: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.method not in ("auto", "exact", "approximate", "shapley"):
+        if self.method not in ("auto", "exact", "approximate", "shapley",
+                               "rank", "topk"):
             raise ValueError(
                 f"unknown engine method {self.method!r}; expected 'auto', "
-                "'exact', 'approximate' or 'shapley'"
+                "'exact', 'approximate', 'shapley', 'rank' or 'topk'"
+            )
+        if self.epsilon is None and self.method in ("auto", "approximate"):
+            raise ValueError(
+                f"method {self.method!r} needs an epsilon (None is only "
+                "meaningful for the ranking methods, where it demands "
+                "certainty)"
+            )
+        if self.method == "topk":
+            if self.k is not None and self.k < 1:
+                raise ValueError("k must be at least 1")
+        elif self.k is not None:
+            raise ValueError(
+                f"k is only meaningful for method='topk', not "
+                f"{self.method!r}"
             )
 
 
@@ -189,19 +238,33 @@ def _approximate(function: DNF, epsilon: float,
     )
 
 
-def _compute_canonical(function: DNF, method: EngineMethod, epsilon: float,
+def _compute_canonical(function: DNF, method: EngineMethod,
+                       epsilon: Optional[float],
                        max_shannon_steps: Optional[int],
                        timeout_seconds: Optional[float],
-                       tree: object = None
-                       ) -> Tuple[CachedAttribution, bool, object]:
-    """Attribute one canonical lineage; returns (result, fell_back, tree).
+                       tree: object = None,
+                       k: Optional[int] = None
+                       ) -> Tuple[CachedAttribution, bool, object, int]:
+    """Attribute one canonical lineage.
 
-    ``tree`` may carry an already compiled d-tree (from the in-process
-    d-tree cache); it is only consulted for the exact method, and the tree
-    that was compiled (if any) is handed back so the caller can cache it.
+    Returns ``(result, fell_back, tree, refinement_rounds)``.  ``tree``
+    may carry an already compiled d-tree (from the in-process d-tree
+    cache); it is consulted by the exact and ranking methods, and any tree
+    built during the computation -- an exact compilation, or an anytime
+    ranking run that happened to complete its tree -- is handed back so
+    the caller can cache it.
     """
+    if method in ("rank", "topk"):
+        # The configured step budget bounds the anytime run's bound
+        # evaluations -- the ranking analogue of the Shannon budget, so
+        # a budgeted engine never runs a ranking unbounded either.
+        computation = compute_ranking(function, method, k, epsilon,
+                                      timeout_seconds, tree=tree,
+                                      max_steps=max_shannon_steps)
+        return (computation.outcome, False, computation.tree,
+                computation.rounds)
     if method == "approximate":
-        return _approximate(function, epsilon, timeout_seconds), False, None
+        return _approximate(function, epsilon, timeout_seconds), False, None, 0
 
     steps = _effective_shannon_steps(method, max_shannon_steps)
     budget = CompilationBudget(max_shannon_steps=steps,
@@ -209,7 +272,7 @@ def _compute_canonical(function: DNF, method: EngineMethod, epsilon: float,
     if method == "shapley":
         values = shapley_all(function, budget=budget)
         return CachedAttribution(method_used="shapley",
-                                 values=dict(values)), False, None
+                                 values=dict(values)), False, None, 0
 
     started = time.monotonic()
     try:
@@ -228,28 +291,30 @@ def _compute_canonical(function: DNF, method: EngineMethod, epsilon: float,
         if timeout_seconds is not None:
             remaining = max(0.0, timeout_seconds
                             - (time.monotonic() - started))
-        return _approximate(function, epsilon, remaining), True, None
+        return _approximate(function, epsilon, remaining), True, None, 0
     return CachedAttribution(
         method_used="exact",
         values={v: Fraction(value) for v, value in raw.items()},
         bounds={v: (value, value) for v, value in raw.items()},
-    ), False, tree
+    ), False, tree, 0
 
 
-def _worker_compute_chunk(payload: Tuple) -> List[Tuple[int, CachedAttribution, bool]]:
+def _worker_compute_chunk(payload: Tuple
+                          ) -> List[Tuple[int, CachedAttribution, bool, int]]:
     """Process-pool task: attribute a chunk of canonical lineages.
 
     The payload is fully picklable: clause tuples plus the scalar method
     configuration.  Exceptions propagate to the parent through the future.
     """
-    chunk, method, epsilon, max_shannon_steps, timeout_seconds = payload
+    chunk, method, epsilon, max_shannon_steps, timeout_seconds, k = payload
     ensure_recursion_head_room()
     results = []
     for index, num_variables, clauses in chunk:
         function = DNF(clauses, domain=range(num_variables))
-        outcome, fell_back, _ = _compute_canonical(
-            function, method, epsilon, max_shannon_steps, timeout_seconds)
-        results.append((index, outcome, fell_back))
+        outcome, fell_back, _, rounds = _compute_canonical(
+            function, method, epsilon, max_shannon_steps, timeout_seconds,
+            k=k)
+        results.append((index, outcome, fell_back, rounds))
     return results
 
 
@@ -307,12 +372,54 @@ class Engine:
                 ]
             yield query, results
 
+    def rank_many(self, queries: Iterable[Query], database: Database,
+                  k: Optional[int] = None
+                  ) -> Iterator[Tuple[Query, List[RankedAnswer]]]:
+        """Rank the facts of every answer of a query stream (IchiBan).
+
+        Requires a ``"rank"`` or ``"topk"`` engine.  Yields ``(query,
+        rankings)`` pairs, where each ranking is ``(answer values, [(fact,
+        RankedVariable), ...])`` in rank order -- truncated to ``k`` under
+        ``"topk"``.  ``k`` overrides ``config.k`` per call; because results
+        are cached per ``(canonical lineage, epsilon, k)`` and completed
+        d-trees are shared across k values, one engine can serve mixed-k
+        traffic.
+        """
+        if self.config.method not in ("rank", "topk"):
+            raise ValueError(
+                "rank()/rank_many() need an engine configured with "
+                f"method='rank' or 'topk', not {self.config.method!r}"
+            )
+        for query in queries:
+            self.stats.queries += 1
+            with self.stats.timed("evaluate"):
+                answers = lineage_of_answers(query, database,
+                                             domain=self.config.domain)
+            outcomes = self._attribute_batch([a.lineage for a in answers],
+                                             k=k)
+            with self.stats.timed("assemble"):
+                rankings = [
+                    (answer.values,
+                     self._ranked_facts(outcome, database, k))
+                    for answer, outcome in zip(answers, outcomes)
+                ]
+            yield query, rankings
+
+    def rank(self, query: Query, database: Database,
+             k: Optional[int] = None) -> List[RankedAnswer]:
+        """Rank every answer of one query (see :meth:`rank_many`)."""
+        _, rankings = next(self.rank_many([query], database, k=k))
+        return rankings
+
     def attribute_lineages(self, lineages: Sequence[DNF]
                            ) -> List[LineageAttribution]:
         """Attribute raw lineage DNFs (the experiment-runner entry point).
 
         Skips query evaluation entirely; values and bounds come back in the
-        lineages' own variable space.
+        lineages' own variable space.  Under the ranking methods the values
+        are interval midpoints for *all* occurring variables (the certified
+        intervals are in ``bounds``); use :meth:`rank` when the ordered
+        top-k set itself is wanted.
         """
         outcomes = self._attribute_batch(lineages)
         attributions = []
@@ -335,15 +442,28 @@ class Engine:
     # Pipeline stages
     # ----------------------------------------------------------------- #
 
-    def _attribute_batch(self, lineages: Sequence[DNF]
+    def _attribute_batch(self, lineages: Sequence[DNF],
+                         k: Optional[int] = None
                          ) -> List[Tuple[CanonicalLineage, CachedAttribution]]:
         """Canonicalize, cache-check, compute and return per-lineage outcomes."""
         config = self.config
+        if k is None:
+            k = config.k
+        elif config.method != "topk":
+            raise ValueError("a per-call k needs method='topk'")
+        elif k < 1:
+            raise ValueError("k must be at least 1")
+        if config.method == "topk" and k is None:
+            raise ValueError(
+                "method 'topk' needs k: set EngineConfig.k or pass k "
+                "per call"
+            )
         self.stats.answers += len(lineages)
 
         with self.stats.timed("canonicalize"):
             canonicals = [canonicalize(lineage) for lineage in lineages]
-            keys = [self.cache.result_key(c.key, config.method, config.epsilon)
+            keys = [self.cache.result_key(c.key, config.method,
+                                          config.epsilon, k)
                     for c in canonicals]
             cached: Dict[int, CachedAttribution] = {}
             pending: Dict[object, List[int]] = {}
@@ -366,17 +486,32 @@ class Engine:
             # Cache each outcome as soon as it is computed: if a later task
             # fails (budget exhaustion on a pathological lineage), the work
             # already done stays reusable and a per-instance retry hits it.
+            # Unconverged ranking results (best-so-far intervals) are
+            # reported but never cached -- a later call deserves a fresh
+            # attempt (e.g. against a d-tree cached in the meantime).
             for position, outcome in self._compute_tasks(
-                    [canonicals[index] for _, index in tasks]):
+                    [canonicals[index] for _, index in tasks], k):
                 key = tasks[position][0]
-                self.cache.results.put(key, outcome)
+                if outcome.converged:
+                    self.cache.results.put(key, outcome)
                 for index in pending[key]:
                     cached[index] = outcome
 
         return [(canonicals[index], cached[index])
                 for index in range(len(lineages))]
 
-    def _compute_tasks(self, tasks: Sequence[CanonicalLineage]
+    def _effective_workers(self) -> int:
+        """Worker processes the pool could actually run in parallel.
+
+        ``max_workers`` is clamped to the machine's core count *before*
+        deciding whether to use the pool at all: a 4-worker request on a
+        1-core host would otherwise build a 1-worker pool and pay
+        pickling/IPC for zero parallelism.
+        """
+        return max(1, min(self.config.max_workers, os.cpu_count() or 1))
+
+    def _compute_tasks(self, tasks: Sequence[CanonicalLineage],
+                       k: Optional[int]
                        ) -> Iterator[Tuple[int, CachedAttribution]]:
         """Run the distinct cache misses, in the pool or serially.
 
@@ -388,10 +523,10 @@ class Engine:
             return
         config = self.config
         done = set()
-        if (config.max_workers > 1
+        if (self._effective_workers() > 1
                 and len(tasks) >= config.parallel_min_tasks):
             try:
-                for position, outcome in self._compute_parallel(tasks):
+                for position, outcome in self._compute_parallel(tasks, k):
                     self.stats.compilations += 1
                     done.add(position)
                     yield position, outcome
@@ -405,37 +540,47 @@ class Engine:
         for position, canonical in enumerate(tasks):
             if position in done:
                 continue
-            outcome = self._compute_serial(canonical)
+            outcome = self._compute_serial(canonical, k)
             self.stats.compilations += 1
             yield position, outcome
 
-    def _compute_serial(self, canonical: CanonicalLineage) -> CachedAttribution:
+    def _compute_serial(self, canonical: CanonicalLineage,
+                        k: Optional[int] = None) -> CachedAttribution:
         config = self.config
         tree = None
-        if config.method in ("auto", "exact"):
+        if config.method in ("auto", "exact", "rank", "topk"):
             tree = self.cache.dtrees.get(canonical.key)
         ensure_recursion_head_room()
-        outcome, fell_back, compiled = _compute_canonical(
+        outcome, fell_back, compiled, rounds = _compute_canonical(
             canonical.dnf, config.method, config.epsilon,
-            config.max_shannon_steps, config.timeout_seconds, tree=tree)
-        if fell_back:
-            self.stats.fallbacks += 1
+            config.max_shannon_steps, config.timeout_seconds, tree=tree,
+            k=k)
+        self._record_outcome(outcome, fell_back, rounds)
         if compiled is not None and tree is None:
             self.cache.dtrees.put(canonical.key, compiled)
         return outcome
 
-    def _compute_parallel(self, tasks: Sequence[CanonicalLineage]
+    def _record_outcome(self, outcome: CachedAttribution, fell_back: bool,
+                        rounds: int) -> None:
+        if fell_back:
+            self.stats.fallbacks += 1
+        self.stats.refinement_rounds += rounds
+        if not outcome.converged:
+            self.stats.partial_results += 1
+
+    def _compute_parallel(self, tasks: Sequence[CanonicalLineage],
+                          k: Optional[int]
                           ) -> Iterator[Tuple[int, CachedAttribution]]:
         """Fan the tasks out over a process pool, yielding as chunks finish.
 
         The chunk size amortizes IPC over several small computations but is
-        capped so every requested worker gets at least one chunk -- a fixed
+        capped so every effective worker gets at least one chunk -- a fixed
         chunk size would silently throttle parallelism on mid-size batches.
         """
         config = self.config
-        max_workers = min(config.max_workers, os.cpu_count() or 1)
+        max_workers = self._effective_workers()
         chunk_size = max(1, min(config.chunk_size,
-                                -(-len(tasks) // max(1, max_workers))))
+                                -(-len(tasks) // max_workers)))
         chunks: List[List[Tuple[int, int, Tuple[Tuple[int, ...], ...]]]] = []
         for start in range(0, len(tasks), chunk_size):
             chunk = [
@@ -445,17 +590,16 @@ class Engine:
             ]
             chunks.append(chunk)
 
-        workers = min(config.max_workers, len(chunks), os.cpu_count() or 1)
+        workers = min(max_workers, len(chunks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [
                 (chunk, config.method, config.epsilon,
-                 config.max_shannon_steps, config.timeout_seconds)
+                 config.max_shannon_steps, config.timeout_seconds, k)
                 for chunk in chunks
             ]
             for chunk_results in pool.map(_worker_compute_chunk, payloads):
-                for position, outcome, fell_back in chunk_results:
-                    if fell_back:
-                        self.stats.fallbacks += 1
+                for position, outcome, fell_back, rounds in chunk_results:
+                    self._record_outcome(outcome, fell_back, rounds)
                     yield position, outcome
         self.stats.parallel_batches += 1
 
@@ -468,6 +612,20 @@ class Engine:
                   ) -> Dict[int, Fraction]:
         return {canonical.from_canonical[variable]: value
                 for variable, value in values.items()}
+
+    def _ranked_facts(self, outcome: Tuple[CanonicalLineage, CachedAttribution],
+                      database: Database, k: Optional[int]
+                      ) -> List[Tuple[Fact, RankedVariable]]:
+        """Order one answer's facts by the cached interval evidence."""
+        canonical, cached = outcome
+        bounds = {canonical.from_canonical[variable]: bound
+                  for variable, bound in cached.bounds.items()}
+        if self.config.method == "topk":
+            effective_k: Optional[int] = self.config.k if k is None else k
+        else:
+            effective_k = None
+        return [(database.fact_of(entry.variable), entry)
+                for entry in ranked_from_bounds(bounds, effective_k)]
 
     def _assemble(self, answer: AnswerLineage,
                   outcome: Tuple[CanonicalLineage, CachedAttribution],
@@ -488,12 +646,13 @@ class Engine:
 
 
 def engine_for(method: EngineMethod = "auto", *,
-               epsilon: float = 0.1,
+               epsilon: Optional[float] = 0.1,
                budget: Optional[CompilationBudget] = None,
-               max_workers: int = 0) -> Engine:
+               max_workers: int = 0,
+               k: Optional[int] = None) -> Engine:
     """Build an engine from the legacy per-call knobs of ``attribute_facts``."""
     config = EngineConfig(method=method, epsilon=epsilon,
-                          max_workers=max_workers)
+                          max_workers=max_workers, k=k)
     if budget is not None:
         config = replace(config,
                          max_shannon_steps=budget.max_shannon_steps,

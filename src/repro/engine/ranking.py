@@ -1,0 +1,137 @@
+"""Engine-native IchiBan: ranking and top-k in canonical variable space.
+
+The engine's ``rank`` and ``topk`` methods run the paper's IchiBan
+algorithm (Section 4.1) on *canonical* lineages, so isomorphic answers --
+the bulk of ranking-style repeat traffic -- share a single anytime run, and
+the resulting per-variable intervals are memoized in the
+:class:`~repro.engine.cache.LineageCache` exactly like exact/approximate
+attributions (keyed additionally by epsilon and, for top-k, by k).
+
+Two paths mirror the engine's ``auto`` story:
+
+* a complete d-tree cached by an earlier computation over the same
+  canonical lineage (an exact attribution, or a ranking run that happened
+  to finish its tree) yields an *exact* ranking via one ExaBan pass -- no
+  anytime refinement at all.  Like the d-tree cache in general, this
+  applies to the engine's serial compute path (the default): trees are
+  in-process object graphs that are never shipped to or from pool
+  workers;
+* an anytime run that exhausts its wall-clock budget degrades gracefully:
+  the best-so-far intervals carried by
+  :class:`~repro.core.ichiban.IchiBanTimeout` become an uncertified
+  (``converged=False``) result, which the engine reports but never caches.
+
+Cached values are interval midpoints; the certified interval itself lives
+in ``bounds``.  Rankings should be read through
+:meth:`repro.engine.engine.Engine.rank` (or
+:func:`repro.core.ichiban.ranked_from_intervals`), which orders by the
+interval evidence -- for top-k, a certainly-out variable can keep a wide
+interval with a large midpoint, so sorting the midpoints alone may
+mis-rank it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.boolean.dnf import DNF
+from repro.core.exaban import exaban_all
+from repro.core.ichiban import (
+    IchiBanTimeout,
+    _IchiBanRun,
+    _rank_controller,
+    _topk_controller,
+)
+from repro.core.intervals import Interval
+from repro.dtree.heuristics import Heuristic, select_most_frequent
+from repro.engine.cache import CachedAttribution
+
+
+@dataclass(frozen=True)
+class RankingComputation:
+    """Outcome of ranking one canonical lineage.
+
+    ``rounds`` counts the IchiBan refinement rounds actually run (0 on the
+    d-tree fast path); ``tree`` carries the completed d-tree when the
+    anytime run happened to finish it -- worth caching, because it turns
+    every later ranking of the same canonical lineage (any epsilon, any k)
+    into an exact one.
+    """
+
+    outcome: CachedAttribution
+    rounds: int = 0
+    tree: object = None
+
+
+def _from_intervals(method: str, intervals: Dict[int, Interval],
+                    converged: bool) -> CachedAttribution:
+    return CachedAttribution(
+        method_used=method if converged else f"{method}-partial",
+        values={v: interval.midpoint() for v, interval in intervals.items()},
+        bounds={v: (interval.lower, interval.upper)
+                for v, interval in intervals.items()},
+        converged=converged,
+    )
+
+
+def _exact_ranking(function: DNF, tree: object) -> RankingComputation:
+    """Read an exact ranking off a complete d-tree (one ExaBan pass).
+
+    Restricted to the occurring variables, matching IchiBan's scope
+    (silent domain variables have Banzhaf value 0 and never rank).
+    """
+    occurring = function.variables
+    values = {v: value for v, value in exaban_all(tree).items()
+              if v in occurring}
+    return RankingComputation(outcome=CachedAttribution(
+        method_used="exact",
+        values={v: Fraction(value) for v, value in values.items()},
+        bounds={v: (value, value) for v, value in values.items()},
+    ))
+
+
+def compute_ranking(function: DNF, method: str, k: Optional[int],
+                    epsilon: Optional[float],
+                    timeout_seconds: Optional[float],
+                    tree: object = None,
+                    max_steps: Optional[int] = None,
+                    heuristic: Heuristic = select_most_frequent
+                    ) -> RankingComputation:
+    """Rank one canonical lineage (``method`` is ``"rank"`` or ``"topk"``).
+
+    ``epsilon=None`` demands certainty (pairwise separation for ``rank``,
+    a decided top-k set for ``topk``); otherwise the run may also stop at
+    the certified relative error.  ``max_steps`` bounds the anytime run's
+    bound evaluations (IchiBan's budget unit); either budget exhausting
+    produces the degraded best-so-far result.  A ``tree`` (complete
+    d-tree) bypasses the anytime run entirely.
+    """
+    if method not in ("rank", "topk"):
+        raise ValueError(
+            f"compute_ranking handles method 'rank' or 'topk', not "
+            f"{method!r}"
+        )
+    if method == "topk" and (k is None or k < 1):
+        raise ValueError("method 'topk' needs k >= 1")
+    if tree is not None:
+        return _exact_ranking(function, tree)
+    if method == "topk":
+        controller = _topk_controller(k, epsilon)
+    else:
+        controller = _rank_controller(epsilon)
+    run = _IchiBanRun(function, heuristic)
+    try:
+        intervals = run.run(controller, max_steps, timeout_seconds)
+    except IchiBanTimeout as timeout:
+        return RankingComputation(
+            outcome=_from_intervals(method, timeout.intervals,
+                                    converged=False),
+            rounds=timeout.rounds,
+        )
+    return RankingComputation(
+        outcome=_from_intervals(method, intervals, converged=True),
+        rounds=run.rounds,
+        tree=run.state.compiler.root if run.state.is_complete() else None,
+    )

@@ -37,6 +37,12 @@ class EngineStats:
     fallbacks:
         ``auto``-method computations where exact compilation exhausted its
         budget and the engine fell back to AdaBan.
+    refinement_rounds:
+        IchiBan refinement rounds run by the ``rank``/``topk`` methods
+        (0 for results served from the cache or from a complete d-tree).
+    partial_results:
+        Ranking computations that exhausted their budget and returned
+        best-so-far intervals instead of a certified result.
     parallel_batches:
         Batches dispatched to the process pool (0 when running serially).
     stage_seconds:
@@ -50,6 +56,8 @@ class EngineStats:
     cache_misses: int = 0
     compilations: int = 0
     fallbacks: int = 0
+    refinement_rounds: int = 0
+    partial_results: int = 0
     parallel_batches: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -85,6 +93,8 @@ class EngineStats:
             "hit_rate": round(self.hit_rate(), 4),
             "compilations": self.compilations,
             "fallbacks": self.fallbacks,
+            "refinement_rounds": self.refinement_rounds,
+            "partial_results": self.partial_results,
             "parallel_batches": self.parallel_batches,
             "stage_seconds": {stage: round(seconds, 6)
                               for stage, seconds in self.stage_seconds.items()},
@@ -99,6 +109,8 @@ class EngineStats:
         self.cache_misses = 0
         self.compilations = 0
         self.fallbacks = 0
+        self.refinement_rounds = 0
+        self.partial_results = 0
         self.parallel_batches = 0
         self.stage_seconds = {}
 

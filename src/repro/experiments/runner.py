@@ -21,7 +21,7 @@ from repro.baselines.sig22 import Sig22Failure, sig22_banzhaf_all
 from repro.boolean.dnf import DNF
 from repro.core.adaban import ApproximationTimeout, adaban_all
 from repro.core.exaban import exaban_all
-from repro.core.ichiban import ichiban_topk
+from repro.core.ichiban import ichiban_topk, ranked_from_intervals
 from repro.dtree.compile import (
     CompilationBudget,
     CompilationLimitReached,
@@ -99,9 +99,10 @@ def _run_monte_carlo(lineage: DNF, config: ExperimentConfig
 
 
 #: Engines shared across ``run_algorithm`` calls with the same config, so
-#: the ``engine`` algorithm benefits from its lineage cache across the
-#: instances of a workload (isomorphic lineages compile once).
-_ENGINE_POOL: Dict[Tuple[ExperimentConfig, int], Engine] = {}
+#: the ``engine`` and ``topk`` algorithms benefit from their lineage
+#: caches across the instances of a workload (isomorphic lineages compile
+#: once).
+_ENGINE_POOL: Dict[Tuple[ExperimentConfig, int, str], Engine] = {}
 
 
 def clear_engine_pool() -> None:
@@ -116,28 +117,32 @@ def clear_engine_pool() -> None:
 
 
 def engine_for_config(config: ExperimentConfig,
-                      max_workers: int = 0) -> Engine:
+                      max_workers: int = 0,
+                      method: str = "auto") -> Engine:
     """The shared batched engine for one experiment configuration.
 
-    Configured with ``method="auto"``: exact ExaBan under the experiment's
+    With the default ``method="auto"``: exact ExaBan under the experiment's
     compilation budget, falling back to AdaBan with the experiment's epsilon
     -- the paper's Table 4/6 fallback story as a single algorithm entry.
+    ``method="topk"`` instead runs IchiBan's top-k-aware refinement with
+    ``k = config.topk[0]`` (the Table 8/9 interactive use case).
 
     The engine (and its lineage cache) is shared by every
     :func:`run_algorithm` call with the same config in this process --
-    deliberate, so the ``engine`` algorithm shows cache warmth across a
-    workload's instances; see :func:`clear_engine_pool` for when that
-    history is unwanted.
+    deliberate, so the ``engine``/``topk`` algorithms show cache warmth
+    across a workload's instances; see :func:`clear_engine_pool` for when
+    that history is unwanted.
     """
-    key = (config, max_workers)
+    key = (config, max_workers, method)
     engine = _ENGINE_POOL.get(key)
     if engine is None:
         engine = Engine(EngineConfig(
-            method="auto",
+            method=method,
             epsilon=config.epsilon,
             max_shannon_steps=config.max_shannon_steps,
             timeout_seconds=config.timeout_seconds,
             max_workers=max_workers,
+            k=config.topk[0] if method == "topk" else None,
         ))
         _ENGINE_POOL[key] = engine
     return engine
@@ -148,12 +153,28 @@ def _run_engine(lineage: DNF, config: ExperimentConfig) -> Dict[int, Fraction]:
     return engine.attribute_lineages([lineage])[0].values
 
 
+def _run_topk(lineage: DNF, config: ExperimentConfig) -> Dict[int, Fraction]:
+    """IchiBan top-k through the batched engine (``k = config.topk[0]``).
+
+    Anytime semantics: budget exhaustion degrades to best-so-far interval
+    midpoints instead of failing (visible as ``partial_results`` in the
+    engine stats).  The returned values are interval midpoints for all
+    variables; when the certified top-k *set* is wanted, read it through
+    :meth:`repro.engine.engine.Engine.rank` (or
+    :func:`repro.core.ichiban.ranked_from_bounds` on the result bounds),
+    which order by the interval evidence instead of raw midpoints.
+    """
+    engine = engine_for_config(config, method="topk")
+    return engine.attribute_lineages([lineage])[0].values
+
+
 _RUNNERS: Dict[str, Callable[[DNF, ExperimentConfig], Dict[int, Fraction]]] = {
     "exaban": _run_exaban,
     "sig22": _run_sig22,
     "adaban": _run_adaban,
     "mc": _run_monte_carlo,
     "engine": _run_engine,
+    "topk": _run_topk,
 }
 
 #: Algorithm names accepted by :func:`run_algorithm`.
@@ -209,7 +230,7 @@ def run_workloads(workloads: Sequence[Workload], algorithms: Sequence[str],
     """
     if config is None:
         config = ExperimentConfig()
-    if "engine" in algorithms:
+    if "engine" in algorithms or "topk" in algorithms:
         # Fresh engines per run_workloads call: repeated runs must report
         # the same cache behavior, not ever-warmer timings.
         clear_engine_pool()
@@ -331,13 +352,28 @@ def exact_ground_truth(instance: LineageInstance,
 
 
 def topk_with_ichiban(instance: LineageInstance, k: int,
-                      config: ExperimentConfig) -> Optional[List[int]]:
-    """IchiBan top-k variable ids for one instance (``None`` on failure)."""
+                      config: ExperimentConfig,
+                      allow_partial: bool = False) -> Optional[List[int]]:
+    """IchiBan top-k variable ids for one instance (``None`` on failure).
+
+    With ``allow_partial=True`` budget exhaustion degrades gracefully: the
+    best-so-far intervals carried by
+    :class:`~repro.core.ichiban.IchiBanTimeout` still order the variables,
+    so an uncertified top-k is returned instead of ``None``.  The default
+    keeps failures as ``None`` because the Table 8 precision metric -- like
+    the paper's -- is defined over converged runs only; the serving path
+    (:class:`repro.engine.Engine` under ``method="topk"``) always degrades
+    and reports partials via its stats.
+    """
     _ensure_recursion_head_room()
     try:
         ranking = ichiban_topk(instance.lineage, k=k, epsilon=config.epsilon,
                                timeout_seconds=config.timeout_seconds)
-    except _FAILURE_EXCEPTIONS:
+    except _FAILURE_EXCEPTIONS as error:
+        intervals = getattr(error, "intervals", None)
+        if allow_partial and intervals:
+            return [entry.variable
+                    for entry in ranked_from_intervals(intervals, k)]
         return None
     return [entry.variable for entry in ranking]
 

@@ -84,6 +84,81 @@ class TestRun:
         with pytest.raises(SystemExit):
             run(["--query", "Q() :- R(X)"])
 
+    def test_rank_output(self, csv_relations):
+        r_path, s_path = csv_relations
+        output = io.StringIO()
+        code = run([
+            "--facts", f"R={r_path}", "--facts", f"S={s_path}",
+            "--rank",
+            "--query", "Q(X) :- R(X), S(X, Y)",
+        ], output=output)
+        text = output.getvalue()
+        assert code == 0
+        # Ranked entries are numbered and carry certified intervals.
+        assert "1. R('a'): 3 in [3, 3]" in text
+        assert "2. S(" in text
+
+    def test_top_k_output(self, csv_relations):
+        r_path, s_path = csv_relations
+        output = io.StringIO()
+        code = run([
+            "--facts", f"R={r_path}", "--facts", f"S={s_path}",
+            "--top-k", "1",
+            "--query", "Q(X) :- R(X), S(X, Y)",
+        ], output=output)
+        text = output.getvalue()
+        assert code == 0
+        assert "1. R('a')" in text
+        assert "2." not in text  # truncated to the top 1 per answer
+
+    def test_negative_top_rejected(self, csv_relations):
+        r_path, _ = csv_relations
+        with pytest.raises(SystemExit):
+            run(["--facts", f"R={r_path}", "--top", "-1",
+                 "--query", "Q(X) :- R(X)"], output=io.StringIO())
+
+    def test_non_positive_top_k_rejected(self, csv_relations):
+        r_path, _ = csv_relations
+        with pytest.raises(SystemExit):
+            run(["--facts", f"R={r_path}", "--top-k", "0",
+                 "--query", "Q(X) :- R(X)"], output=io.StringIO())
+
+    def test_rank_and_top_k_conflict(self, csv_relations):
+        r_path, _ = csv_relations
+        with pytest.raises(SystemExit):
+            run(["--facts", f"R={r_path}", "--rank", "--top-k", "2",
+                 "--query", "Q(X) :- R(X)"], output=io.StringIO())
+
+    def test_method_and_rank_conflict(self, csv_relations):
+        r_path, _ = csv_relations
+        with pytest.raises(SystemExit):
+            run(["--facts", f"R={r_path}", "--method", "exact", "--rank",
+                 "--query", "Q(X) :- R(X)"], output=io.StringIO())
+
+    def test_top_and_rank_conflict(self, csv_relations):
+        # --top would be silently ignored by the ranking output path.
+        r_path, _ = csv_relations
+        with pytest.raises(SystemExit):
+            run(["--facts", f"R={r_path}", "--rank", "--top", "2",
+                 "--query", "Q(X) :- R(X)"], output=io.StringIO())
+
+    def test_epsilon_warns_for_exact(self, csv_relations):
+        r_path, _ = csv_relations
+        output = io.StringIO()
+        code = run(["--facts", f"R={r_path}", "--epsilon", "0.2",
+                    "--query", "Q(X) :- R(X)"], output=output)
+        assert code == 0
+        assert "warning: --epsilon is ignored" in output.getvalue()
+
+    def test_epsilon_does_not_warn_for_approximate(self, csv_relations):
+        r_path, _ = csv_relations
+        output = io.StringIO()
+        code = run(["--facts", f"R={r_path}", "--epsilon", "0.2",
+                    "--method", "approximate",
+                    "--query", "Q(X) :- R(X)"], output=output)
+        assert code == 0
+        assert "warning" not in output.getvalue()
+
     def test_integer_coercion(self, tmp_path):
         path = tmp_path / "nums.csv"
         path.write_text("1,2\n3,4\n", encoding="utf-8")

@@ -1,5 +1,6 @@
 """Tests for the batched attribution engine (repro.engine)."""
 
+import os
 from fractions import Fraction
 
 import pytest
@@ -7,9 +8,10 @@ import pytest
 from repro import Database, attribute_facts, parse_query
 from repro.baselines.brute_force import banzhaf_all_brute_force
 from repro.boolean.dnf import DNF
-from repro.dtree.compile import CompilationLimitReached
+from repro.core.ichiban import ichiban_topk
+from repro.dtree.compile import CompilationLimitReached, compile_dnf
 from repro.engine import Engine, EngineConfig, canonicalize
-from repro.engine.cache import LRUCache
+from repro.engine.cache import LineageCache, LRUCache
 from repro.experiments.runner import ExperimentConfig, run_workload_batched
 from repro.workloads.suite import build_workload
 
@@ -92,7 +94,10 @@ class TestCacheReuse:
 
 
 class TestParallel:
-    def test_parallel_matches_serial(self):
+    def test_parallel_matches_serial(self, monkeypatch):
+        # Pretend the host has cores to give: gating is on the *effective*
+        # worker count, so a 1-core CI box would otherwise stay serial.
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
         workload = build_workload("academic", include_hard=False)
         lineages = [instance.lineage for instance in workload.instances][:12]
         serial = Engine(EngineConfig(method="exact"))
@@ -108,6 +113,27 @@ class TestParallel:
         engine = Engine(EngineConfig(method="exact", max_workers=4,
                                      parallel_min_tasks=10))
         engine.attribute_lineages([DNF([[0, 1]])])
+        assert engine.stats.parallel_batches == 0
+
+    def test_single_core_host_stays_serial(self, monkeypatch):
+        # Regression: max_workers > 1 on a 1-core host used to build a
+        # 1-worker pool and pay pickling/IPC for zero parallelism.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        engine = Engine(EngineConfig(method="exact", max_workers=4,
+                                     parallel_min_tasks=1))
+        lineages = [DNF([[0, 1]]), DNF([[0, 1], [1, 2]]),
+                    DNF([[0], [1, 2]]), DNF([[0, 1], [0, 2], [1, 2]])]
+        values = [a.values for a in engine.attribute_lineages(lineages)]
+        assert engine.stats.parallel_batches == 0
+        for lineage, computed in zip(lineages, values):
+            expected = banzhaf_all_brute_force(lineage)
+            assert computed == {v: Fraction(x) for v, x in expected.items()}
+
+    def test_unknown_cpu_count_stays_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        engine = Engine(EngineConfig(method="exact", max_workers=4,
+                                     parallel_min_tasks=1))
+        engine.attribute_lineages([DNF([[0, 1]]), DNF([[2], [3, 4]])])
         assert engine.stats.parallel_batches == 0
 
 
@@ -167,6 +193,192 @@ class TestStats:
         assert engine.stats.hit_rate() == 0.0
         engine.attribute_lineages([DNF([[0, 1]]), DNF([[5, 6]])])
         assert engine.stats.hit_rate() == 0.5
+
+
+class TestResultKey:
+    KEY = canonicalize(DNF([[0, 1], [1, 2]])).key
+
+    def test_auto_keys_include_epsilon(self):
+        # Regression: epsilon used to be dropped for "auto" although the
+        # fallback values are epsilon-dependent.
+        assert (LineageCache.result_key(self.KEY, "auto", 0.1)
+                != LineageCache.result_key(self.KEY, "auto", 0.2))
+
+    def test_exact_methods_ignore_epsilon(self):
+        for method in ("exact", "shapley"):
+            assert (LineageCache.result_key(self.KEY, method, 0.1)
+                    == LineageCache.result_key(self.KEY, method, 0.2))
+
+    def test_ranking_keys_include_epsilon_and_k(self):
+        assert (LineageCache.result_key(self.KEY, "rank", 0.1)
+                != LineageCache.result_key(self.KEY, "rank", None))
+        assert (LineageCache.result_key(self.KEY, "topk", 0.1, 3)
+                != LineageCache.result_key(self.KEY, "topk", 0.1, 5))
+
+    def test_k_is_dropped_for_non_topk(self):
+        assert (LineageCache.result_key(self.KEY, "exact", 0.1, 3)
+                == LineageCache.result_key(self.KEY, "exact", 0.1, 5))
+
+
+class TestRankingConfig:
+    def test_topk_requires_k(self):
+        with pytest.raises(ValueError):
+            EngineConfig(method="topk", k=0)
+        # k may be deferred to the per-call override, but a topk batch
+        # without any k must fail fast.
+        deferred = Engine(EngineConfig(method="topk"))
+        with pytest.raises(ValueError):
+            deferred.attribute_lineages([DNF([[0, 1]])])
+
+    def test_k_rejected_for_other_methods(self):
+        with pytest.raises(ValueError):
+            EngineConfig(method="exact", k=3)
+
+    def test_epsilon_none_only_for_ranking(self):
+        with pytest.raises(ValueError):
+            EngineConfig(method="approximate", epsilon=None)
+        with pytest.raises(ValueError):
+            EngineConfig(method="auto", epsilon=None)
+        assert EngineConfig(method="rank", epsilon=None).epsilon is None
+        assert EngineConfig(method="topk", epsilon=None, k=2).k == 2
+
+    def test_rank_api_requires_ranking_method(self):
+        database = Database()
+        database.add_fact("R", (1,))
+        query = parse_query("Q() :- R(X)")
+        engine = Engine(EngineConfig(method="exact"))
+        with pytest.raises(ValueError):
+            engine.rank(query, database)
+
+
+class TestRankingEngine:
+    # Clear winner (variable 0 in every clause) plus a clear loser; no
+    # exact-value ties anywhere near the boundary, so the top-k set is
+    # unique and must match the per-answer path exactly.
+    FUNCTION = DNF([[0, 1], [0, 2], [0, 3], [3]])
+    MAPPING = {0: 40, 1: 21, 2: 22, 3: 13}
+
+    def _permuted(self):
+        return _permuted(self.FUNCTION, self.MAPPING)
+
+    def test_isomorphic_topk_shares_one_run(self):
+        engine = Engine(EngineConfig(method="topk", k=2, epsilon=0.1))
+        first, second = engine.attribute_lineages(
+            [self.FUNCTION, self._permuted()])
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.compilations == 1
+        assert engine.stats.refinement_rounds >= 1
+        # The cached canonical intervals must map back through each
+        # answer's own renaming.
+        for variable, value in first.values.items():
+            assert second.values[self.MAPPING[variable]] == value
+
+    def test_topk_matches_per_answer_ichiban(self):
+        engine = Engine(EngineConfig(method="topk", k=2, epsilon=0.1))
+        (attribution,) = engine.attribute_lineages([self.FUNCTION])
+        exact = banzhaf_all_brute_force(self.FUNCTION)
+        per_answer = {entry.variable
+                      for entry in ichiban_topk(self.FUNCTION, 2, epsilon=0.1)}
+        ordered = sorted(attribution.values,
+                         key=lambda v: (-attribution.values[v], v))
+        assert set(ordered[:2]) == per_answer
+        # Intervals must contain the exact values.
+        for variable, value in exact.items():
+            lower, upper = attribution.bounds[variable]
+            assert lower <= value <= upper
+
+    def test_rank_query_end_to_end(self):
+        database = Database()
+        r = database.add_fact("R", (1, 2, 3))
+        s1 = database.add_fact("S", (1, 2, 4))
+        s2 = database.add_fact("S", (1, 2, 5))
+        t = database.add_fact("T", (1, 6))
+        query = parse_query("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U)")
+        engine = Engine(EngineConfig(method="rank", epsilon=None))
+        rankings = engine.rank(query, database)
+        assert len(rankings) == 1
+        _, entries = rankings[0]
+        assert {fact for fact, _ in entries} == {r, s1, s2, t}
+        assert {fact for fact, _ in entries[:2]} == {r, t}
+        estimates = [entry.estimate for _, entry in entries]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_cached_dtree_yields_exact_ranking(self):
+        engine = Engine(EngineConfig(method="topk", k=2, epsilon=0.1))
+        canonical = canonicalize(self.FUNCTION)
+        engine.cache.dtrees.put(canonical.key, compile_dnf(canonical.dnf))
+        (attribution,) = engine.attribute_lineages([self.FUNCTION])
+        assert attribution.method_used == "exact"
+        assert engine.stats.refinement_rounds == 0
+        exact = banzhaf_all_brute_force(self.FUNCTION)
+        assert attribution.values == {v: Fraction(x)
+                                      for v, x in exact.items()}
+
+    def test_completed_run_caches_tree_for_other_k(self):
+        # Separating the middle variable of this chain with certainty
+        # requires expanding the whole d-tree; the completed tree is then
+        # cached and serves a different k exactly, with zero further
+        # refinement rounds.
+        chain = DNF([[0, 1], [1, 2]])
+        engine = Engine(EngineConfig(method="topk", k=2, epsilon=None))
+        engine.attribute_lineages([chain])
+        canonical = canonicalize(chain)
+        assert engine.cache.dtrees.get(canonical.key) is not None
+        rounds_before = engine.stats.refinement_rounds
+        outcomes = engine._attribute_batch([chain], k=1)
+        assert outcomes[0][1].method_used == "exact"
+        assert engine.stats.refinement_rounds == rounds_before
+
+    def test_per_call_k_override(self):
+        database = Database()
+        database.add_fact("R", (1, 2, 3))
+        database.add_fact("S", (1, 2, 4))
+        database.add_fact("S", (1, 2, 5))
+        database.add_fact("T", (1, 6))
+        query = parse_query("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U)")
+        engine = Engine(EngineConfig(method="topk", k=3))
+        (answer_default, entries_default), = engine.rank(query, database)
+        (answer_one, entries_one), = engine.rank(query, database, k=1)
+        assert len(entries_default) == 3
+        assert len(entries_one) == 1
+
+    def test_step_budget_bounds_ranking(self):
+        # max_shannon_steps doubles as the IchiBan bound-evaluation budget
+        # for the ranking methods: without a wall-clock budget the run must
+        # still stop (degraded) instead of expanding unbounded.
+        import random
+
+        from repro.workloads.generators import random_positive_dnf
+
+        hard = random_positive_dnf(random.Random(5), num_variables=20,
+                                   num_clauses=36)
+        engine = Engine(EngineConfig(method="rank", epsilon=0.001,
+                                     max_shannon_steps=20))
+        (attribution,) = engine.attribute_lineages([hard])
+        assert attribution.method_used == "rank-partial"
+        assert engine.stats.partial_results == 1
+
+    def test_partial_result_not_cached(self):
+        # A wide lineage under a zero wall-clock budget cannot converge:
+        # the engine must degrade to best-so-far intervals, flag them, and
+        # recompute on the next call instead of serving the partial entry.
+        import random
+
+        from repro.workloads.generators import random_positive_dnf
+
+        hard = random_positive_dnf(random.Random(7), num_variables=24,
+                                   num_clauses=40)
+        engine = Engine(EngineConfig(method="topk", k=3, epsilon=0.01,
+                                     timeout_seconds=0.0))
+        (attribution,) = engine.attribute_lineages([hard])
+        assert attribution.method_used == "topk-partial"
+        assert engine.stats.partial_results == 1
+        assert attribution.values  # best-so-far intervals, not data loss
+        exact_like_bounds = attribution.bounds
+        assert set(exact_like_bounds) == set(hard.variables)
+        engine.attribute_lineages([hard])
+        assert engine.stats.cache_misses == 2  # partials never cached
 
 
 class TestLRUCache:

@@ -121,7 +121,8 @@ class TestReport:
 
 class TestRunner:
     def test_algorithm_registry(self):
-        assert set(ALGORITHMS) == {"adaban", "engine", "exaban", "mc", "sig22"}
+        assert set(ALGORITHMS) == {"adaban", "engine", "exaban", "mc",
+                                   "sig22", "topk"}
         with pytest.raises(ValueError):
             run_algorithm("nope", None, ExperimentConfig())
 
@@ -159,6 +160,42 @@ class TestRunner:
         assert len(topk_with_ichiban(instance, 3, config)) == 3
         assert len(topk_with_cnf_proxy(instance, 3, config)) == 3
         assert topk_from_values({0: 5, 1: 9}, 1) == [1]
+
+    def test_topk_with_ichiban_degrades_to_partial(self, rng):
+        # A wide instance under a zero wall-clock budget cannot converge.
+        # With allow_partial the intervals carried by IchiBanTimeout still
+        # yield a best-effort top-k (before the fix the data was lost);
+        # by default the failure stays None so the Table 8 precision
+        # metric keeps aggregating converged runs only.
+        instance = LineageInstance("t", "q", (0,),
+                                   random_positive_dnf(rng, 24, 40, (3, 5)))
+        config = ExperimentConfig(timeout_seconds=0.0)
+        reported = topk_with_ichiban(instance, 3, config, allow_partial=True)
+        assert reported is not None
+        assert len(reported) == 3
+        assert topk_with_ichiban(instance, 3, config) is None
+
+    def test_topk_algorithm_entry(self, rng):
+        from repro.experiments.runner import clear_engine_pool
+
+        clear_engine_pool()
+        instance = LineageInstance("t", "q", (0,),
+                                   random_positive_dnf(rng, 6, 6, (2, 3)))
+        config = ExperimentConfig(timeout_seconds=5.0)
+        result = run_algorithm("topk", instance, config)
+        assert result.success, result.failure_reason
+        # Interval midpoints for every occurring variable, each interval
+        # containing the exact value.
+        assert set(result.values) == instance.lineage.variables
+        exact = run_algorithm("exaban", instance, config).values
+        from repro.experiments.runner import engine_for_config
+
+        engine = engine_for_config(config, method="topk")
+        (attribution,) = engine.attribute_lineages([instance.lineage])
+        for variable, value in exact.items():
+            lower, upper = attribution.bounds[variable]
+            assert lower <= value <= upper
+        clear_engine_pool()
 
     def test_run_workloads_shape(self, tiny_workloads, tiny_results):
         assert set(tiny_results) == {("tiny", a) for a in

@@ -6,7 +6,17 @@ import pytest
 
 from repro.baselines.brute_force import banzhaf_all_brute_force
 from repro.boolean.dnf import DNF
-from repro.core.ichiban import ichiban_rank, ichiban_topk, ichiban_topk_certain
+from repro.core.adaban import ApproximationTimeout
+from repro.core.ichiban import (
+    IchiBanTimeout,
+    _topk_classify,
+    _topk_undecided,
+    ichiban_rank,
+    ichiban_topk,
+    ichiban_topk_certain,
+    ranked_from_intervals,
+)
+from repro.core.intervals import Interval
 from repro.workloads.generators import random_positive_dnf, star_join_lineage
 
 
@@ -96,3 +106,82 @@ class TestRanking:
         ranking = ichiban_rank(function, epsilon=None)
         values = {entry.variable: entry.estimate for entry in ranking}
         assert len(set(values.values())) == 1
+
+
+class TestBudgetExhaustion:
+    def _hard_function(self, rng):
+        return random_positive_dnf(rng, 24, 40, (3, 5))
+
+    def test_timeout_carries_partial_intervals(self, rng):
+        function = self._hard_function(rng)
+        with pytest.raises(IchiBanTimeout) as info:
+            ichiban_topk(function, 3, epsilon=0.01, timeout_seconds=0.0)
+        timeout = info.value
+        # The partial intervals cover every variable and remain sound.
+        assert set(timeout.intervals) == function.variables
+        assert timeout.rounds >= 1
+        assert timeout.steps >= len(function.variables)
+        # IchiBanTimeout stays catchable as the generic anytime failure.
+        assert isinstance(timeout, ApproximationTimeout)
+
+    def test_partial_intervals_contain_exact_values(self, rng):
+        function = random_positive_dnf(rng, 6, 8, (2, 3))
+        exact = banzhaf_all_brute_force(function)
+        with pytest.raises(IchiBanTimeout) as info:
+            # One round of bound evaluations, then the step budget is gone.
+            ichiban_topk(function, 2, epsilon=0.0,
+                         max_steps=len(function.variables))
+        for variable, interval in info.value.intervals.items():
+            assert interval.lower <= exact[variable] <= interval.upper
+
+    def test_max_steps_counts_bound_evaluations(self, rng):
+        # max_steps is AdaBan's unit: one step per bound evaluation, not
+        # one per refinement round.  A budget below one full round still
+        # admits the (mandatory) first round, so steps >= #variables; a
+        # round-counting implementation would have claimed steps == 1.
+        function = random_positive_dnf(rng, 8, 12, (2, 4))
+        with pytest.raises(IchiBanTimeout) as info:
+            ichiban_topk(function, 2, epsilon=0.0, max_steps=1)
+        assert info.value.steps >= len(function.variables)
+
+
+class TestScheduling:
+    def test_classification(self):
+        intervals = {
+            0: Interval(10, 12),   # certainly in (nobody can reach 10)
+            1: Interval(5, 9),     # undecided against 2
+            2: Interval(4, 8),     # undecided against 1
+            3: Interval(0, 3),     # certainly out (0, 1, 2 all above)
+        }
+        classes = _topk_classify(intervals, 2)
+        assert classes[0] == 0 and classes[3] == 2
+        assert classes[1] == classes[2] == 1
+        assert set(_topk_undecided(intervals, 2)) == {1, 2}
+
+    def test_decided_variables_stop_refining(self, rng):
+        # The schedule refines only boundary-straddling variables: once the
+        # hub (in every clause) separates from the satellites, the run
+        # stops with wide intervals instead of refining them to points.
+        function = star_join_lineage(rng, 1, 4)
+        top = ichiban_topk_certain(function, 1)
+        assert top[0].variable == 0
+        assert not top[0].interval.is_point()
+
+    def test_out_variable_ranked_below_undecided(self):
+        # A certainly-out variable can keep a wide interval with a large
+        # midpoint; classification-aware ordering must keep it out of the
+        # reported set regardless.
+        intervals = {
+            0: Interval(101, 110),
+            1: Interval(105, 120),
+            2: Interval(0, 100),    # out (0 and 1 certainly above), mid 50
+            3: Interval(10, 102),   # undecided, mid 56
+        }
+        reported = [entry.variable
+                    for entry in ranked_from_intervals(intervals, 2)]
+        assert 2 not in reported
+
+    def test_ranked_from_intervals_without_k_is_midpoint_order(self):
+        intervals = {0: Interval(1, 3), 1: Interval(4, 6), 2: Interval(2, 2)}
+        ranking = ranked_from_intervals(intervals)
+        assert [entry.variable for entry in ranking] == [1, 0, 2]
