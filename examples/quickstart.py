@@ -3,14 +3,26 @@
 Builds the tiny database of the paper's running example (Example 6), asks the
 Boolean query ``Q() :- R(X,Y,Z), S(X,Y,V), T(X,U)``, and prints the Banzhaf
 value of every endogenous fact -- exactly, with the anytime approximation,
-and with Shapley values for comparison.
+and with Shapley values for comparison.  Then demonstrates the warm-start
+flow: persist the result cache with one engine, start a "new process"
+(a fresh engine over the same store directory), and serve the same query
+without recomputing anything.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Database, attribute_facts, parse_query
+import tempfile
+
+from repro import (
+    Database,
+    DiskStore,
+    Engine,
+    EngineConfig,
+    attribute_facts,
+    parse_query,
+)
 
 
 def build_database() -> Database:
@@ -40,6 +52,32 @@ def main() -> None:
 
     print("The R and T facts participate in every explanation of the answer,")
     print("so their Banzhaf values dominate those of the two alternative S facts.")
+    print()
+    warm_start_flow(database, query)
+
+
+def warm_start_flow(database: Database, query) -> None:
+    """Persist the cache in one engine, warm-start a fresh one from disk.
+
+    The CLI equivalent is ``repro cache save --store DIR ...`` followed by
+    ``repro serve --store DIR --warm-start ...``.
+    """
+    print("--- warm-start flow (persistent cache tier) ---")
+    store_dir = tempfile.mkdtemp(prefix="repro-cache-")
+
+    cold = Engine(EngineConfig(method="exact", store=DiskStore(store_dir)))
+    cold_results = cold.attribute(query, database)
+    print(f"cold engine: computed {cold.stats.compilations} lineage(s), "
+          f"persisted to {store_dir}")
+
+    # A brand new engine (think: the next process after a restart) with a
+    # fresh handle on the same store directory.
+    warm = Engine(EngineConfig(method="exact", store=DiskStore(store_dir)))
+    warm_results = warm.attribute(query, database)
+    assert warm_results == cold_results, "warm values must be bit-identical"
+    print(f"warm engine: computed {warm.stats.compilations} lineage(s), "
+          f"served {warm.stats.store_hits} from the disk store -- "
+          "identical Fractions, no recomputation")
 
 
 if __name__ == "__main__":

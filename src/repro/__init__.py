@@ -49,7 +49,15 @@ from repro.db.datalog import parse_query
 from repro.db.lineage import lineage_of_answers, lineage_of_boolean_query
 from repro.db.query import Atom, ConjunctiveQuery, QueryVariable, Selection, UnionQuery
 from repro.dtree.compile import CompilationBudget, compile_dnf
-from repro.engine import Engine, EngineConfig, EngineStats
+from repro.engine import (
+    AttributionService,
+    CacheStore,
+    DiskStore,
+    Engine,
+    EngineConfig,
+    EngineStats,
+    MemoryStore,
+)
 
 __version__ = "1.0.0"
 
@@ -57,14 +65,18 @@ __all__ = [
     "AdaBanResult",
     "Atom",
     "AttributionResult",
+    "AttributionService",
+    "CacheStore",
     "CompilationBudget",
     "ConjunctiveQuery",
     "DNF",
     "Database",
+    "DiskStore",
     "Engine",
     "EngineConfig",
     "EngineStats",
     "Fact",
+    "MemoryStore",
     "FactAttribution",
     "IchiBanTimeout",
     "QueryVariable",

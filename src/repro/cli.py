@@ -21,6 +21,24 @@ attributes several queries in one process (sharing the lineage cache),
 ``--jobs N`` fans independent answers out over N worker processes (capped
 at the machine's core count), and ``--stats`` prints the engine's
 cache/timing counters afterwards.
+
+Two subcommands expose the persistent cache tier and the serving loop
+(both leave the flag-style attribution interface above untouched)::
+
+    python -m repro serve --facts R=r.csv --requests requests.jsonl \\
+        --store /var/cache/repro --stats
+    python -m repro cache save --store DIR --facts ... --query ...
+    python -m repro cache load --store DIR
+    python -m repro cache stats --store DIR
+
+``serve`` drives an :class:`repro.engine.serve.AttributionService` from a
+JSON Lines request file (one ``{"op": "attribute"|"rank"|"topk", "query":
+...}`` object per line; ``-`` reads stdin), printing one JSON response
+per line; ``--store DIR`` adds the on-disk cache tier and ``--warm-start``
+preloads it into memory.  ``cache save`` computes the given queries and
+persists the resulting cache entries for later warm starts; ``cache
+load`` verifies a store by loading it into a fresh engine; ``cache
+stats`` prints the store's entry/shard/size summary.
 """
 
 from __future__ import annotations
@@ -34,6 +52,8 @@ from typing import Iterable, List, Sequence, Tuple
 from repro.db.database import Database
 from repro.db.datalog import parse_query
 from repro.engine import Engine, EngineConfig
+from repro.engine.serve import AttributionService, serve_jsonl
+from repro.engine.store import DiskStore
 
 
 def _coerce(value: str) -> object:
@@ -75,15 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Banzhaf-value attribution of database facts to query answers.",
+        epilog="Subcommands (each has its own --help): 'repro serve "
+               "--requests FILE' answers a JSONL request stream from warm "
+               "cache tiers; 'repro cache save|load|stats --store DIR' "
+               "manages the persistent warm-start cache.",
     )
-    parser.add_argument("--facts", action="append", default=[],
-                        type=_parse_facts_argument, metavar="NAME=PATH",
-                        help="load a relation from a headerless CSV file "
-                             "(repeatable)")
-    parser.add_argument("--exogenous", action="append", default=[],
-                        metavar="NAME",
-                        help="treat this relation's facts as exogenous "
-                             "(repeatable)")
+    _add_database_arguments(parser)
     parser.add_argument("--query", action="append", required=True,
                         metavar="QUERY",
                         help="Datalog-style query, e.g. \"Q(X) :- R(X, Y)\" "
@@ -139,8 +156,17 @@ def _validate(parser: argparse.ArgumentParser, arguments) -> None:
 
 
 def run(argv: Sequence[str], output=None) -> int:
-    """Run the CLI; returns a process exit code."""
+    """Run the CLI; returns a process exit code.
+
+    ``argv[0] == "serve"`` / ``"cache"`` dispatch to the subcommands;
+    anything else is the flag-style attribution interface.
+    """
     stream = output if output is not None else sys.stdout
+    argv = list(argv)
+    if argv and argv[0] == "serve":
+        return _serve_command(argv[1:], stream)
+    if argv and argv[0] == "cache":
+        return _cache_command(argv[1:], stream)
     parser = build_parser()
     arguments = parser.parse_args(list(argv))
     _validate(parser, arguments)
@@ -153,13 +179,7 @@ def run(argv: Sequence[str], output=None) -> int:
               "(it only affects approximate, the auto fallback, and "
               "ranking)", file=stream)
 
-    exogenous = set(arguments.exogenous)
-    database = Database()
-    for name, path in arguments.facts:
-        loaded = _load_relation(database, name, path,
-                                endogenous=name not in exogenous)
-        print(f"loaded {loaded} facts into {name}"
-              f"{' (exogenous)' if name in exogenous else ''}", file=stream)
+    database = _build_database(arguments.facts, arguments.exogenous, stream)
 
     queries = [parse_query(text) for text in arguments.query]
     if ranking:
@@ -222,6 +242,193 @@ def _run_ranking(engine: Engine, queries, database, stream) -> bool:
                       f"{float(entry.estimate):.6g} "
                       f"in [{entry.lower}, {entry.upper}]", file=stream)
     return all_answered
+
+
+def _build_database(facts: Sequence[Tuple[str, str]],
+                    exogenous_names: Sequence[str], stream) -> Database:
+    """Load every ``--facts`` relation into a fresh database."""
+    exogenous = set(exogenous_names)
+    database = Database()
+    for name, path in facts:
+        loaded = _load_relation(database, name, path,
+                                endogenous=name not in exogenous)
+        print(f"loaded {loaded} facts into {name}"
+              f"{' (exogenous)' if name in exogenous else ''}", file=stream)
+    return database
+
+
+# --------------------------------------------------------------------- #
+# The serve and cache subcommands
+# --------------------------------------------------------------------- #
+
+
+def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--facts", action="append", default=[],
+                        type=_parse_facts_argument, metavar="NAME=PATH",
+                        help="load a relation from a headerless CSV file "
+                             "(repeatable)")
+    parser.add_argument("--exogenous", action="append", default=[],
+                        metavar="NAME",
+                        help="treat this relation's facts as exogenous "
+                             "(repeatable)")
+
+
+def _add_store_argument(parser: argparse.ArgumentParser,
+                        required: bool) -> None:
+    parser.add_argument("--store", required=required, default=None,
+                        metavar="DIR",
+                        help="directory of the persistent (sharded, "
+                             "versioned) result store")
+    parser.add_argument("--store-entries", type=int, default=65_536,
+                        metavar="N",
+                        help="store capacity in entries; oldest entries "
+                             "are evicted past it (default: 65536)")
+
+
+def _open_store(arguments) -> DiskStore:
+    return DiskStore(arguments.store, max_entries=arguments.store_entries)
+
+
+def _serve_command(argv: Sequence[str], stream, log=None) -> int:
+    """``repro serve``: drive an AttributionService from a JSONL file.
+
+    Responses go to ``stream`` (stdout) -- strictly one JSON object per
+    line, so the output pipes into JSONL consumers; every diagnostic
+    (facts loaded, warm-start report, ``--stats``) goes to ``log``
+    (stderr by default).
+    """
+    log = log if log is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-lived serving loop: answer a stream of "
+                    "attribute/rank/topk requests from warm cache tiers.",
+    )
+    _add_database_arguments(parser)
+    parser.add_argument("--requests", required=True, metavar="FILE",
+                        help="JSON Lines request file, one "
+                             "{\"op\": ..., \"query\": ...} object per "
+                             "line ('-' reads stdin)")
+    _add_store_argument(parser, required=False)
+    parser.add_argument("--method",
+                        choices=("auto", "exact", "approximate", "shapley"),
+                        default="auto",
+                        help="default method for 'attribute' requests "
+                             "(default: auto)")
+    parser.add_argument("--epsilon", type=float, default=0.1, metavar="EPS",
+                        help="relative error for approximate/auto-fallback/"
+                             "ranking requests (default: 0.1)")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="preload the store into the in-memory tier "
+                             "before serving (needs --store)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the service's tier hit rates and "
+                             "engine counters after the stream")
+    arguments = parser.parse_args(list(argv))
+    if not arguments.facts:
+        parser.error("at least one --facts NAME=PATH is required")
+    if arguments.warm_start and arguments.store is None:
+        parser.error("--warm-start needs --store")
+
+    database = _build_database(arguments.facts, arguments.exogenous, log)
+    store = _open_store(arguments) if arguments.store is not None else None
+    service = AttributionService(
+        database,
+        EngineConfig(method=arguments.method, epsilon=arguments.epsilon),
+        store=store,
+        warm_start=arguments.warm_start,
+    )
+    if arguments.warm_start:
+        print(f"warm start: {service.warm_loaded} entries loaded into "
+              "memory", file=log)
+
+    if arguments.requests == "-":
+        all_ok = serve_jsonl(service, sys.stdin, stream)
+    else:
+        with open(arguments.requests, "r", encoding="utf-8") as handle:
+            all_ok = serve_jsonl(service, handle, stream)
+
+    if arguments.stats:
+        print("\nservice stats:", file=log)
+        print(json.dumps(service.stats(), indent=2), file=log)
+    return 0 if all_ok else 1
+
+
+def _cache_command(argv: Sequence[str], stream) -> int:
+    """``repro cache save|load|stats``: explicit warm-start management."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Manage the persistent result store used for "
+                    "warm-starting engines and services.",
+    )
+    actions = parser.add_subparsers(dest="action")
+
+    save = actions.add_parser(
+        "save", help="compute the given queries and persist the resulting "
+                     "cache entries")
+    _add_database_arguments(save)
+    save.add_argument("--query", action="append", required=True,
+                      metavar="QUERY",
+                      help="Datalog-style query to precompute (repeatable)")
+    _add_store_argument(save, required=True)
+    save.add_argument("--method",
+                      choices=("auto", "exact", "approximate", "shapley",
+                               "rank", "topk"),
+                      default="exact",
+                      help="method whose results to precompute "
+                           "(default: exact)")
+    save.add_argument("--epsilon", type=float, default=0.1, metavar="EPS",
+                      help="epsilon for approximate/auto/ranking entries")
+    save.add_argument("--k", type=int, default=None,
+                      help="top-k size (required for --method topk)")
+
+    load = actions.add_parser(
+        "load", help="verify a store by loading it into a fresh engine")
+    _add_store_argument(load, required=True)
+
+    stats = actions.add_parser(
+        "stats", help="print the store's entry/shard/size summary")
+    _add_store_argument(stats, required=True)
+
+    arguments = parser.parse_args(list(argv))
+    if arguments.action is None:
+        parser.error("an action is required: save, load or stats")
+
+    if arguments.action == "stats":
+        print(json.dumps(_open_store(arguments).stats(), indent=2),
+              file=stream)
+        return 0
+
+    if arguments.action == "load":
+        engine = Engine(EngineConfig())
+        loaded = engine.load_cache(_open_store(arguments))
+        print(f"loaded {loaded} cache entries from {arguments.store}",
+              file=stream)
+        return 0
+
+    # save: compute the queries with a memory-only engine, then persist.
+    if arguments.method == "topk" and (arguments.k is None
+                                       or arguments.k < 1):
+        parser.error("--method topk needs --k >= 1")
+    if arguments.method != "topk" and arguments.k is not None:
+        parser.error("--k is only meaningful with --method topk")
+    if not arguments.facts:
+        parser.error("at least one --facts NAME=PATH is required")
+    database = _build_database(arguments.facts, arguments.exogenous, stream)
+    queries = [parse_query(text) for text in arguments.query]
+    engine = Engine(EngineConfig(method=arguments.method,
+                                 epsilon=arguments.epsilon,
+                                 k=arguments.k))
+    if arguments.method in ("rank", "topk"):
+        for _query, _rankings in engine.rank_many(queries, database):
+            pass
+    else:
+        for _query, _results in engine.attribute_many(queries, database):
+            pass
+    written = engine.save_cache(_open_store(arguments))
+    print(f"saved {written} cache entries to {arguments.store} "
+          f"({engine.stats.compilations} computed, "
+          f"{engine.stats.cache_hits} served from memory)", file=stream)
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -3,12 +3,17 @@
 The :class:`Engine` canonicalizes answer lineages into variable-order-
 independent keys, memoizes d-tree compilations and Banzhaf results across
 answers and queries, fans independent lineages out over a process pool, and
-auto-selects ExaBan or the AdaBan fallback per lineage.  See
-``docs/ARCHITECTURE.md`` for the design and
-:mod:`repro.engine.engine` for the pipeline details.
+auto-selects ExaBan or the AdaBan fallback per lineage.  Results are served
+through two cache tiers -- the in-memory :class:`LineageCache` and an
+optional persistent :class:`CacheStore` (:class:`DiskStore` /
+:class:`MemoryStore`), which survives process restarts -- and the
+long-lived serving loop (:class:`AttributionService`) keeps one warm set
+of tiers behind a stream of attribute/rank/topk requests.  See
+``docs/ARCHITECTURE.md`` for the design, ``docs/API.md`` for the supported
+public surface, and :mod:`repro.engine.engine` for the pipeline details.
 """
 
-from repro.engine.cache import CachedAttribution, LineageCache, LRUCache
+from repro.engine.cache import CachedAttribution, LineageCache, LRUCache, ResultKey
 from repro.engine.canonical import CanonicalKey, CanonicalLineage, canonicalize
 from repro.engine.engine import (
     Engine,
@@ -20,12 +25,24 @@ from repro.engine.engine import (
     ensure_recursion_head_room,
 )
 from repro.engine.ranking import RankingComputation, compute_ranking
+from repro.engine.serve import AttributionService, RequestError, serve_jsonl
 from repro.engine.stats import EngineStats
+from repro.engine.store import (
+    STORE_FORMAT_VERSION,
+    CacheStore,
+    DiskStore,
+    MemoryStore,
+    load_results,
+    save_results,
+)
 
 __all__ = [
+    "AttributionService",
     "CachedAttribution",
+    "CacheStore",
     "CanonicalKey",
     "CanonicalLineage",
+    "DiskStore",
     "Engine",
     "EngineConfig",
     "EngineMethod",
@@ -33,10 +50,17 @@ __all__ = [
     "LineageAttribution",
     "LineageCache",
     "LRUCache",
+    "MemoryStore",
     "RankedAnswer",
     "RankingComputation",
+    "RequestError",
+    "ResultKey",
+    "STORE_FORMAT_VERSION",
     "canonicalize",
     "compute_ranking",
     "engine_for",
     "ensure_recursion_head_room",
+    "load_results",
+    "save_results",
+    "serve_jsonl",
 ]

@@ -13,6 +13,13 @@ of any query -- whose lineage is isomorphic.
 Compiled d-trees are cached separately and only in-process (they are linked
 object graphs, cheap to reuse but pointless to ship across processes); the
 result cache is what makes repeat traffic fast.
+
+Since the store tier (:mod:`repro.engine.store`) this cache is the *first*
+of two result tiers: the engine falls through memory -> store -> compute,
+promoting store hits back into this LRU, and :meth:`LRUCache.snapshot`
+exists so a warm memory tier can be persisted wholesale (``repro cache
+save``).  Entries here and in any store share the same :data:`ResultKey`
+and the same canonical variable space.
 """
 
 from __future__ import annotations
@@ -110,6 +117,17 @@ class LRUCache(Generic[_V]):
         """Drop all entries."""
         with self._lock:
             self._entries.clear()
+
+    def snapshot(self):
+        """List of ``(key, value)`` pairs, least recently used first.
+
+        A point-in-time copy: safe to iterate while other threads keep
+        using the cache.  Feeding the pairs into another cache in order
+        preserves the recency ranking (the most recently used entry is
+        inserted last).
+        """
+        with self._lock:
+            return list(self._entries.items())
 
 
 class LineageCache:

@@ -8,13 +8,22 @@ lineages) it runs a four-stage pipeline:
    (:mod:`repro.db.lineage`);
 2. **canonicalize** -- rename each lineage into its variable-order-independent
    canonical form (:mod:`repro.engine.canonical`) and look it up in the
-   lineage cache, deduplicating isomorphic answers within the batch;
+   cache tiers -- the in-memory lineage cache first, then the optional
+   persistent store (:mod:`repro.engine.store`) -- deduplicating
+   isomorphic answers within the batch;
 3. **compute** -- for the distinct cache misses, compile d-trees and run the
    selected algorithm, either serially or fanned out over a
    ``concurrent.futures`` process pool with chunked scheduling and a
    transparent serial fallback;
 4. **assemble** -- translate canonical-space values back through each
    answer's variable mapping and attach database facts.
+
+Freshly computed converged results are written back to every configured
+tier, so a process with an :class:`~repro.engine.store.DiskStore` leaves a
+warm cache behind for the next process (see
+:meth:`Engine.save_cache`/:meth:`Engine.load_cache` for the explicit
+warm-start flow, and :mod:`repro.engine.serve` for the long-lived serving
+loop built on top).
 
 Method selection mirrors the paper's fallback story (Tables 4 and 6):
 ``method="auto"`` tries exact ExaBan under a compilation budget and falls
@@ -83,6 +92,7 @@ from repro.engine.cache import CachedAttribution, LineageCache
 from repro.engine.canonical import CanonicalLineage, canonicalize
 from repro.engine.ranking import compute_ranking
 from repro.engine.stats import EngineStats
+from repro.engine.store import CacheStore, load_results, save_results
 
 EngineMethod = Literal["auto", "exact", "approximate", "shapley",
                        "rank", "topk"]
@@ -163,6 +173,13 @@ class EngineConfig:
     domain:
         Lineage domain policy, forwarded to
         :func:`repro.db.lineage.lineage_of_answers`.
+    store:
+        Optional persistent result tier (:class:`repro.engine.store.CacheStore`,
+        e.g. a :class:`~repro.engine.store.DiskStore`).  Memory misses fall
+        through to the store before computing, and freshly computed
+        converged results are written back, so canonical-space results
+        survive process restarts.  ``None`` (the default) keeps the engine
+        memory-only.
     """
 
     method: EngineMethod = "auto"
@@ -176,6 +193,7 @@ class EngineConfig:
     dtree_cache_size: int = 256
     domain: DomainPolicy = "lineage"
     k: Optional[int] = None
+    store: Optional[CacheStore] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("auto", "exact", "approximate", "shapley",
@@ -335,6 +353,10 @@ class Engine:
         self.cache = LineageCache(self.config.cache_size,
                                   self.config.dtree_cache_size)
         self.stats = EngineStats()
+        #: The persistent result tier (or ``None``).  Mutable on purpose:
+        #: a service can attach one store to several engines after
+        #: construction.
+        self.store: Optional[CacheStore] = self.config.store
 
     # ----------------------------------------------------------------- #
     # Public API
@@ -342,7 +364,22 @@ class Engine:
 
     def attribute(self, query: Query, database: Database
                   ) -> List["AttributionResult"]:
-        """Attribute every answer of one query (batched internally)."""
+        """Attribute every answer of one query (batched internally).
+
+        Parameters
+        ----------
+        query:
+            A conjunctive query or union of conjunctive queries
+            (fact-space: evaluated against ``database``).
+        database:
+            The database with its endogenous/exogenous fact partition.
+
+        Returns
+        -------
+        list of AttributionResult
+            One entry per answer tuple, with per-fact values mapped back
+            from canonical space into fact space.
+        """
         for _, results in self.attribute_many([query], database):
             return results
         return []
@@ -355,7 +392,8 @@ class Engine:
         completes, so callers can start consuming attributions while later
         queries are still being computed.  The cache persists across the
         whole stream: queries sharing lineage structure pay for compilation
-        once.
+        once.  Inputs and outputs are fact-space; canonical variable space
+        is an internal detail of the cache tiers.
         """
         from repro.core.attribution import AttributionResult
 
@@ -438,6 +476,55 @@ class Engine:
         """Zero the stats counters (the cache is left intact)."""
         self.stats.reset()
 
+    def save_cache(self, store: Optional[CacheStore] = None) -> int:
+        """Persist the warm in-memory result tier into a store.
+
+        Writes every *converged* entry of the memory cache into ``store``
+        (default: the engine's configured store) and flushes it.  Together
+        with :meth:`load_cache` this is the explicit warm-start flow
+        behind ``repro cache save``/``repro cache load``.
+
+        Parameters
+        ----------
+        store:
+            Target :class:`~repro.engine.store.CacheStore`; falls back to
+            the configured ``store``.
+
+        Returns
+        -------
+        int
+            Number of entries written.
+
+        Raises
+        ------
+        ValueError
+            If no store was given and none is configured.
+        """
+        target = store if store is not None else self.store
+        if target is None:
+            raise ValueError(
+                "save_cache needs a store: pass one or configure "
+                "EngineConfig(store=...)"
+            )
+        return save_results(self.cache.results.snapshot(), target)
+
+    def load_cache(self, store: Optional[CacheStore] = None) -> int:
+        """Warm-start the in-memory result tier from a store.
+
+        Loads every converged store entry into the memory cache, so the
+        first batch of a fresh process already hits.  Entries beyond the
+        memory capacity simply evict the earliest-loaded ones; the store
+        itself is untouched.  Returns the number of entries loaded (see
+        :meth:`save_cache` for the parameters/errors contract).
+        """
+        source = store if store is not None else self.store
+        if source is None:
+            raise ValueError(
+                "load_cache needs a store: pass one or configure "
+                "EngineConfig(store=...)"
+            )
+        return load_results(source, self.cache.results)
+
     # ----------------------------------------------------------------- #
     # Pipeline stages
     # ----------------------------------------------------------------- #
@@ -472,14 +559,24 @@ class Engine:
                 if hit is not None:
                     cached[index] = hit
                     self.stats.cache_hits += 1
-                elif key in pending:
+                    continue
+                if key in pending:
                     # An isomorphic lineage earlier in this batch is already
                     # scheduled; share its computation.
                     pending[key].append(index)
                     self.stats.cache_hits += 1
-                else:
-                    pending[key] = [index]
-                    self.stats.cache_misses += 1
+                    continue
+                if self.store is not None:
+                    stored = self.store.get(key)
+                    if stored is not None and stored.converged:
+                        # Promote the store hit into the memory tier so
+                        # the rest of this process serves it for free.
+                        self.cache.results.put(key, stored)
+                        cached[index] = stored
+                        self.stats.store_hits += 1
+                        continue
+                pending[key] = [index]
+                self.stats.cache_misses += 1
 
         with self.stats.timed("compute"):
             tasks = [(key, indices[0]) for key, indices in pending.items()]
@@ -494,8 +591,14 @@ class Engine:
                 key = tasks[position][0]
                 if outcome.converged:
                     self.cache.results.put(key, outcome)
+                    if self.store is not None:
+                        self.store.put(key, outcome)
                 for index in pending[key]:
                     cached[index] = outcome
+            if tasks and self.store is not None:
+                # One durability point per batch: buffered writes become
+                # shard rewrites here, not once per lineage.
+                self.store.flush()
 
         return [(canonicals[index], cached[index])
                 for index in range(len(lineages))]

@@ -6,6 +6,12 @@ the bulk of ranking-style repeat traffic -- share a single anytime run, and
 the resulting per-variable intervals are memoized in the
 :class:`~repro.engine.cache.LineageCache` exactly like exact/approximate
 attributions (keyed additionally by epsilon and, for top-k, by k).
+Converged ranking entries also flow through the persistent store tier
+(:mod:`repro.engine.store`) when one is configured: because the interval
+maps are canonical-space and exact (``Fraction``/int endpoints), a
+warm-started process serves repeat ranking traffic from disk with
+bit-identical intervals -- only unconverged best-so-far results are
+excluded from both tiers.
 
 Two paths mirror the engine's ``auto`` story:
 

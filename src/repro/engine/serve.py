@@ -1,0 +1,306 @@
+"""The warm-start serving loop: a long-lived attribution service.
+
+:class:`AttributionService` is the deployment shape the engine exists
+for: one process that stays up, owns warm cache tiers, and answers a
+stream of attribute / rank / top-k requests against a fixed database.
+Internally it keeps one :class:`~repro.engine.engine.Engine` per method
+actually requested, but all of them share a single in-memory
+:class:`~repro.engine.cache.LineageCache`, a single optional persistent
+:class:`~repro.engine.store.CacheStore`, and a single
+:class:`~repro.engine.stats.EngineStats` -- sharing is sound because
+result-cache keys embed the method, epsilon and k, so entries of
+different methods never collide.
+
+Requests and responses are plain dicts (JSON-serializable end to end;
+the ``repro serve --requests FILE`` CLI feeds them from JSON Lines)::
+
+    {"op": "attribute", "query": "Q(X) :- R(X, Y)"}
+    {"op": "attribute", "query": "...", "method": "approximate"}
+    {"op": "rank",      "query": "..."}
+    {"op": "topk",      "query": "...", "k": 3}
+
+Every response reports ``ok`` plus either the per-answer payload (exact
+values as ``"n/d"`` strings -- fact-space, mapped back from canonical
+space -- alongside floats for convenience) or an ``error`` string; a
+malformed request never takes the loop down.  :meth:`AttributionService.stats`
+reports the shared engine counters including the per-tier hit rates
+(memory / store / compute), the answer to "is the warm start working?".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO
+
+from repro.db.database import Database
+from repro.db.datalog import parse_query
+from repro.engine.cache import LineageCache
+from repro.engine.engine import Engine, EngineConfig
+from repro.engine.stats import EngineStats
+from repro.engine.store import CacheStore
+
+#: Ops a request may carry.
+OPS = ("attribute", "rank", "topk")
+
+#: Attribution methods a request may select per call.
+ATTRIBUTE_METHODS = ("auto", "exact", "approximate", "shapley")
+
+
+class RequestError(ValueError):
+    """A malformed service request (reported in the response, not raised
+    out of the serving loop)."""
+
+
+class AttributionService:
+    """A long-lived serving loop over one database and shared cache tiers.
+
+    Parameters
+    ----------
+    database:
+        The database every request is evaluated against (fact-space).
+    config:
+        Base :class:`EngineConfig`.  Its ``method`` is the default for
+        ``attribute`` requests (must not be a ranking method); epsilon,
+        budgets, and cache sizes apply to every request.  The config's
+        ``store`` is honored if ``store`` is not passed explicitly.
+    store:
+        Optional persistent tier shared by every method engine.
+    warm_start:
+        When true (and a store is present), preload the store's entries
+        into the shared in-memory tier at construction, so even the very
+        first batch hits memory.  The number of entries loaded is
+        reported by :meth:`stats` as ``warm_loaded``.
+
+    Examples
+    --------
+    >>> from repro import Database
+    >>> db = Database()
+    >>> _ = [db.add_fact("R", (i,)) for i in range(3)]
+    >>> service = AttributionService(db)
+    >>> response = service.submit({"op": "attribute",
+    ...                            "query": "Q(X) :- R(X)"})
+    >>> response["ok"]
+    True
+    """
+
+    def __init__(self, database: Database,
+                 config: Optional[EngineConfig] = None,
+                 store: Optional[CacheStore] = None,
+                 warm_start: bool = False) -> None:
+        base = config or EngineConfig()
+        if base.method in ("rank", "topk"):
+            raise ValueError(
+                "the service config's method is the default for "
+                "'attribute' requests and cannot be a ranking method; "
+                "rank/topk engines are created per request op"
+            )
+        self.database = database
+        self.store = store if store is not None else base.store
+        self._base = replace(base, store=None, k=None)
+        self.cache = LineageCache(base.cache_size, base.dtree_cache_size)
+        self.stats_counters = EngineStats()
+        self._engines: Dict[str, Engine] = {}
+        self.requests_served = 0
+        self.request_errors = 0
+        self.warm_loaded = 0
+        if warm_start and self.store is not None:
+            self.warm_loaded = self._engine(self._base.method).load_cache(
+                self.store)
+
+    # ----------------------------------------------------------------- #
+    # Engines
+    # ----------------------------------------------------------------- #
+
+    def _engine(self, method: str) -> Engine:
+        """The shared-tier engine for one method (created on first use)."""
+        engine = self._engines.get(method)
+        if engine is None:
+            epsilon = self._base.epsilon
+            if method in ("auto", "approximate") and epsilon is None:
+                epsilon = 0.1
+            engine = Engine(replace(self._base, method=method,
+                                    epsilon=epsilon))
+            # Share the tiers and the counters: keys embed (method,
+            # epsilon, k), so one cache safely serves every engine.
+            engine.cache = self.cache
+            engine.stats = self.stats_counters
+            engine.store = self.store
+            self._engines[method] = engine
+        return engine
+
+    # ----------------------------------------------------------------- #
+    # The serving loop
+    # ----------------------------------------------------------------- #
+
+    def serve(self, requests: Iterable[Dict[str, object]]
+              ) -> Iterator[Dict[str, object]]:
+        """Serve a request stream lazily; yields one response per request."""
+        for request in requests:
+            yield self.submit(request)
+
+    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Serve one request dict; never raises on a malformed request."""
+        self.requests_served += 1
+        try:
+            return self._dispatch(request)
+        except RequestError as error:
+            self.request_errors += 1
+            return {"ok": False, "error": str(error)}
+        except Exception as error:  # serving loop must survive anything
+            self.request_errors += 1
+            return {"ok": False,
+                    "error": f"{type(error).__name__}: {error}"}
+
+    def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        if not isinstance(request, dict):
+            raise RequestError(f"request must be an object, got "
+                               f"{type(request).__name__}")
+        op = request.get("op")
+        if op not in OPS:
+            raise RequestError(f"unknown op {op!r}; expected one of {OPS}")
+        query_text = request.get("query")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise RequestError("request needs a non-empty 'query' string")
+        try:
+            query = parse_query(query_text)
+        except Exception as error:
+            raise RequestError(f"unparseable query: {error}") from error
+
+        if op == "attribute":
+            if "k" in request:
+                raise RequestError(
+                    "op 'attribute' takes no k; use op 'topk' for a "
+                    "bounded ranking")
+            method = request.get("method", self._base.method)
+            if method not in ATTRIBUTE_METHODS:
+                raise RequestError(
+                    f"unknown method {method!r}; expected one of "
+                    f"{ATTRIBUTE_METHODS}")
+            return self._attribute(op, query_text, str(method), query)
+        if "method" in request:
+            raise RequestError(
+                f"op {op!r} always runs IchiBan and takes no method; "
+                "the method field only applies to op 'attribute'")
+        if op == "topk":
+            k = request.get("k")
+            if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                raise RequestError("op 'topk' needs an integer k >= 1")
+        else:
+            if "k" in request:
+                raise RequestError(
+                    "op 'rank' returns the full ranking and takes no k; "
+                    "use op 'topk' to bound it")
+            k = None
+        return self._rank(op, query_text, query, k)
+
+    def _attribute(self, op: str, query_text: str, method: str,
+                   query) -> Dict[str, object]:
+        results = self._engine(method).attribute(query, self.database)
+        answers: List[Dict[str, object]] = []
+        for result in results:
+            answers.append({
+                "answer": list(result.answer),
+                "attributions": [
+                    {
+                        "fact": str(attribution.fact),
+                        "value": str(attribution.value),
+                        "float": float(attribution.value),
+                        "lower": attribution.lower,
+                        "upper": attribution.upper,
+                    }
+                    for attribution in result.attributions
+                ],
+            })
+        return {"ok": True, "op": op, "query": query_text,
+                "method": method, "answers": answers}
+
+    def _rank(self, op: str, query_text: str, query,
+              k: Optional[int]) -> Dict[str, object]:
+        engine = self._engine("topk" if op == "topk" else "rank")
+        rankings = engine.rank(query, self.database, k=k)
+        answers: List[Dict[str, object]] = []
+        for answer_values, entries in rankings:
+            answers.append({
+                "answer": list(answer_values),
+                "ranking": [
+                    {
+                        "fact": str(fact),
+                        "estimate": float(entry.estimate),
+                        "lower": entry.lower,
+                        "upper": entry.upper,
+                    }
+                    for fact, entry in entries
+                ],
+            })
+        response: Dict[str, object] = {"ok": True, "op": op,
+                                       "query": query_text,
+                                       "answers": answers}
+        if k is not None:
+            response["k"] = k
+        return response
+
+    # ----------------------------------------------------------------- #
+    # Cache management and reporting
+    # ----------------------------------------------------------------- #
+
+    def save_cache(self, store: Optional[CacheStore] = None) -> int:
+        """Persist the shared warm memory tier (see :meth:`Engine.save_cache`)."""
+        return self._engine(self._base.method).save_cache(store)
+
+    def load_cache(self, store: Optional[CacheStore] = None) -> int:
+        """Warm the shared memory tier from a store (see :meth:`Engine.load_cache`)."""
+        return self._engine(self._base.method).load_cache(store)
+
+    def flush(self) -> None:
+        """Make buffered store writes durable (no-op without a store)."""
+        if self.store is not None:
+            self.store.flush()
+
+    def stats(self) -> Dict[str, object]:
+        """Serving-loop report: engine counters, tier hit rates, store state."""
+        report: Dict[str, object] = dict(self.stats_counters.as_dict())
+        report["requests_served"] = self.requests_served
+        report["request_errors"] = self.request_errors
+        report["warm_loaded"] = self.warm_loaded
+        report["engines"] = sorted(self._engines)
+        report["store"] = (self.store.stats()
+                          if self.store is not None else None)
+        return report
+
+
+def serve_jsonl(service: AttributionService, lines: Iterable[str],
+                output: TextIO) -> bool:
+    """Drive a service from JSON Lines, writing one JSON response per line.
+
+    Blank lines and ``#`` comment lines are skipped.  A line that is not
+    valid JSON produces an error response (and does not stop the loop).
+    Returns ``True`` when every served request succeeded.
+    """
+    all_ok = True
+    for line in lines:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as error:
+            service.requests_served += 1
+            service.request_errors += 1
+            response: Dict[str, object] = {
+                "ok": False, "error": f"unparseable request line: {error}"}
+        else:
+            response = service.submit(request)
+        all_ok = all_ok and bool(response.get("ok"))
+        print(json.dumps(response), file=output)
+    service.flush()
+    return all_ok
+
+
+__all__ = [
+    "ATTRIBUTE_METHODS",
+    "OPS",
+    "AttributionService",
+    "RequestError",
+    "serve_jsonl",
+]

@@ -27,10 +27,15 @@ class EngineStats:
     answers:
         Number of answer tuples (or raw lineages) attributed.
     cache_hits:
-        Answers served from the lineage cache, including answers
-        deduplicated against an isomorphic answer of the same batch.
+        Answers served from the in-memory lineage cache, including
+        answers deduplicated against an isomorphic answer of the same
+        batch.
+    store_hits:
+        Answers served from the persistent store tier (a memory miss that
+        a configured :class:`~repro.engine.store.CacheStore` answered);
+        always 0 when no store is configured.
     cache_misses:
-        Answers that required a fresh computation.
+        Answers that required a fresh computation (missed every tier).
     compilations:
         Fresh computations actually executed (one per distinct canonical
         lineage that missed the cache).
@@ -53,6 +58,7 @@ class EngineStats:
     queries: int = 0
     answers: int = 0
     cache_hits: int = 0
+    store_hits: int = 0
     cache_misses: int = 0
     compilations: int = 0
     fallbacks: int = 0
@@ -79,9 +85,29 @@ class EngineStats:
         return sum(self.stage_seconds.values())
 
     def hit_rate(self) -> float:
-        """Cache hit rate over all answers (0.0 when nothing ran yet)."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        """Hit rate across *all* cache tiers (0.0 when nothing ran yet).
+
+        A hit is an answer served without a fresh computation, whether it
+        came from the in-memory tier (``cache_hits``) or the persistent
+        store tier (``store_hits``).
+        """
+        total = self.cache_hits + self.store_hits + self.cache_misses
+        return (self.cache_hits + self.store_hits) / total if total else 0.0
+
+    def tier_hit_rates(self) -> Dict[str, float]:
+        """Per-tier fractions of all cache lookups (memory/store/compute).
+
+        The three fractions sum to 1.0 once anything ran; ``compute`` is
+        the miss rate (answers that fell through every tier).
+        """
+        total = self.cache_hits + self.store_hits + self.cache_misses
+        if not total:
+            return {"memory": 0.0, "store": 0.0, "compute": 0.0}
+        return {
+            "memory": self.cache_hits / total,
+            "store": self.store_hits / total,
+            "compute": self.cache_misses / total,
+        }
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict snapshot for reports and JSON output."""
@@ -89,8 +115,11 @@ class EngineStats:
             "queries": self.queries,
             "answers": self.answers,
             "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": round(self.hit_rate(), 4),
+            "tier_hit_rates": {tier: round(rate, 4)
+                               for tier, rate in self.tier_hit_rates().items()},
             "compilations": self.compilations,
             "fallbacks": self.fallbacks,
             "refinement_rounds": self.refinement_rounds,
@@ -106,6 +135,7 @@ class EngineStats:
         self.queries = 0
         self.answers = 0
         self.cache_hits = 0
+        self.store_hits = 0
         self.cache_misses = 0
         self.compilations = 0
         self.fallbacks = 0
@@ -116,7 +146,8 @@ class EngineStats:
 
     def __repr__(self) -> str:
         return (f"EngineStats(answers={self.answers}, "
-                f"hits={self.cache_hits}, misses={self.cache_misses}, "
+                f"hits={self.cache_hits}, store_hits={self.store_hits}, "
+                f"misses={self.cache_misses}, "
                 f"compilations={self.compilations}, "
                 f"fallbacks={self.fallbacks}, "
                 f"total={self.total_seconds:.3f}s)")

@@ -1,0 +1,487 @@
+"""Persistent cache stores: the engine's second, cross-process tier.
+
+The in-memory :class:`~repro.engine.cache.LineageCache` dies with the
+process, so every deployment starts cold.  This module adds a pluggable
+*store* tier behind it: on a memory miss the engine consults the
+configured :class:`CacheStore`, and freshly computed (converged) results
+are written back, so canonical-space attributions survive process
+restarts and can be shared between a warm-up job and a serving process.
+
+Two backends are provided:
+
+* :class:`MemoryStore` -- a dict-backed passthrough with the same
+  interface, for tests and for composing a serving tier without touching
+  disk;
+* :class:`DiskStore` -- a sharded on-disk store.  Entries are serialized
+  to a **versioned JSON format** (exact ``Fraction`` round-trip -- a
+  warm-started engine returns bit-identical values), grouped into shard
+  files by a stable hash of the result key, written **atomically**
+  (temp file + ``os.replace``), and evicted oldest-first against a
+  configurable entry bound.  Corrupted or old-version shard files are
+  ignored -- the engine just recomputes -- never raised.
+
+Everything in a store lives in **canonical variable space** keyed by
+:data:`~repro.engine.cache.ResultKey` (canonical lineage, method,
+epsilon, k), exactly like the in-memory result cache; compiled d-trees
+are deliberately *not* persisted (they are linked object graphs whose
+pickle cost exceeds recompilation for typical lineages).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import zlib
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from repro.engine.cache import CachedAttribution, ResultKey
+
+#: On-disk format version; bumped on any incompatible change.  Shards
+#: recording a different version are ignored wholesale (treated as empty),
+#: so a format bump silently invalidates stale caches instead of crashing.
+STORE_FORMAT_VERSION = 1
+
+
+class CacheStore(Protocol):
+    """What the engine needs from a persistent result store.
+
+    Implementations must be safe to call from one process at a time;
+    :class:`DiskStore` additionally tolerates concurrent *readers* of the
+    same directory (shard writes are atomic).
+
+    Methods
+    -------
+    get(key):
+        Return the stored :class:`CachedAttribution` for ``key`` (a
+        canonical-space :data:`ResultKey`) or ``None``.
+    put(key, value):
+        Insert or overwrite one entry.  May buffer; durability is only
+        guaranteed after :meth:`flush`.
+    flush():
+        Make every buffered ``put`` durable.
+    items():
+        Iterate ``(key, value)`` pairs over the whole store (used by
+        warm-start loading and ``repro cache stats``).
+    stats():
+        A plain-dict summary (entry counts, backend details) for
+        reporting.
+    """
+
+    def get(self, key: ResultKey) -> Optional[CachedAttribution]: ...
+
+    def put(self, key: ResultKey, value: CachedAttribution) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def items(self) -> Iterator[Tuple[ResultKey, CachedAttribution]]: ...
+
+    def stats(self) -> Dict[str, object]: ...
+
+
+# --------------------------------------------------------------------- #
+# Exact JSON serialization of keys and entries
+# --------------------------------------------------------------------- #
+
+
+def _encode_number(value) -> object:
+    """Encode an int (JSON int, arbitrary precision) or Fraction (``"n/d"``).
+
+    The two cases stay distinguishable so decoding restores the exact
+    original type: bounds are ints, values are ``Fraction``.
+    """
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"cannot serialize numeric type {type(value).__name__}")
+
+
+def _decode_number(encoded):
+    if isinstance(encoded, str):
+        numerator, _, denominator = encoded.partition("/")
+        return Fraction(int(numerator), int(denominator))
+    if isinstance(encoded, int):
+        return encoded
+    raise ValueError(f"malformed stored number {encoded!r}")
+
+
+def encode_key(key: ResultKey) -> str:
+    """Deterministic string form of a :data:`ResultKey` (the shard-entry key).
+
+    The canonical clause tuples become nested JSON lists; method, epsilon
+    and k pass through (``repr`` round-trip of floats is exact under
+    ``json``).
+    """
+    (num_variables, clauses), method, epsilon, k = key
+    return json.dumps(
+        [num_variables, [list(clause) for clause in clauses],
+         method, epsilon, k],
+        separators=(",", ":"),
+    )
+
+
+def decode_key(encoded: str) -> ResultKey:
+    """Inverse of :func:`encode_key` (raises ``ValueError`` on malformed input)."""
+    try:
+        num_variables, clauses, method, epsilon, k = json.loads(encoded)
+        canonical = (int(num_variables),
+                     tuple(tuple(int(v) for v in clause)
+                           for clause in clauses))
+        if not isinstance(method, str):
+            raise ValueError(f"malformed method {method!r}")
+        return (canonical, method,
+                None if epsilon is None else float(epsilon),
+                None if k is None else int(k))
+    except (TypeError, json.JSONDecodeError) as error:
+        raise ValueError(f"malformed stored key {encoded!r}") from error
+
+
+def encode_entry(value: CachedAttribution) -> Dict[str, object]:
+    """JSON-serializable form of one :class:`CachedAttribution`."""
+    return {
+        "method_used": value.method_used,
+        "converged": value.converged,
+        "values": [[variable, _encode_number(fraction)]
+                   for variable, fraction in sorted(value.values.items())],
+        "bounds": [[variable, [_encode_number(lower), _encode_number(upper)]]
+                   for variable, (lower, upper) in sorted(value.bounds.items())],
+    }
+
+
+def decode_entry(encoded: Dict[str, object]) -> CachedAttribution:
+    """Inverse of :func:`encode_entry` (raises ``ValueError``/``KeyError``)."""
+    values = {int(variable): Fraction(_decode_number(number))
+              for variable, number in encoded["values"]}
+    bounds = {int(variable): (_decode_number(lower), _decode_number(upper))
+              for variable, (lower, upper) in encoded["bounds"]}
+    return CachedAttribution(
+        method_used=str(encoded["method_used"]),
+        values=values,
+        bounds=bounds,
+        converged=bool(encoded["converged"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------- #
+
+
+class MemoryStore:
+    """Dict-backed :class:`CacheStore` (no persistence).
+
+    Useful in tests and for wiring a store-shaped tier -- e.g. one shared
+    by several engines of a service -- without touching disk.  ``flush``
+    is a no-op; there is nothing to make durable.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[ResultKey, CachedAttribution] = {}
+        self._lock = threading.Lock()
+        self.gets = 0
+        self.puts = 0
+
+    def get(self, key: ResultKey) -> Optional[CachedAttribution]:
+        with self._lock:
+            self.gets += 1
+            return self._entries.get(key)
+
+    def put(self, key: ResultKey, value: CachedAttribution) -> None:
+        with self._lock:
+            self.puts += 1
+            self._entries[key] = value
+
+    def flush(self) -> None:
+        """No-op (a memory store is always 'durable' for its lifetime)."""
+
+    def items(self) -> Iterator[Tuple[ResultKey, CachedAttribution]]:
+        with self._lock:
+            snapshot = list(self._entries.items())
+        return iter(snapshot)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count plus raw get/put counters."""
+        with self._lock:
+            return {"backend": "memory", "entries": len(self._entries),
+                    "gets": self.gets, "puts": self.puts}
+
+
+class DiskStore:
+    """Sharded on-disk :class:`CacheStore` with a versioned JSON format.
+
+    Layout: ``<path>/shard-<index>.json``, one JSON document per shard::
+
+        {"version": 1, "entries": {"<encoded key>": {"stamp": 7, ...}}}
+
+    Entries are routed to shards by a stable CRC32 of their encoded key,
+    so a given :data:`ResultKey` always lands in the same shard file
+    across processes.  Shards are loaded lazily and kept in memory;
+    ``put`` buffers (marking the shard dirty) and :meth:`flush` rewrites
+    dirty shards atomically -- the new content is written to a temp file
+    in the same directory and ``os.replace``d over the old one, so a
+    crash mid-write leaves the previous shard intact.
+
+    Durability-vs-throughput is explicit: the engine flushes once per
+    batch, a service can flush per request or on shutdown.
+
+    Eviction is size-bounded and oldest-first: every entry carries a
+    monotonic insertion ``stamp`` (persisted in a small ``meta.json``,
+    and re-derived from shard contents when that file is lost), and at
+    flush time each shard is trimmed to its share of ``max_entries``
+    (``max_entries // shards``) by dropping the lowest stamps.  The
+    shard count is clamped to ``max_entries`` so the total can never
+    exceed the bound; per-shard rounding only makes it stricter.
+
+    Robustness: a shard that fails to parse, fails structural validation,
+    or records a different :data:`STORE_FORMAT_VERSION` is treated as
+    empty (counted in ``corrupt_shards``) -- the engine recomputes and
+    the next flush overwrites the bad file.  No read path ever raises on
+    bad content.
+    """
+
+    def __init__(self, path: str, max_entries: int = 65_536,
+                 shards: int = 16) -> None:
+        if max_entries < 1:
+            raise ValueError("store capacity must be positive")
+        if shards < 1:
+            raise ValueError("shard count must be positive")
+        self.path = path
+        self.max_entries = max_entries
+        # Clamped so `shards * per_shard <= max_entries` always holds;
+        # an unclamped tiny capacity (max_entries < shards) would retain
+        # one entry per shard and overshoot the bound.  Deterministic in
+        # the constructor arguments, so every process opening the same
+        # directory with the same configuration routes keys identically.
+        self.shards = min(shards, max_entries)
+        self._per_shard = max(1, max_entries // self.shards)
+        #: shard index -> {encoded key:
+        #:   {"stamp": int, "entry": dict, "decoded": CachedAttribution}}
+        self._loaded: Dict[int, Dict[str, Dict[str, object]]] = {}
+        self._dirty: set = set()
+        self._lock = threading.Lock()
+        self.corrupt_shards = 0
+        os.makedirs(path, exist_ok=True)
+        self._stamp = self._load_stamp()
+
+    # -- paths and shard IO ------------------------------------------- #
+
+    def _shard_index(self, encoded_key: str) -> int:
+        return zlib.crc32(encoded_key.encode("utf-8")) % self.shards
+
+    def _shard_path(self, index: int) -> str:
+        return os.path.join(self.path, f"shard-{index:04d}.json")
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.path, "meta.json")
+
+    def _load_stamp(self) -> int:
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            if meta.get("version") != STORE_FORMAT_VERSION:
+                return 0
+            return int(meta["stamp"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0
+
+    def _atomic_write(self, path: str, document: Dict[str, object]) -> None:
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.path, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def _load_shard(self, index: int) -> Dict[str, Dict[str, object]]:
+        """Read one shard from disk, treating any damage as an empty shard."""
+        shard = self._loaded.get(index)
+        if shard is not None:
+            return shard
+        shard = {}
+        path = self._shard_path(index)
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+                if document.get("version") != STORE_FORMAT_VERSION:
+                    raise ValueError(
+                        f"format version {document.get('version')!r}")
+                entries = document["entries"]
+                if not isinstance(entries, dict):
+                    raise ValueError("entries is not an object")
+                for encoded_key, record in entries.items():
+                    # Validate eagerly so one bad record cannot surface
+                    # later as a crash inside the engine's hot path; the
+                    # decoded entry is kept, so get()/items() never pay
+                    # for deserialization twice.
+                    decode_key(encoded_key)
+                    decoded = decode_entry(record["entry"])
+                    shard[encoded_key] = {"stamp": int(record["stamp"]),
+                                          "entry": record["entry"],
+                                          "decoded": decoded}
+            except (OSError, ValueError, KeyError, TypeError,
+                    json.JSONDecodeError):
+                self.corrupt_shards += 1
+                shard = {}
+        if shard:
+            # Keep the insertion counter ahead of every entry we have
+            # seen: if meta.json was lost or stale, new puts must still
+            # stamp higher than existing entries, or oldest-first
+            # eviction would drop fresh results instead of stale ones.
+            newest = max(record["stamp"] for record in shard.values())
+            if newest > self._stamp:
+                self._stamp = newest
+        self._loaded[index] = shard
+        return shard
+
+    # -- CacheStore interface ----------------------------------------- #
+
+    def get(self, key: ResultKey) -> Optional[CachedAttribution]:
+        """Look one result up (loading its shard on first touch)."""
+        encoded = encode_key(key)
+        with self._lock:
+            shard = self._load_shard(self._shard_index(encoded))
+            record = shard.get(encoded)
+            if record is None:
+                return None
+            return record["decoded"]
+
+    def put(self, key: ResultKey, value: CachedAttribution) -> None:
+        """Buffer one entry (durable after the next :meth:`flush`)."""
+        encoded = encode_key(key)
+        with self._lock:
+            index = self._shard_index(encoded)
+            shard = self._load_shard(index)
+            self._stamp += 1
+            shard[encoded] = {"stamp": self._stamp,
+                              "entry": encode_entry(value),
+                              "decoded": value}
+            self._dirty.add(index)
+
+    def flush(self) -> None:
+        """Atomically rewrite every dirty shard, evicting past the bound."""
+        with self._lock:
+            if not self._dirty:
+                return
+            for index in sorted(self._dirty):
+                shard = self._loaded.get(index, {})
+                if len(shard) > self._per_shard:
+                    keep = sorted(shard.items(),
+                                  key=lambda item: item[1]["stamp"],
+                                  reverse=True)[:self._per_shard]
+                    shard = dict(keep)
+                    self._loaded[index] = shard
+                serializable = {
+                    encoded_key: {"stamp": record["stamp"],
+                                  "entry": record["entry"]}
+                    for encoded_key, record in shard.items()
+                }
+                self._atomic_write(self._shard_path(index),
+                                   {"version": STORE_FORMAT_VERSION,
+                                    "entries": serializable})
+            self._dirty.clear()
+            self._atomic_write(self._meta_path(),
+                               {"version": STORE_FORMAT_VERSION,
+                                "stamp": self._stamp})
+
+    def items(self) -> Iterator[Tuple[ResultKey, CachedAttribution]]:
+        """Iterate every entry of every shard (loading all of them).
+
+        The snapshot is taken under the lock before anything is yielded,
+        so consumers may call :meth:`put`/:meth:`get` mid-iteration.
+        """
+        with self._lock:
+            records: List[Tuple[str, Dict[str, object]]] = []
+            for index in range(self.shards):
+                records.extend(self._load_shard(index).items())
+        for encoded_key, record in records:
+            yield decode_key(encoded_key), record["decoded"]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(self._load_shard(index))
+                       for index in range(self.shards))
+
+    def stats(self) -> Dict[str, object]:
+        """Entry/shard counts, capacity, and on-disk footprint."""
+        entries = len(self)
+        shard_files = 0
+        total_bytes = 0
+        for index in range(self.shards):
+            path = self._shard_path(index)
+            try:
+                total_bytes += os.path.getsize(path)
+                shard_files += 1
+            except OSError:
+                continue
+        return {
+            "backend": "disk",
+            "path": self.path,
+            "format_version": STORE_FORMAT_VERSION,
+            "entries": entries,
+            "max_entries": self.max_entries,
+            "shards": self.shards,
+            "shard_files": shard_files,
+            "corrupt_shards": self.corrupt_shards,
+            "disk_bytes": total_bytes,
+        }
+
+
+def save_results(cache_entries, store: CacheStore) -> int:
+    """Write ``(key, value)`` result pairs into ``store`` and flush.
+
+    Skips unconverged entries (a persisted best-so-far would mask a later,
+    better attempt).  Returns the number of entries written.  This is the
+    workhorse behind :meth:`repro.engine.engine.Engine.save_cache` and
+    ``repro cache save``.
+    """
+    written = 0
+    for key, value in cache_entries:
+        if value.converged:
+            store.put(key, value)
+            written += 1
+    store.flush()
+    return written
+
+
+def load_results(store: CacheStore, cache) -> int:
+    """Load every converged store entry into an in-memory result cache.
+
+    ``cache`` is an :class:`~repro.engine.cache.LRUCache` (the engine's
+    ``cache.results``); loading more entries than its capacity simply
+    evicts the earliest-loaded ones.  Returns the number of entries
+    loaded.
+    """
+    loaded = 0
+    for key, value in store.items():
+        if value.converged:
+            cache.put(key, value)
+            loaded += 1
+    return loaded
+
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "CacheStore",
+    "DiskStore",
+    "MemoryStore",
+    "decode_entry",
+    "decode_key",
+    "encode_entry",
+    "encode_key",
+    "load_results",
+    "save_results",
+]

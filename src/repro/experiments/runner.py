@@ -28,6 +28,7 @@ from repro.dtree.compile import (
     compile_dnf,
 )
 from repro.engine import Engine, EngineConfig, ensure_recursion_head_room
+from repro.engine.store import CacheStore
 from repro.workloads.generators import LineageInstance
 from repro.workloads.suite import Workload
 
@@ -310,6 +311,89 @@ def run_workload_batched(workload: Workload,
         for instance, attribution in zip(workload.instances, attributions)
     ]
     return results, engine.stats.as_dict()
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Stats of one workload epoch served by :func:`run_workload_epochs`."""
+
+    epoch: int
+    seconds: float
+    stats: Dict[str, object]
+
+
+def run_workload_epochs(workload: Workload,
+                        epochs: int = 3,
+                        config: Optional[ExperimentConfig] = None,
+                        store: Optional[CacheStore] = None,
+                        warm_start: bool = False,
+                        engine: Optional[Engine] = None
+                        ) -> Tuple[List[EpochReport], List]:
+    """Serve several epochs of repeat traffic through one engine.
+
+    The workload's instances are attributed once per epoch -- the same
+    query log arriving repeatedly, as a serving deployment sees it.  The
+    engine's stats are reset per epoch, so each :class:`EpochReport`
+    describes exactly that epoch: the first epoch of a cold engine is all
+    misses, later epochs are all memory hits, and the first epoch of a
+    *store-backed fresh engine* (a new process over a persisted cache) is
+    served from the store tier -- the warm-start scenario measured by
+    ``benchmarks/bench_cache_warmstart.py``.
+
+    Parameters
+    ----------
+    workload:
+        The instances to serve each epoch (fact-space lineages; the
+        engine canonicalizes internally).
+    epochs:
+        Number of times the whole workload is replayed.
+    config:
+        Experiment budgets/epsilon (default :class:`ExperimentConfig`).
+    store:
+        Optional persistent tier for the engine (ignored when ``engine``
+        is passed and already has one).
+    warm_start:
+        Preload the store into the engine's memory tier before the first
+        epoch (requires a store).
+    engine:
+        Serve through this engine instead of building a fresh ``auto``
+        one -- e.g. to measure an already-warm process.
+
+    Returns
+    -------
+    (reports, first_epoch_attributions):
+        One report per epoch, plus the first epoch's
+        :class:`~repro.engine.engine.LineageAttribution` list (fact-space
+        values) for exactness comparisons between cold and warm runs.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    if engine is None:
+        engine = Engine(EngineConfig(
+            method="auto",
+            epsilon=config.epsilon,
+            max_shannon_steps=config.max_shannon_steps,
+            timeout_seconds=config.timeout_seconds,
+            store=store,
+        ))
+    elif store is not None and engine.store is None:
+        engine.store = store
+    if warm_start:
+        engine.load_cache()
+    _ensure_recursion_head_room()
+    lineages = [instance.lineage for instance in workload.instances]
+    reports: List[EpochReport] = []
+    first: List = []
+    for epoch in range(max(1, epochs)):
+        engine.reset_stats()
+        started = time.monotonic()
+        attributions = engine.attribute_lineages(lineages)
+        elapsed = time.monotonic() - started
+        if epoch == 0:
+            first = attributions
+        reports.append(EpochReport(epoch=epoch, seconds=elapsed,
+                                   stats=engine.stats.as_dict()))
+    return reports, first
 
 
 def run_algorithm_with_engine(instance: LineageInstance,

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -170,3 +171,135 @@ class TestRun:
         assert code == 0
         assert "answer (3,)" in output.getvalue()
         assert "(1,)" not in output.getvalue()
+
+
+class TestServeCommand:
+    def _requests_file(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_serve_mixed_requests(self, csv_relations, tmp_path, capsys):
+        r_path, s_path = csv_relations
+        requests = self._requests_file(tmp_path, [
+            json.dumps({"op": "attribute", "query": "Q(X) :- R(X), S(X, Y)"}),
+            json.dumps({"op": "topk", "query": "Q(X) :- R(X), S(X, Y)",
+                        "k": 1}),
+        ])
+        output = io.StringIO()
+        code = run(["serve", "--facts", f"R={r_path}",
+                    "--facts", f"S={s_path}", "--requests", requests,
+                    "--stats"], output=output)
+        assert code == 0
+        # stdout is strictly one JSON response per line; every diagnostic
+        # (facts loaded, stats) goes to stderr.
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        assert [r["ok"] for r in responses] == [True, True]
+        assert "tier_hit_rates" in capsys.readouterr().err
+
+    def test_serve_bad_request_sets_exit_code(self, csv_relations, tmp_path):
+        r_path, _ = csv_relations
+        requests = self._requests_file(tmp_path, [
+            json.dumps({"op": "nope", "query": "Q(X) :- R(X)"}),
+        ])
+        output = io.StringIO()
+        code = run(["serve", "--facts", f"R={r_path}",
+                    "--requests", requests], output=output)
+        assert code == 1
+
+    def test_serve_with_store_and_warm_start(self, csv_relations, tmp_path,
+                                             capsys):
+        r_path, s_path = csv_relations
+        store_dir = str(tmp_path / "store")
+        requests = self._requests_file(tmp_path, [
+            json.dumps({"op": "attribute", "query": "Q(X) :- R(X), S(X, Y)"}),
+        ])
+        base = ["serve", "--facts", f"R={r_path}", "--facts", f"S={s_path}",
+                "--requests", requests, "--store", store_dir]
+        assert run(base, output=io.StringIO()) == 0
+        output = io.StringIO()
+        code = run(base + ["--warm-start", "--stats"], output=output)
+        assert code == 0
+        diagnostics = capsys.readouterr().err
+        assert "warm start:" in diagnostics
+        assert '"cache_misses": 0' in diagnostics
+
+    def test_serve_requires_facts(self, tmp_path):
+        requests = self._requests_file(tmp_path, [])
+        with pytest.raises(SystemExit):
+            run(["serve", "--requests", requests], output=io.StringIO())
+
+    def test_warm_start_requires_store(self, csv_relations, tmp_path):
+        r_path, _ = csv_relations
+        requests = self._requests_file(tmp_path, [])
+        with pytest.raises(SystemExit):
+            run(["serve", "--facts", f"R={r_path}", "--requests", requests,
+                 "--warm-start"], output=io.StringIO())
+
+
+class TestCacheCommand:
+    def test_save_load_stats_roundtrip(self, csv_relations, tmp_path):
+        r_path, s_path = csv_relations
+        store_dir = str(tmp_path / "store")
+        output = io.StringIO()
+        code = run(["cache", "save", "--store", store_dir,
+                    "--facts", f"R={r_path}", "--facts", f"S={s_path}",
+                    "--query", "Q(X) :- R(X), S(X, Y)"], output=output)
+        assert code == 0
+        assert "saved" in output.getvalue()
+
+        output = io.StringIO()
+        assert run(["cache", "stats", "--store", store_dir],
+                   output=output) == 0
+        stats = json.loads(output.getvalue())
+        assert stats["entries"] >= 1
+
+        output = io.StringIO()
+        assert run(["cache", "load", "--store", store_dir],
+                   output=output) == 0
+        assert "loaded" in output.getvalue()
+
+    def test_save_topk_requires_k(self, csv_relations, tmp_path):
+        r_path, _ = csv_relations
+        with pytest.raises(SystemExit):
+            run(["cache", "save", "--store", str(tmp_path / "s"),
+                 "--facts", f"R={r_path}", "--query", "Q(X) :- R(X)",
+                 "--method", "topk"], output=io.StringIO())
+
+    def test_save_topk_method(self, csv_relations, tmp_path):
+        r_path, s_path = csv_relations
+        store_dir = str(tmp_path / "store")
+        output = io.StringIO()
+        code = run(["cache", "save", "--store", store_dir,
+                    "--facts", f"R={r_path}", "--facts", f"S={s_path}",
+                    "--query", "Q(X) :- R(X), S(X, Y)",
+                    "--method", "topk", "--k", "1"], output=output)
+        assert code == 0
+        assert "saved" in output.getvalue()
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            run(["cache"], output=io.StringIO())
+
+    def test_saved_store_warm_starts_attribution(self, csv_relations,
+                                                 tmp_path, capsys):
+        """The full explicit warm-start flow: cache save, then serve."""
+        r_path, s_path = csv_relations
+        store_dir = str(tmp_path / "store")
+        assert run(["cache", "save", "--store", store_dir,
+                    "--facts", f"R={r_path}", "--facts", f"S={s_path}",
+                    "--query", "Q(X) :- R(X), S(X, Y)",
+                    "--method", "auto"], output=io.StringIO()) == 0
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"op": "attribute",
+                        "query": "Q(X) :- R(X), S(X, Y)"}) + "\n",
+            encoding="utf-8")
+        output = io.StringIO()
+        code = run(["serve", "--facts", f"R={r_path}",
+                    "--facts", f"S={s_path}",
+                    "--requests", str(requests), "--store", store_dir,
+                    "--stats"], output=output)
+        assert code == 0
+        assert '"cache_misses": 0' in capsys.readouterr().err

@@ -1,0 +1,331 @@
+"""Tests for the persistent cache store tier (repro.engine.store)."""
+
+import json
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.boolean.dnf import DNF
+from repro.engine import Engine, EngineConfig
+from repro.engine.cache import CachedAttribution, LineageCache
+from repro.engine.store import (
+    STORE_FORMAT_VERSION,
+    DiskStore,
+    MemoryStore,
+    decode_entry,
+    decode_key,
+    encode_entry,
+    encode_key,
+    load_results,
+    save_results,
+)
+
+
+def _key(num_variables=3, clauses=((0, 1), (1, 2)), method="exact",
+         epsilon=None, k=None):
+    return ((num_variables, tuple(tuple(c) for c in clauses)),
+            method, epsilon, k)
+
+
+def _entry(converged=True):
+    return CachedAttribution(
+        method_used="exact",
+        values={0: Fraction(3, 7), 1: Fraction(12345678901234567890, 3),
+                2: Fraction(-1, 2)},
+        bounds={0: (1, 5), 1: (2, 2)},
+        converged=converged,
+    )
+
+
+class TestCodec:
+    def test_key_roundtrip(self):
+        key = _key(method="topk", epsilon=0.1, k=5)
+        assert decode_key(encode_key(key)) == key
+
+    def test_key_roundtrip_none_fields(self):
+        key = _key(method="rank", epsilon=None, k=None)
+        assert decode_key(encode_key(key)) == key
+
+    def test_key_roundtrip_preserves_float_epsilon_exactly(self):
+        key = _key(method="approximate", epsilon=0.30000000000000004)
+        assert decode_key(encode_key(key))[2] == 0.30000000000000004
+
+    def test_entry_roundtrip_is_exact(self):
+        entry = _entry()
+        decoded = decode_entry(encode_entry(entry))
+        assert decoded == entry
+        for variable, value in decoded.values.items():
+            assert isinstance(value, Fraction)
+            assert value == entry.values[variable]
+        for variable, (lower, upper) in decoded.bounds.items():
+            assert isinstance(lower, int) and isinstance(upper, int)
+
+    def test_entry_roundtrip_keeps_converged_flag(self):
+        decoded = decode_entry(encode_entry(_entry(converged=False)))
+        assert decoded.converged is False
+
+    def test_malformed_key_raises_value_error(self):
+        with pytest.raises(ValueError):
+            decode_key("not json at all {{{")
+        with pytest.raises(ValueError):
+            decode_key(json.dumps([1, [[0]], 42, None, None]))  # bad method
+
+
+class TestMemoryStore:
+    def test_roundtrip_and_items(self):
+        store = MemoryStore()
+        key, entry = _key(), _entry()
+        assert store.get(key) is None
+        store.put(key, entry)
+        store.flush()
+        assert store.get(key) == entry
+        assert dict(store.items()) == {key: entry}
+        assert store.stats()["entries"] == 1
+
+
+class TestDiskStore:
+    def test_roundtrip_across_handles(self, tmp_path):
+        key, entry = _key(), _entry()
+        writer = DiskStore(str(tmp_path), shards=4)
+        writer.put(key, entry)
+        writer.flush()
+        reader = DiskStore(str(tmp_path), shards=4)
+        loaded = reader.get(key)
+        assert loaded == entry
+        assert all(isinstance(v, Fraction) for v in loaded.values.values())
+
+    def test_unflushed_puts_are_not_durable(self, tmp_path):
+        writer = DiskStore(str(tmp_path))
+        writer.put(_key(), _entry())
+        assert DiskStore(str(tmp_path)).get(_key()) is None
+        writer.flush()
+        assert DiskStore(str(tmp_path)).get(_key()) == _entry()
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = DiskStore(str(tmp_path), shards=2)
+        for index in range(10):
+            store.put(_key(clauses=((0, 1), (1, 2), (index % 3, 2))),
+                      _entry())
+        store.flush()
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_corrupted_shard_is_ignored(self, tmp_path):
+        key, entry = _key(), _entry()
+        store = DiskStore(str(tmp_path), shards=1)
+        store.put(key, entry)
+        store.flush()
+        shard_path = tmp_path / "shard-0000.json"
+        shard_path.write_text("{ this is not json", encoding="utf-8")
+        reader = DiskStore(str(tmp_path), shards=1)
+        assert reader.get(key) is None  # treated as empty, no crash
+        assert reader.stats()["corrupt_shards"] == 1
+        # The store remains usable: a new put/flush overwrites the damage.
+        reader.put(key, entry)
+        reader.flush()
+        assert DiskStore(str(tmp_path), shards=1).get(key) == entry
+
+    def test_structurally_invalid_shard_is_ignored(self, tmp_path):
+        store = DiskStore(str(tmp_path), shards=1)
+        (tmp_path / "shard-0000.json").write_text(
+            json.dumps({"version": STORE_FORMAT_VERSION,
+                        "entries": {"[not-a-key]": {"stamp": 1,
+                                                    "entry": {}}}}),
+            encoding="utf-8")
+        assert store.get(_key()) is None
+        assert store.corrupt_shards == 1
+
+    def test_old_format_version_is_ignored(self, tmp_path):
+        key, entry = _key(), _entry()
+        store = DiskStore(str(tmp_path), shards=1)
+        store.put(key, entry)
+        store.flush()
+        shard_path = tmp_path / "shard-0000.json"
+        document = json.loads(shard_path.read_text(encoding="utf-8"))
+        document["version"] = STORE_FORMAT_VERSION - 1
+        shard_path.write_text(json.dumps(document), encoding="utf-8")
+        reader = DiskStore(str(tmp_path), shards=1)
+        assert reader.get(key) is None
+        assert reader.stats()["corrupt_shards"] == 1
+
+    def test_eviction_honors_size_bound(self, tmp_path):
+        store = DiskStore(str(tmp_path), max_entries=5, shards=1)
+        keys = [_key(clauses=((0, index % 2), (1, 2), (0, 2))[:2 + index % 2],
+                     epsilon=float(index), method="approximate")
+                for index in range(12)]
+        for key in keys:
+            store.put(key, _entry())
+        store.flush()
+        assert len(store) == 5
+        reader = DiskStore(str(tmp_path), max_entries=5, shards=1)
+        assert len(reader) == 5
+        # Oldest-first: the survivors are exactly the newest five.
+        for key in keys[-5:]:
+            assert reader.get(key) is not None
+        for key in keys[:-5]:
+            assert reader.get(key) is None
+
+    def test_lost_meta_does_not_invert_eviction(self, tmp_path):
+        """Without meta.json, new entries must still outrank old ones.
+
+        If the insertion counter restarted at 0, oldest-first eviction
+        would evict the *fresh* results and keep the stale ones forever.
+        """
+        store = DiskStore(str(tmp_path), max_entries=3, shards=1)
+        old_keys = [_key(epsilon=float(i), method="approximate")
+                    for i in range(3)]
+        for key in old_keys:
+            store.put(key, _entry())
+        store.flush()
+        os.unlink(tmp_path / "meta.json")
+
+        reopened = DiskStore(str(tmp_path), max_entries=3, shards=1)
+        new_key = _key(epsilon=99.0, method="approximate")
+        reopened.put(new_key, _entry())
+        reopened.flush()
+        assert reopened.get(new_key) is not None
+        # The oldest of the original entries was evicted, not the new one.
+        assert reopened.get(old_keys[0]) is None
+        assert reopened.get(old_keys[-1]) is not None
+
+    def test_eviction_bound_respected_across_shards(self, tmp_path):
+        store = DiskStore(str(tmp_path), max_entries=8, shards=4)
+        for index in range(50):
+            store.put(_key(epsilon=float(index), method="approximate"),
+                      _entry())
+        store.flush()
+        assert len(store) <= 8
+
+    def test_tiny_capacity_clamps_shard_count(self, tmp_path):
+        """max_entries < shards must not over-retain one entry per shard."""
+        store = DiskStore(str(tmp_path), max_entries=3, shards=16)
+        assert store.shards == 3
+        for index in range(10):
+            store.put(_key(epsilon=float(index), method="approximate"),
+                      _entry())
+        store.flush()
+        assert len(store) <= 3
+
+    def test_stats_report(self, tmp_path):
+        store = DiskStore(str(tmp_path), max_entries=100, shards=4)
+        store.put(_key(), _entry())
+        store.flush()
+        stats = store.stats()
+        assert stats["backend"] == "disk"
+        assert stats["entries"] == 1
+        assert stats["format_version"] == STORE_FORMAT_VERSION
+        assert stats["disk_bytes"] > 0
+
+    def test_invalid_capacity_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskStore(str(tmp_path), max_entries=0)
+        with pytest.raises(ValueError):
+            DiskStore(str(tmp_path), shards=0)
+
+
+class TestSaveLoadHelpers:
+    def test_save_skips_unconverged(self):
+        store = MemoryStore()
+        written = save_results(
+            [(_key(), _entry()),
+             (_key(method="rank", epsilon=0.1), _entry(converged=False))],
+            store)
+        assert written == 1
+        assert len(store) == 1
+
+    def test_load_into_lru(self):
+        store = MemoryStore()
+        store.put(_key(), _entry())
+        cache = LineageCache(16)
+        assert load_results(store, cache.results) == 1
+        assert cache.results.get(_key()) == _entry()
+
+
+class TestEngineStoreTier:
+    def _lineages(self):
+        return [DNF([(0, 1), (1, 2)], domain=range(3)),
+                DNF([(0, 1), (0, 2), (1, 2)], domain=range(3))]
+
+    def test_warm_engine_bit_identical_to_cold(self, tmp_path):
+        lineages = self._lineages()
+        cold = Engine(EngineConfig(method="exact",
+                                   store=DiskStore(str(tmp_path))))
+        cold_values = [a.values for a in cold.attribute_lineages(lineages)]
+        # A brand new engine and store handle over the same directory --
+        # the restart scenario.
+        warm = Engine(EngineConfig(method="exact",
+                                   store=DiskStore(str(tmp_path))))
+        warm_values = [a.values for a in warm.attribute_lineages(lineages)]
+        assert warm_values == cold_values
+        for values in warm_values:
+            for value in values.values():
+                assert isinstance(value, Fraction)
+        assert warm.stats.store_hits > 0
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.compilations == 0
+
+    def test_store_hit_promotes_to_memory(self, tmp_path):
+        lineages = self._lineages()
+        Engine(EngineConfig(method="exact", store=DiskStore(str(tmp_path)))
+               ).attribute_lineages(lineages)
+        warm = Engine(EngineConfig(method="exact",
+                                   store=DiskStore(str(tmp_path))))
+        warm.attribute_lineages(lineages)
+        first_store_hits = warm.stats.store_hits
+        warm.attribute_lineages(lineages)
+        # The second pass is pure memory: no further store lookups hit.
+        assert warm.stats.store_hits == first_store_hits
+        assert warm.stats.cache_hits >= len(lineages)
+
+    def test_corrupted_store_recomputes_without_crash(self, tmp_path):
+        lineages = self._lineages()
+        cold = Engine(EngineConfig(method="exact",
+                                   store=DiskStore(str(tmp_path))))
+        expected = [a.values for a in cold.attribute_lineages(lineages)]
+        for name in os.listdir(tmp_path):
+            if name.startswith("shard-"):
+                (tmp_path / name).write_text("garbage", encoding="utf-8")
+        warm = Engine(EngineConfig(method="exact",
+                                   store=DiskStore(str(tmp_path))))
+        values = [a.values for a in warm.attribute_lineages(lineages)]
+        assert values == expected
+        assert warm.stats.store_hits == 0
+        assert warm.stats.compilations > 0
+
+    def test_save_and_load_cache_roundtrip(self, tmp_path):
+        lineages = self._lineages()
+        engine = Engine(EngineConfig(method="exact"))
+        expected = [a.values for a in engine.attribute_lineages(lineages)]
+        store = DiskStore(str(tmp_path))
+        written = engine.save_cache(store)
+        assert written == len(engine.cache.results.snapshot())
+
+        fresh = Engine(EngineConfig(method="exact"))
+        loaded = fresh.load_cache(store)
+        assert loaded == written
+        values = [a.values for a in fresh.attribute_lineages(lineages)]
+        assert values == expected
+        assert fresh.stats.compilations == 0
+
+    def test_save_cache_without_store_raises(self):
+        with pytest.raises(ValueError):
+            Engine(EngineConfig()).save_cache()
+        with pytest.raises(ValueError):
+            Engine(EngineConfig()).load_cache()
+
+    def test_ranking_results_persist_per_epsilon_and_k(self, tmp_path):
+        lineage = DNF([(0, 1), (1, 2), (0, 2)], domain=range(3))
+        cold = Engine(EngineConfig(method="topk", k=2, epsilon=0.1,
+                                   store=DiskStore(str(tmp_path))))
+        cold.attribute_lineages([lineage])
+        warm = Engine(EngineConfig(method="topk", k=2, epsilon=0.1,
+                                   store=DiskStore(str(tmp_path))))
+        warm.attribute_lineages([lineage])
+        assert warm.stats.store_hits == 1
+        # A different k is a different key: no false sharing.
+        other_k = Engine(EngineConfig(method="topk", k=1, epsilon=0.1,
+                                      store=DiskStore(str(tmp_path))))
+        other_k.attribute_lineages([lineage])
+        assert other_k.stats.store_hits == 0
