@@ -52,6 +52,7 @@ from repro.dtree.compile import CompilationBudget, compile_dnf
 from repro.engine import (
     AttributionService,
     CacheStore,
+    CompiledLineage,
     DiskStore,
     Engine,
     EngineConfig,
@@ -68,6 +69,7 @@ __all__ = [
     "AttributionService",
     "CacheStore",
     "CompilationBudget",
+    "CompiledLineage",
     "ConjunctiveQuery",
     "DNF",
     "Database",

@@ -36,9 +36,11 @@ JSON Lines request file (one ``{"op": "attribute"|"rank"|"topk", "query":
 ...}`` object per line; ``-`` reads stdin), printing one JSON response
 per line; ``--store DIR`` adds the on-disk cache tier and ``--warm-start``
 preloads it into memory.  ``cache save`` computes the given queries and
-persists the resulting cache entries for later warm starts; ``cache
-load`` verifies a store by loading it into a fresh engine; ``cache
-stats`` prints the store's entry/shard/size summary.
+persists the resulting cache entries -- results *and* compiled-lineage
+artifacts, so a later process skips recompilation too -- for warm
+starts; ``cache load`` verifies a store by loading it into a fresh
+engine; ``cache stats`` prints the store's per-kind (results vs compiled
+trees) entry/shard/size summary.
 """
 
 from __future__ import annotations
@@ -386,7 +388,8 @@ def _cache_command(argv: Sequence[str], stream) -> int:
     _add_store_argument(load, required=True)
 
     stats = actions.add_parser(
-        "stats", help="print the store's entry/shard/size summary")
+        "stats", help="print the store's per-kind (results vs compiled "
+                      "trees) entry/shard/size summary")
     _add_store_argument(stats, required=True)
 
     arguments = parser.parse_args(list(argv))
@@ -399,10 +402,14 @@ def _cache_command(argv: Sequence[str], stream) -> int:
         return 0
 
     if arguments.action == "load":
+        store = _open_store(arguments)
         engine = Engine(EngineConfig())
-        loaded = engine.load_cache(_open_store(arguments))
-        print(f"loaded {loaded} cache entries from {arguments.store}",
-              file=stream)
+        loaded = engine.load_cache(store)
+        # Report the store's true artifact count, not the (LRU-capped)
+        # number that fit in the fresh engine's memory tier.
+        artifacts = store.artifact_count()
+        print(f"loaded {loaded} cache entries and {artifacts} compiled "
+              f"artifacts from {arguments.store}", file=stream)
         return 0
 
     # save: compute the queries with a memory-only engine, then persist.
@@ -424,8 +431,11 @@ def _cache_command(argv: Sequence[str], stream) -> int:
     else:
         for _query, _results in engine.attribute_many(queries, database):
             pass
-    written = engine.save_cache(_open_store(arguments))
-    print(f"saved {written} cache entries to {arguments.store} "
+    store = _open_store(arguments)
+    written = engine.save_cache(store)
+    artifacts = store.stats()["kinds"]["compiled_trees"]["entries"]
+    print(f"saved {written} cache entries and {artifacts} compiled "
+          f"artifacts to {arguments.store} "
           f"({engine.stats.compilations} computed, "
           f"{engine.stats.cache_hits} served from memory)", file=stream)
     return 0

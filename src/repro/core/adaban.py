@@ -87,11 +87,22 @@ def _initial_interval(function: DNF, variable: int) -> Interval:
 
 
 class _AnytimeState:
-    """Shared partial d-tree plus per-variable best intervals."""
+    """Shared partial d-tree plus per-variable best intervals.
 
-    def __init__(self, function: DNF, heuristic: Heuristic) -> None:
+    ``compiler`` may carry an already (partially) expanded compilation to
+    resume — e.g. one rebuilt from a persisted
+    :class:`~repro.engine.artifact.CompiledLineage` — instead of starting
+    from the undecomposed lineage.  The resumed tree must represent the
+    same function; refinement then starts from its current frontier, so
+    work a previous run (or process) paid for is never redone.
+    """
+
+    def __init__(self, function: DNF, heuristic: Heuristic,
+                 compiler: Optional[IncrementalCompiler] = None) -> None:
         self.function = function
-        self.compiler = IncrementalCompiler(function, heuristic=heuristic)
+        self.compiler = (compiler if compiler is not None
+                         else IncrementalCompiler(function,
+                                                  heuristic=heuristic))
         self.best: Dict[int, Interval] = {}
 
     def refine(self, variable: int) -> Interval:
@@ -143,8 +154,26 @@ def adaban_all(function: DNF, epsilon: float = 0.1,
     far enough that later variables converge with few or no extra expansions.
     """
     state = _AnytimeState(function, heuristic)
+    return adaban_over_state(state, epsilon=epsilon, variables=variables,
+                             max_steps=max_steps,
+                             timeout_seconds=timeout_seconds)
+
+
+def adaban_over_state(state: _AnytimeState, epsilon: float = 0.1,
+                      variables: Optional[Sequence[int]] = None,
+                      max_steps: Optional[int] = None,
+                      timeout_seconds: Optional[float] = None
+                      ) -> Dict[int, AdaBanResult]:
+    """:func:`adaban_all` over a caller-owned anytime state.
+
+    The engine uses this to *resume* refinement from a cached or persisted
+    partial d-tree (``state`` built via :func:`shared_state` with a resumed
+    compiler) and to keep the state — and its partial tree — in hand when
+    the budget runs out, so the work survives an
+    :class:`ApproximationTimeout` instead of dying with the call.
+    """
     if variables is None:
-        variables = sorted(function.variables)
+        variables = sorted(state.function.variables)
     deadline = (time.monotonic() + timeout_seconds
                 if timeout_seconds is not None else None)
     results: Dict[int, AdaBanResult] = {}
@@ -226,6 +255,12 @@ def adaban_trace(function: DNF, variable: int,
 
 
 def shared_state(function: DNF,
-                 heuristic: Heuristic = select_most_frequent) -> _AnytimeState:
-    """Create a shareable anytime state (used by IchiBan)."""
-    return _AnytimeState(function, heuristic)
+                 heuristic: Heuristic = select_most_frequent,
+                 compiler: Optional[IncrementalCompiler] = None
+                 ) -> _AnytimeState:
+    """Create a shareable anytime state (used by IchiBan and the engine).
+
+    ``compiler`` resumes an existing (partially expanded) compilation;
+    see :class:`_AnytimeState`.
+    """
+    return _AnytimeState(function, heuristic, compiler=compiler)

@@ -262,11 +262,18 @@ def _rank_controller(epsilon: Optional[float]) -> Controller:
 
 
 class _IchiBanRun:
-    """Shared driver for ranking and top-k (used directly by the engine)."""
+    """Shared driver for ranking and top-k (used directly by the engine).
+
+    ``compiler`` resumes an already (partially) expanded compilation of
+    the same function — e.g. the frontier of a persisted partial d-tree —
+    so the run's first refinement round starts from the resumed tree's
+    bounds instead of the trivial ones.
+    """
 
     def __init__(self, function: DNF, heuristic: Heuristic,
-                 variables: Optional[Sequence[int]] = None) -> None:
-        self.state = _AnytimeState(function, heuristic)
+                 variables: Optional[Sequence[int]] = None,
+                 compiler=None) -> None:
+        self.state = _AnytimeState(function, heuristic, compiler=compiler)
         if variables is None:
             variables = sorted(function.variables)
         self.variables = list(variables)

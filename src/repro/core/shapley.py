@@ -177,15 +177,20 @@ def _complement_raw(vector: Sequence[int], n: int) -> List[int]:
 
 def critical_counts_exact(function: DNF, variable: int,
                           heuristic: Heuristic = select_most_frequent,
-                          budget: CompilationBudget | None = None) -> List[int]:
+                          budget: CompilationBudget | None = None,
+                          tree: DTreeNode | None = None) -> List[int]:
     """Exact critical-set counts ``#kC`` of ``variable`` via the d-tree.
 
     Entry ``k`` counts the critical sets of size ``k``; the list has
     ``n`` entries for a function over ``n`` variables (sizes 0..n-1).
+    ``tree`` supplies an already compiled *complete* d-tree of the same
+    function, skipping compilation entirely (the engine's shared-artifact
+    path); otherwise one is compiled under ``budget``.
     """
     if variable not in function.domain:
         raise ValueError(f"variable {variable} not in the function's domain")
-    tree = compile_dnf(function, heuristic=heuristic, budget=budget)
+    if tree is None:
+        tree = compile_dnf(function, heuristic=heuristic, budget=budget)
     vectors = _vectors(tree, variable)
     n = function.num_variables()
     counts = []
@@ -198,10 +203,11 @@ def critical_counts_exact(function: DNF, variable: int,
 
 def shapley_exact(function: DNF, variable: int,
                   heuristic: Heuristic = select_most_frequent,
-                  budget: CompilationBudget | None = None) -> Fraction:
+                  budget: CompilationBudget | None = None,
+                  tree: DTreeNode | None = None) -> Fraction:
     """Exact Shapley value of ``variable`` in a positive DNF function."""
     counts = critical_counts_exact(function, variable, heuristic=heuristic,
-                                   budget=budget)
+                                   budget=budget, tree=tree)
     n = function.num_variables()
     total = Fraction(0)
     n_factorial = factorial(n)
@@ -215,12 +221,20 @@ def shapley_exact(function: DNF, variable: int,
 
 def shapley_all(function: DNF,
                 heuristic: Heuristic = select_most_frequent,
-                budget: CompilationBudget | None = None
-                ) -> Dict[int, Fraction]:
-    """Exact Shapley values of all variables occurring in the function."""
+                budget: CompilationBudget | None = None,
+                tree: DTreeNode | None = None) -> Dict[int, Fraction]:
+    """Exact Shapley values of all variables occurring in the function.
+
+    The d-tree is compiled **once** and shared across variables (it is a
+    function of the lineage alone); pass ``tree`` to reuse a complete
+    d-tree compiled by another method — the compiled-lineage artifact
+    tier — and skip compilation here entirely.
+    """
+    if tree is None:
+        tree = compile_dnf(function, heuristic=heuristic, budget=budget)
     return {
         variable: shapley_exact(function, variable, heuristic=heuristic,
-                                budget=budget)
+                                budget=budget, tree=tree)
         for variable in sorted(function.variables)
     }
 

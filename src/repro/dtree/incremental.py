@@ -70,6 +70,31 @@ class IncrementalCompiler:
             leaf for leaf in self.root.iter_leaves() if isinstance(leaf, DNFLeaf)
         }
 
+    @classmethod
+    def resume(cls, root: DTreeNode,
+               heuristic: Heuristic = select_most_frequent,
+               shannon_steps: int = 0,
+               expansion_steps: int = 0) -> "IncrementalCompiler":
+        """Adopt an existing (possibly partial) tree and continue expanding it.
+
+        The open-leaf frontier is re-derived from the tree itself, so a
+        deserialized partial d-tree (:mod:`repro.dtree.serialize`) resumes
+        exactly where the process that persisted it stopped.  ``root`` is
+        adopted as-is and will be mutated; pass a private copy
+        (:func:`~repro.dtree.serialize.clone_tree`) when the original must
+        stay pristine.  The step counters seed the cumulative totals a
+        persisted compilation already paid for.
+        """
+        compiler = cls.__new__(cls)
+        compiler._heuristic = heuristic
+        compiler.root = root
+        compiler.shannon_steps = shannon_steps
+        compiler.expansion_steps = expansion_steps
+        compiler._open_leaves = {
+            leaf for leaf in root.iter_leaves() if isinstance(leaf, DNFLeaf)
+        }
+        return compiler
+
     # ------------------------------------------------------------------ #
     # Leaf selection
     # ------------------------------------------------------------------ #

@@ -111,6 +111,16 @@ class DTreeNode:
         """Replace a direct child (used by the incremental compiler)."""
         raise TypeError(f"{type(self).__name__} has no children to replace")
 
+    def clone_shallow(self, children: List["DTreeNode"]) -> "DTreeNode":
+        """A fresh node with the same payload but the given children.
+
+        Leaves ignore ``children``; inner nodes adopt them.  This is the
+        per-node hook behind :func:`repro.dtree.serialize.clone_tree`,
+        which copies whole (possibly partial) trees iteratively so that a
+        resumed compilation never mutates a cached or persisted tree.
+        """
+        raise NotImplementedError
+
 
 # ---------------------------------------------------------------------- #
 # Leaves
@@ -133,6 +143,9 @@ class TrueLeaf(DTreeNode):
     def evaluate(self, true_variables: FrozenSet[int]) -> bool:
         return True
 
+    def clone_shallow(self, children: List[DTreeNode]) -> "TrueLeaf":
+        return TrueLeaf(self._domain)
+
     def __repr__(self) -> str:
         return f"TrueLeaf(|domain|={len(self._domain)})"
 
@@ -152,6 +165,9 @@ class FalseLeaf(DTreeNode):
 
     def evaluate(self, true_variables: FrozenSet[int]) -> bool:
         return False
+
+    def clone_shallow(self, children: List[DTreeNode]) -> "FalseLeaf":
+        return FalseLeaf(self._domain)
 
     def __repr__(self) -> str:
         return f"FalseLeaf(|domain|={len(self._domain)})"
@@ -180,6 +196,9 @@ class LiteralLeaf(DTreeNode):
         value = self.variable in true_variables
         return not value if self.negated else value
 
+    def clone_shallow(self, children: List[DTreeNode]) -> "LiteralLeaf":
+        return LiteralLeaf(self.variable, self.negated)
+
     def __repr__(self) -> str:
         prefix = "~" if self.negated else ""
         return f"LiteralLeaf({prefix}x{self.variable})"
@@ -207,6 +226,10 @@ class DNFLeaf(DTreeNode):
 
     def evaluate(self, true_variables: FrozenSet[int]) -> bool:
         return self.function.evaluate(true_variables)
+
+    def clone_shallow(self, children: List[DTreeNode]) -> "DNFLeaf":
+        # DNF objects are immutable, so the function is shared by design.
+        return DNFLeaf(self.function)
 
     def __repr__(self) -> str:
         return (f"DNFLeaf(vars={len(self.function.variables)}, "
@@ -251,6 +274,9 @@ class _InnerNode(DTreeNode):
                 old.parent = None
                 return
         raise ValueError("node to replace is not a child of this node")
+
+    def clone_shallow(self, children: List[DTreeNode]) -> "_InnerNode":
+        return type(self)(children)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({len(self._children)} children)"

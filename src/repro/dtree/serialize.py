@@ -1,0 +1,186 @@
+"""Exact, versioned (de)serialization of d-trees — complete *and* partial.
+
+Compiled d-trees used to be an in-process-only artifact: linked object
+graphs that died with the process.  This module gives them a stable,
+JSON-serializable wire form so the engine can persist a compilation —
+including a *partial* tree whose :class:`~repro.dtree.nodes.DNFLeaf`
+frontier the anytime compilers can resume — and a warm-started process
+can pick up exactly where a previous one stopped.
+
+The encoding is a nested-list structure (no floats anywhere, so the
+round-trip is exact by construction):
+
+* ``["T", [domain...]]`` / ``["F", [domain...]]`` — constants;
+* ``["L", variable, negated]`` — a literal leaf;
+* ``["D", [domain...], [[clause...]...]]`` — an undecomposed DNF leaf
+  (the resumable frontier of a partial tree);
+* ``["&", [children...]]`` / ``["|", [children...]]`` /
+  ``["^", [children...]]`` — ``DecompAnd`` / ``DecompOr`` /
+  ``ExclusiveOr``.
+
+Both directions are **iterative** (explicit stacks), so arbitrarily deep
+Shannon chains never depend on the interpreter recursion limit.
+:func:`decode_tree` validates as it builds — unknown tags, malformed
+payloads, or structurally invalid nodes raise ``ValueError``, which the
+store tier treats as corruption (recompute, never crash).
+
+``TREE_FORMAT_VERSION`` is bumped on any incompatible change; persisted
+artifacts recording a different version are discarded by their readers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.boolean.dnf import DNF
+from repro.dtree.nodes import (
+    DecompAnd,
+    DecompOr,
+    DNFLeaf,
+    DTreeNode,
+    ExclusiveOr,
+    FalseLeaf,
+    LiteralLeaf,
+    TrueLeaf,
+)
+
+#: Wire-format version of the tree encoding below (see module docstring).
+TREE_FORMAT_VERSION = 1
+
+_INNER_TAGS = {DecompAnd: "&", DecompOr: "|", ExclusiveOr: "^"}
+_TAG_NODES = {"&": DecompAnd, "|": DecompOr, "^": ExclusiveOr}
+
+
+def encode_tree(root: DTreeNode) -> list:
+    """JSON-serializable form of a (complete or partial) d-tree.
+
+    Deterministic: domains and clauses are emitted sorted, so equal trees
+    encode to equal structures (useful as a structural-equality check).
+    """
+    encoded: Dict[int, list] = {}
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            encoded[id(node)] = [
+                _INNER_TAGS[type(node)],
+                [encoded.pop(id(child)) for child in node.children()],
+            ]
+            continue
+        if isinstance(node, TrueLeaf):
+            encoded[id(node)] = ["T", sorted(node.domain)]
+        elif isinstance(node, FalseLeaf):
+            encoded[id(node)] = ["F", sorted(node.domain)]
+        elif isinstance(node, LiteralLeaf):
+            encoded[id(node)] = ["L", node.variable, bool(node.negated)]
+        elif isinstance(node, DNFLeaf):
+            encoded[id(node)] = [
+                "D",
+                sorted(node.function.domain),
+                sorted(sorted(clause) for clause in node.function.clauses),
+            ]
+        elif type(node) in _INNER_TAGS:
+            stack.append((node, True))
+            for child in node.children():
+                stack.append((child, False))
+        else:
+            raise TypeError(
+                f"cannot serialize d-tree node type {type(node).__name__}")
+    return encoded[id(root)]
+
+
+def _decode_leaf(tag: str, payload: list) -> DTreeNode:
+    if tag == "T":
+        (domain,) = payload
+        return TrueLeaf(int(v) for v in domain)
+    if tag == "F":
+        (domain,) = payload
+        return FalseLeaf(int(v) for v in domain)
+    if tag == "L":
+        variable, negated = payload
+        if not isinstance(negated, bool):
+            raise ValueError(f"malformed literal negation {negated!r}")
+        return LiteralLeaf(int(variable), negated)
+    if tag == "D":
+        domain, clauses = payload
+        function = DNF([tuple(int(v) for v in clause) for clause in clauses],
+                       domain=[int(v) for v in domain])
+        return DNFLeaf(function)
+    raise ValueError(f"unknown d-tree node tag {tag!r}")
+
+
+def decode_tree(encoded: object) -> DTreeNode:
+    """Inverse of :func:`encode_tree`; raises ``ValueError`` on bad input.
+
+    The decoded tree satisfies the structural d-tree invariants
+    (:meth:`~repro.dtree.nodes.DTreeNode.validate` is run on the result),
+    so downstream evaluators never crash on a tampered or truncated
+    artifact — the error surfaces here, where callers expect it.
+    """
+    try:
+        built: Dict[int, DTreeNode] = {}
+        stack = [(encoded, False)]
+        while stack:
+            obj, expanded = stack.pop()
+            if not isinstance(obj, (list, tuple)) or not obj:
+                raise ValueError(f"malformed d-tree node {obj!r}")
+            tag = obj[0]
+            if expanded:
+                children = [built.pop(id(child)) for child in obj[1]]
+                built[id(obj)] = _TAG_NODES[tag](children)
+                continue
+            if tag in _TAG_NODES:
+                if len(obj) != 2 or not isinstance(obj[1], (list, tuple)) \
+                        or not obj[1]:
+                    raise ValueError(f"malformed inner node {obj!r}")
+                stack.append((obj, True))
+                for child in obj[1]:
+                    stack.append((child, False))
+            else:
+                built[id(obj)] = _decode_leaf(tag, list(obj[1:]))
+        root = built[id(encoded)]
+        root.validate()
+        return root
+    except ValueError:
+        raise
+    except Exception as error:  # malformed payloads of any other shape
+        raise ValueError(f"malformed d-tree encoding: {error}") from error
+
+
+def clone_tree(root: DTreeNode) -> DTreeNode:
+    """A structurally identical private copy of a (possibly partial) tree.
+
+    Used before resuming a persisted or cached partial compilation: the
+    incremental compiler mutates trees in place, and the cached artifact
+    must stay pristine for other readers.  Iterative, like the codec.
+    """
+    cloned: Dict[int, DTreeNode] = {}
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        children = node.children()
+        if expanded:
+            cloned[id(node)] = node.clone_shallow(
+                [cloned.pop(id(child)) for child in children])
+            continue
+        if children:
+            stack.append((node, True))
+            for child in children:
+                stack.append((child, False))
+        else:
+            cloned[id(node)] = node.clone_shallow([])
+    return cloned[id(root)]
+
+
+def trees_equal(left: DTreeNode, right: DTreeNode) -> bool:
+    """Structural equality of two d-trees (same shapes, domains, leaves)."""
+    return encode_tree(left) == encode_tree(right)
+
+
+__all__ = [
+    "TREE_FORMAT_VERSION",
+    "clone_tree",
+    "decode_tree",
+    "encode_tree",
+    "trees_equal",
+]

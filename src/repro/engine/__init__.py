@@ -13,7 +13,20 @@ of tiers behind a stream of attribute/rank/topk requests.  See
 public surface, and :mod:`repro.engine.engine` for the pipeline details.
 """
 
-from repro.engine.cache import CachedAttribution, LineageCache, LRUCache, ResultKey
+from repro.engine.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    CompiledLineage,
+    complete_compilation,
+    decode_artifact,
+    encode_artifact,
+)
+from repro.engine.cache import (
+    CachedAttribution,
+    LineageCache,
+    LRUCache,
+    ResultKey,
+    canonical_epsilon,
+)
 from repro.engine.canonical import CanonicalKey, CanonicalLineage, canonicalize
 from repro.engine.engine import (
     Engine,
@@ -32,16 +45,20 @@ from repro.engine.store import (
     CacheStore,
     DiskStore,
     MemoryStore,
+    load_artifacts,
     load_results,
+    save_artifacts,
     save_results,
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT_VERSION",
     "AttributionService",
     "CachedAttribution",
     "CacheStore",
     "CanonicalKey",
     "CanonicalLineage",
+    "CompiledLineage",
     "DiskStore",
     "Engine",
     "EngineConfig",
@@ -56,11 +73,17 @@ __all__ = [
     "RequestError",
     "ResultKey",
     "STORE_FORMAT_VERSION",
+    "canonical_epsilon",
     "canonicalize",
+    "complete_compilation",
     "compute_ranking",
+    "decode_artifact",
+    "encode_artifact",
     "engine_for",
     "ensure_recursion_head_room",
+    "load_artifacts",
     "load_results",
+    "save_artifacts",
     "save_results",
     "serve_jsonl",
 ]

@@ -10,9 +10,13 @@ entry serves any downstream ranking or top-k read.
 Because entries live in canonical space they are shared by every answer --
 of any query -- whose lineage is isomorphic.
 
-Compiled d-trees are cached separately and only in-process (they are linked
-object graphs, cheap to reuse but pointless to ship across processes); the
-result cache is what makes repeat traffic fast.
+Compiled d-trees live in a third, method-independent tier: the
+compiled-lineage **artifact** cache (:mod:`repro.engine.artifact`), keyed
+by canonical lineage *alone* — no method, no epsilon, no k — because a
+d-tree is a function of the lineage and nothing else.  Complete and
+partial (resumable) artifacts both live there; since they are exactly
+serializable they also flow through the persistent store tier, so
+compilation survives process restarts exactly like results do.
 
 Since the store tier (:mod:`repro.engine.store`) this cache is the *first*
 of two result tiers: the engine falls through memory -> store -> compute,
@@ -28,14 +32,34 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar, Union
 
 from repro.engine.canonical import CanonicalKey
 
 #: Cache key of a result: canonical lineage plus the method configuration
 #: that produced it (epsilon for every epsilon-dependent method, k for
-#: top-k).
-ResultKey = Tuple[CanonicalKey, str, Optional[float], Optional[int]]
+#: top-k).  The epsilon slot carries the *canonical* exact encoding
+#: produced by :func:`canonical_epsilon` — an exact ``Fraction`` — never
+#: a raw float, so equivalent configurations can neither split nor alias
+#: entries across tiers or processes.
+ResultKey = Tuple[CanonicalKey, str, Optional[Fraction], Optional[int]]
+
+
+def canonical_epsilon(epsilon: Union[float, int, Fraction, None]
+                      ) -> Optional[Fraction]:
+    """One exact canonical encoding of an epsilon (``None`` passes through).
+
+    Floats are expanded to their exact binary value (``Fraction(0.1)``,
+    not the decimal 1/10), so the encoding is lossless and two epsilons
+    key the same entry iff they denote the same number — regardless of
+    which numeric type, process, or tier produced them.  Python's
+    cross-type numeric hashing makes the ``Fraction`` hash/compare equal
+    to the float it came from, so canonical keys interoperate with
+    float-carrying callers.
+    """
+    if epsilon is None:
+        return None
+    return Fraction(epsilon)
 
 #: Methods whose cached values depend on epsilon: ``approximate`` outright,
 #: ``auto`` through its AdaBan fallback (each Engine pins one epsilon, but
@@ -131,37 +155,43 @@ class LRUCache(Generic[_V]):
 
 
 class LineageCache:
-    """The engine's two-level memo: results (primary) and compiled d-trees.
+    """The engine's two-level memo: results (primary) and compiled artifacts.
 
     Result entries are small (per-variable Fractions keyed by tuples of int
     tuples), so the default of 4096 is only a few megabytes for typical
-    workload lineages.  Compiled d-trees can be arbitrarily large object
-    graphs, so they get a much smaller independent bound
-    (``dtree_entries``): the result cache, not the tree cache, is what
-    serves repeat traffic.
+    workload lineages.  Compiled-lineage artifacts
+    (:class:`~repro.engine.artifact.CompiledLineage`: a complete d-tree,
+    or a partial one plus its resumable frontier) can be arbitrarily
+    large object graphs, so they get a much smaller independent bound
+    (``artifact_entries``).  Artifacts are keyed by
+    :data:`~repro.engine.canonical.CanonicalKey` alone — one compilation
+    serves every method, epsilon and k over that lineage.
     """
 
     def __init__(self, max_entries: int = 4096,
-                 dtree_entries: int = 256) -> None:
+                 artifact_entries: int = 256) -> None:
         self.results: LRUCache[CachedAttribution] = LRUCache(max_entries)
-        self.dtrees: LRUCache[object] = LRUCache(dtree_entries)
+        self.artifacts: LRUCache[object] = LRUCache(artifact_entries)
 
     @staticmethod
     def result_key(key: CanonicalKey, method: str,
-                   epsilon: Optional[float],
+                   epsilon: Union[float, Fraction, None],
                    k: Optional[int] = None) -> ResultKey:
         """Build the result-cache key.
 
         Epsilon is kept for every epsilon-dependent method -- including
         ``auto``, whose fallback values depend on it -- and dropped for the
-        exact methods (``exact``/``shapley``), whose results never do.
-        ``k`` is kept for ``topk`` only.
+        exact methods (``exact``/``shapley``), whose results never do; it
+        is normalized through :func:`canonical_epsilon` so float-repr
+        drift can never split or alias equivalent entries.  ``k`` is kept
+        for ``topk`` only.
         """
         return (key, method,
-                epsilon if method in _EPSILON_METHODS else None,
+                canonical_epsilon(epsilon) if method in _EPSILON_METHODS
+                else None,
                 k if method == "topk" else None)
 
     def clear(self) -> None:
         """Drop both cache levels."""
         self.results.clear()
-        self.dtrees.clear()
+        self.artifacts.clear()

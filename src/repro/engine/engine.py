@@ -11,19 +11,27 @@ lineages) it runs a four-stage pipeline:
    cache tiers -- the in-memory lineage cache first, then the optional
    persistent store (:mod:`repro.engine.store`) -- deduplicating
    isomorphic answers within the batch;
-3. **compute** -- for the distinct cache misses, compile d-trees and run the
-   selected algorithm, either serially or fanned out over a
+3. **compute**, split into **compile-once / evaluate-per-method** -- each
+   distinct cache miss first obtains its lineage's
+   :class:`~repro.engine.artifact.CompiledLineage` (memory artifact cache
+   -> store artifact tier -> fresh), then the selected algorithm
+   *evaluates* it: a complete artifact is evaluated exactly by every
+   method, a partial one is resumed from its persisted frontier, and the
+   updated artifact is written back so the compilation is paid at most
+   once per canonical lineage -- across methods, epsilons, k values and
+   (via the store) processes.  Batches may also fan out over a
    ``concurrent.futures`` process pool with chunked scheduling and a
-   transparent serial fallback;
+   transparent serial fallback (artifacts never cross the pool boundary);
 4. **assemble** -- translate canonical-space values back through each
    answer's variable mapping and attach database facts.
 
-Freshly computed converged results are written back to every configured
-tier, so a process with an :class:`~repro.engine.store.DiskStore` leaves a
-warm cache behind for the next process (see
-:meth:`Engine.save_cache`/:meth:`Engine.load_cache` for the explicit
-warm-start flow, and :mod:`repro.engine.serve` for the long-lived serving
-loop built on top).
+Freshly computed converged results -- and fresh or further-refined
+compilation artifacts, converged or not -- are written back to every
+configured tier, so a process with an
+:class:`~repro.engine.store.DiskStore` leaves a warm cache behind for the
+next process (see :meth:`Engine.save_cache`/:meth:`Engine.load_cache` for
+the explicit warm-start flow, and :mod:`repro.engine.serve` for the
+long-lived serving loop built on top).
 
 Method selection mirrors the paper's fallback story (Tables 4 and 6):
 ``method="auto"`` tries exact ExaBan under a compilation budget and falls
@@ -76,7 +84,7 @@ from typing import (
 )
 
 from repro.boolean.dnf import DNF
-from repro.core.adaban import adaban_all
+from repro.core.adaban import adaban_over_state, shared_state
 from repro.core.exaban import exaban_all
 from repro.core.ichiban import RankedVariable, ranked_from_bounds
 from repro.core.shapley import shapley_all
@@ -88,11 +96,18 @@ from repro.dtree.compile import (
     CompilationLimitReached,
     compile_dnf,
 )
+from repro.engine.artifact import CompiledLineage, complete_compilation
 from repro.engine.cache import CachedAttribution, LineageCache
-from repro.engine.canonical import CanonicalLineage, canonicalize
+from repro.engine.canonical import CanonicalKey, CanonicalLineage, canonicalize
 from repro.engine.ranking import compute_ranking
 from repro.engine.stats import EngineStats
-from repro.engine.store import CacheStore, load_results, save_results
+from repro.engine.store import (
+    CacheStore,
+    load_artifacts,
+    load_results,
+    save_artifacts,
+    save_results,
+)
 
 EngineMethod = Literal["auto", "exact", "approximate", "shapley",
                        "rank", "topk"]
@@ -167,9 +182,11 @@ class EngineConfig:
     cache_size:
         Capacity of the result cache (entries).
     dtree_cache_size:
-        Capacity of the in-process compiled-d-tree cache; kept much
-        smaller than the result cache because trees can be large object
-        graphs.
+        Capacity of the in-memory compiled-lineage artifact cache
+        (:class:`~repro.engine.artifact.CompiledLineage` entries, keyed
+        by canonical lineage alone); kept much smaller than the result
+        cache because trees can be large object graphs.  With a store
+        configured, artifacts additionally persist to its artifact tier.
     domain:
         Lineage domain policy, forwarded to
         :func:`repro.db.lineage.lineage_of_answers`.
@@ -246,75 +263,149 @@ def _effective_shannon_steps(method: EngineMethod,
 
 
 def _approximate(function: DNF, epsilon: float,
-                 timeout_seconds: Optional[float]) -> CachedAttribution:
-    approx = adaban_all(function, epsilon=epsilon,
-                        timeout_seconds=timeout_seconds)
+                 timeout_seconds: Optional[float],
+                 compiler=None,
+                 artifact_sink=None
+                 ) -> Tuple[CachedAttribution, CompiledLineage]:
+    """AdaBan over an owned anytime state; returns (result, artifact).
+
+    ``compiler`` resumes a partial compilation (fresh state otherwise);
+    the state's tree survives either way -- returned as the artifact on
+    success, handed to ``artifact_sink`` before an
+    ``ApproximationTimeout`` propagates, so even a failed attempt leaves
+    resumable progress behind.
+    """
+    state = shared_state(function, compiler=compiler)
+    try:
+        approx = adaban_over_state(state, epsilon=epsilon,
+                                   timeout_seconds=timeout_seconds)
+    except Exception:
+        if artifact_sink is not None:
+            artifact_sink(CompiledLineage.from_compiler(state.compiler))
+        raise
     return CachedAttribution(
         method_used="approximate",
         values={v: Fraction(r.estimate) for v, r in approx.items()},
         bounds={v: (r.lower, r.upper) for v, r in approx.items()},
-    )
+    ), CompiledLineage.from_compiler(state.compiler)
+
+
+def _complete_artifact(function: DNF, artifact: Optional[CompiledLineage],
+                       budget: CompilationBudget,
+                       partial_slot: list) -> CompiledLineage:
+    """Obtain a *complete* artifact: reuse, resume-and-finish, or compile.
+
+    On budget exhaustion mid-resume the mid-flight compiler is left in
+    ``partial_slot`` (a one-element list) so the caller can keep the
+    progress -- feed it to the ``auto`` fallback, or persist it --
+    before the ``CompilationLimitReached`` propagates.
+    """
+    if artifact is not None and artifact.complete:
+        return artifact
+    if artifact is not None:
+        compiler = artifact.resume_compiler()
+        partial_slot.append(compiler)
+        complete_compilation(compiler, budget)
+        return CompiledLineage.from_compiler(compiler)
+    tree = compile_dnf(function, budget=budget)
+    return CompiledLineage.from_complete_tree(
+        tree, shannon_steps=budget.shannon_steps)
 
 
 def _compute_canonical(function: DNF, method: EngineMethod,
                        epsilon: Optional[float],
                        max_shannon_steps: Optional[int],
                        timeout_seconds: Optional[float],
-                       tree: object = None,
-                       k: Optional[int] = None
-                       ) -> Tuple[CachedAttribution, bool, object, int]:
-    """Attribute one canonical lineage.
+                       artifact: Optional[CompiledLineage] = None,
+                       k: Optional[int] = None,
+                       artifact_sink=None
+                       ) -> Tuple[CachedAttribution, bool,
+                                  Optional[CompiledLineage], int]:
+    """Attribute one canonical lineage (the evaluate-per-method stage).
 
-    Returns ``(result, fell_back, tree, refinement_rounds)``.  ``tree``
-    may carry an already compiled d-tree (from the in-process d-tree
-    cache); it is consulted by the exact and ranking methods, and any tree
-    built during the computation -- an exact compilation, or an anytime
-    ranking run that happened to complete its tree -- is handed back so
-    the caller can cache it.
+    Returns ``(result, fell_back, artifact, refinement_rounds)``.
+    ``artifact`` may carry the lineage's compilation state from the
+    artifact tier: every method evaluates a *complete* artifact directly
+    (no compilation at all) and *resumes* a partial one from its
+    frontier; the artifact handed back -- fresh, reused, or further
+    refined -- is what the caller caches/persists.  ``artifact_sink``
+    receives partial progress when a computation fails (budget
+    exhaustion), so the work survives the raised exception.
     """
     if method in ("rank", "topk"):
         # The configured step budget bounds the anytime run's bound
         # evaluations -- the ranking analogue of the Shannon budget, so
         # a budgeted engine never runs a ranking unbounded either.
         computation = compute_ranking(function, method, k, epsilon,
-                                      timeout_seconds, tree=tree,
+                                      timeout_seconds, artifact=artifact,
                                       max_steps=max_shannon_steps)
-        return (computation.outcome, False, computation.tree,
+        return (computation.outcome, False, computation.artifact,
                 computation.rounds)
     if method == "approximate":
-        return _approximate(function, epsilon, timeout_seconds), False, None, 0
+        if artifact is not None and artifact.complete:
+            # A complete artifact makes any epsilon free: read the exact
+            # values (a valid approximation for every epsilon) directly,
+            # without cloning or re-persisting the tree.  As under
+            # ``auto``, ``method_used`` records what actually ran.
+            occurring = function.variables
+            raw = exaban_all(artifact.root)
+            return CachedAttribution(
+                method_used="exact",
+                values={v: Fraction(value) for v, value in raw.items()
+                        if v in occurring},
+                bounds={v: (value, value) for v, value in raw.items()
+                        if v in occurring},
+            ), False, artifact, 0
+        compiler = (artifact.resume_compiler() if artifact is not None
+                    else None)
+        outcome, artifact_out = _approximate(function, epsilon,
+                                             timeout_seconds,
+                                             compiler=compiler,
+                                             artifact_sink=artifact_sink)
+        return outcome, False, artifact_out, 0
 
     steps = _effective_shannon_steps(method, max_shannon_steps)
     budget = CompilationBudget(max_shannon_steps=steps,
                                timeout_seconds=timeout_seconds)
-    if method == "shapley":
-        values = shapley_all(function, budget=budget)
-        return CachedAttribution(method_used="shapley",
-                                 values=dict(values)), False, None, 0
-
     started = time.monotonic()
+    partial_slot: list = []
     try:
-        if tree is None:
-            tree = compile_dnf(function, budget=budget)
-        raw = exaban_all(tree)
+        artifact_out = _complete_artifact(function, artifact, budget,
+                                          partial_slot)
+        if method == "shapley":
+            values = shapley_all(function, tree=artifact_out.root)
+            return (CachedAttribution(method_used="shapley",
+                                      values=dict(values)),
+                    False, artifact_out, 0)
+        raw = exaban_all(artifact_out.root)
     except (CompilationLimitReached, RecursionError):
+        compiler = partial_slot[0] if partial_slot else None
         if method != "auto":
+            if compiler is not None and artifact_sink is not None:
+                artifact_sink(CompiledLineage.from_compiler(compiler))
             raise
         # The fallback shares the wall-clock budget: AdaBan only gets what
-        # the failed exact attempt left over.  If it cannot certify epsilon
-        # in that remainder, ApproximationTimeout propagates (the
-        # experiment runner records it as a failure, matching the paper's
-        # Table 6 where AdaBan too fails on some instances).
+        # the failed exact attempt left over -- and it *continues from*
+        # the partial tree that attempt built (when there is one), so the
+        # budget spent on the exact side is not thrown away.  If it cannot
+        # certify epsilon in that remainder, ApproximationTimeout
+        # propagates (the experiment runner records it as a failure,
+        # matching the paper's Table 6 where AdaBan too fails on some
+        # instances).
         remaining = None
         if timeout_seconds is not None:
             remaining = max(0.0, timeout_seconds
                             - (time.monotonic() - started))
-        return _approximate(function, epsilon, remaining), True, None, 0
+        outcome, fallback_artifact = _approximate(function, epsilon,
+                                                  remaining,
+                                                  compiler=compiler,
+                                                  artifact_sink=artifact_sink)
+        return outcome, True, fallback_artifact, 0
     return CachedAttribution(
         method_used="exact",
         values={v: Fraction(value) for v, value in raw.items()},
         bounds={v: (value, value) for v, value in raw.items()},
-    ), False, tree, 0
+    ), False, artifact_out, 0
 
 
 def _worker_compute_chunk(payload: Tuple
@@ -477,10 +568,12 @@ class Engine:
         self.stats.reset()
 
     def save_cache(self, store: Optional[CacheStore] = None) -> int:
-        """Persist the warm in-memory result tier into a store.
+        """Persist the warm in-memory tiers (results + artifacts) to a store.
 
-        Writes every *converged* entry of the memory cache into ``store``
-        (default: the engine's configured store) and flushes it.  Together
+        Writes every *converged* result entry of the memory cache into
+        ``store`` (default: the engine's configured store) and flushes it;
+        compiled-lineage artifacts -- complete trees and resumable
+        partial frontiers alike -- are persisted alongside.  Together
         with :meth:`load_cache` this is the explicit warm-start flow
         behind ``repro cache save``/``repro cache load``.
 
@@ -506,15 +599,18 @@ class Engine:
                 "save_cache needs a store: pass one or configure "
                 "EngineConfig(store=...)"
             )
+        save_artifacts(self.cache.artifacts.snapshot(), target)
         return save_results(self.cache.results.snapshot(), target)
 
     def load_cache(self, store: Optional[CacheStore] = None) -> int:
-        """Warm-start the in-memory result tier from a store.
+        """Warm-start the in-memory tiers (results + artifacts) from a store.
 
-        Loads every converged store entry into the memory cache, so the
-        first batch of a fresh process already hits.  Entries beyond the
-        memory capacity simply evict the earliest-loaded ones; the store
-        itself is untouched.  Returns the number of entries loaded (see
+        Loads every converged store entry into the memory cache -- and
+        every persisted compilation artifact into the artifact cache, so
+        a fresh process *resumes* partial compilations instead of
+        restarting them.  Entries beyond the memory capacities simply
+        evict the earliest-loaded ones; the store itself is untouched.
+        Returns the number of *result* entries loaded (see
         :meth:`save_cache` for the parameters/errors contract).
         """
         source = store if store is not None else self.store
@@ -523,6 +619,7 @@ class Engine:
                 "load_cache needs a store: pass one or configure "
                 "EngineConfig(store=...)"
             )
+        load_artifacts(source, self.cache.artifacts)
         return load_results(source, self.cache.results)
 
     # ----------------------------------------------------------------- #
@@ -586,19 +683,25 @@ class Engine:
             # Unconverged ranking results (best-so-far intervals) are
             # reported but never cached -- a later call deserves a fresh
             # attempt (e.g. against a d-tree cached in the meantime).
-            for position, outcome in self._compute_tasks(
-                    [canonicals[index] for _, index in tasks], k):
-                key = tasks[position][0]
-                if outcome.converged:
-                    self.cache.results.put(key, outcome)
-                    if self.store is not None:
-                        self.store.put(key, outcome)
-                for index in pending[key]:
-                    cached[index] = outcome
-            if tasks and self.store is not None:
+            try:
+                for position, outcome in self._compute_tasks(
+                        [canonicals[index] for _, index in tasks], k):
+                    key = tasks[position][0]
+                    if outcome.converged:
+                        self.cache.results.put(key, outcome)
+                        if self.store is not None:
+                            self.store.put(key, outcome)
+                    for index in pending[key]:
+                        cached[index] = outcome
+            finally:
                 # One durability point per batch: buffered writes become
-                # shard rewrites here, not once per lineage.
-                self.store.flush()
+                # shard rewrites here, not once per lineage.  In a
+                # ``finally`` so that a failing computation's sunk
+                # partial artifact (and every result already computed
+                # this batch) still becomes durable before the
+                # exception propagates.
+                if tasks and self.store is not None:
+                    self.store.flush()
 
         return [(canonicals[index], cached[index])
                 for index in range(len(lineages))]
@@ -647,20 +750,69 @@ class Engine:
             self.stats.compilations += 1
             yield position, outcome
 
+    def _artifact_for(self, key: CanonicalKey) -> Optional[CompiledLineage]:
+        """The compile-once stage: fetch the lineage's compilation state.
+
+        Falls through memory artifact cache -> store artifact tier ->
+        ``None`` (compile from scratch), promoting store hits into memory
+        and keeping the per-tier artifact counters honest.
+        """
+        artifact = self.cache.artifacts.get(key)
+        if artifact is not None:
+            self.stats.artifact_hits += 1
+            return artifact
+        store = self.store
+        if store is not None and hasattr(store, "get_artifact"):
+            artifact = store.get_artifact(key)
+            if artifact is not None:
+                self.stats.artifact_store_hits += 1
+                self.cache.artifacts.put(key, artifact)
+                return artifact
+        return None
+
+    def _remember_artifact(self, key: CanonicalKey,
+                           artifact: Optional[CompiledLineage],
+                           known: Optional[CompiledLineage] = None) -> None:
+        """Write a computation's artifact back to the artifact tiers.
+
+        ``known`` is the artifact the computation started from: handing
+        the same object back means nothing changed (a complete-artifact
+        reuse), so only the memory LRU recency is refreshed.  Trivial
+        partials (an undecomposed frontier with zero expansions) are not
+        persisted -- there is nothing worth resuming in them.
+        """
+        if artifact is None:
+            return
+        self.cache.artifacts.put(key, artifact)
+        if artifact is known:
+            return
+        if not artifact.complete and artifact.expansion_steps == 0:
+            return
+        store = self.store
+        if store is not None and hasattr(store, "put_artifact"):
+            store.put_artifact(key, artifact)
+
     def _compute_serial(self, canonical: CanonicalLineage,
                         k: Optional[int] = None) -> CachedAttribution:
         config = self.config
-        tree = None
-        if config.method in ("auto", "exact", "rank", "topk"):
-            tree = self.cache.dtrees.get(canonical.key)
+        artifact = self._artifact_for(canonical.key)
+        if artifact is None:
+            self.stats.tree_compilations += 1
+        elif not artifact.complete:
+            self.stats.artifact_resumes += 1
         ensure_recursion_head_room()
-        outcome, fell_back, compiled, rounds = _compute_canonical(
+
+        def sink(partial: CompiledLineage) -> None:
+            # Failed computations still hand their partial progress back,
+            # so a per-instance retry resumes instead of restarting.
+            self._remember_artifact(canonical.key, partial, known=artifact)
+
+        outcome, fell_back, artifact_out, rounds = _compute_canonical(
             canonical.dnf, config.method, config.epsilon,
-            config.max_shannon_steps, config.timeout_seconds, tree=tree,
-            k=k)
+            config.max_shannon_steps, config.timeout_seconds,
+            artifact=artifact, k=k, artifact_sink=sink)
         self._record_outcome(outcome, fell_back, rounds)
-        if compiled is not None and tree is None:
-            self.cache.dtrees.put(canonical.key, compiled)
+        self._remember_artifact(canonical.key, artifact_out, known=artifact)
         return outcome
 
     def _record_outcome(self, outcome: CachedAttribution, fell_back: bool,
@@ -703,6 +855,9 @@ class Engine:
             for chunk_results in pool.map(_worker_compute_chunk, payloads):
                 for position, outcome, fell_back, rounds in chunk_results:
                     self._record_outcome(outcome, fell_back, rounds)
+                    # Artifacts never cross the pool boundary: every
+                    # worker computation compiles from scratch.
+                    self.stats.tree_compilations += 1
                     yield position, outcome
         self.stats.parallel_batches += 1
 

@@ -13,19 +13,24 @@ warm-started process serves repeat ranking traffic from disk with
 bit-identical intervals -- only unconverged best-so-far results are
 excluded from both tiers.
 
-Two paths mirror the engine's ``auto`` story:
+Compilation state flows through the **compiled-lineage artifact**
+(:class:`~repro.engine.artifact.CompiledLineage`), mirroring the engine's
+compile-once / evaluate-per-method split:
 
-* a complete d-tree cached by an earlier computation over the same
-  canonical lineage (an exact attribution, or a ranking run that happened
-  to finish its tree) yields an *exact* ranking via one ExaBan pass -- no
-  anytime refinement at all.  Like the d-tree cache in general, this
-  applies to the engine's serial compute path (the default): trees are
-  in-process object graphs that are never shipped to or from pool
-  workers;
-* an anytime run that exhausts its wall-clock budget degrades gracefully:
-  the best-so-far intervals carried by
-  :class:`~repro.core.ichiban.IchiBanTimeout` become an uncertified
-  (``converged=False``) result, which the engine reports but never caches.
+* a **complete** artifact -- compiled by an exact attribution, a Shapley
+  run, or a ranking run that happened to finish its tree, in this process
+  or (via the store tier) a previous one -- yields an *exact* ranking via
+  one ExaBan pass: no anytime refinement at all, any epsilon, any k;
+* a **partial** artifact is *resumed*: the anytime run restarts bound
+  refinement from the persisted frontier instead of from the undecomposed
+  lineage, so work paid by an earlier method, epsilon, k, or process is
+  never redone.  The artifact's tree itself is never mutated -- resuming
+  clones it (see :meth:`CompiledLineage.resume_compiler`);
+* every computation hands its compilation state back: budget exhaustion
+  degrades to an uncertified (``converged=False``) best-so-far result the
+  engine reports but never caches as a *result* -- yet the partial tree
+  it built **is** returned as an artifact, so the next attempt resumes
+  rather than restarts.
 
 Cached values are interval midpoints; the certified interval itself lives
 in ``bounds``.  Rankings should be read through
@@ -52,6 +57,7 @@ from repro.core.ichiban import (
 )
 from repro.core.intervals import Interval
 from repro.dtree.heuristics import Heuristic, select_most_frequent
+from repro.engine.artifact import CompiledLineage
 from repro.engine.cache import CachedAttribution
 
 
@@ -60,15 +66,15 @@ class RankingComputation:
     """Outcome of ranking one canonical lineage.
 
     ``rounds`` counts the IchiBan refinement rounds actually run (0 on the
-    d-tree fast path); ``tree`` carries the completed d-tree when the
-    anytime run happened to finish it -- worth caching, because it turns
-    every later ranking of the same canonical lineage (any epsilon, any k)
-    into an exact one.
+    complete-artifact fast path); ``artifact`` carries the compilation
+    state after the run -- complete when the tree was finished (turning
+    every later evaluation of the same canonical lineage, any method or
+    epsilon or k, into an exact one), partial-and-resumable otherwise.
     """
 
     outcome: CachedAttribution
     rounds: int = 0
-    tree: object = None
+    artifact: Optional[CompiledLineage] = None
 
 
 def _from_intervals(method: str, intervals: Dict[int, Interval],
@@ -82,26 +88,27 @@ def _from_intervals(method: str, intervals: Dict[int, Interval],
     )
 
 
-def _exact_ranking(function: DNF, tree: object) -> RankingComputation:
-    """Read an exact ranking off a complete d-tree (one ExaBan pass).
+def _exact_ranking(function: DNF,
+                   artifact: CompiledLineage) -> RankingComputation:
+    """Read an exact ranking off a complete artifact (one ExaBan pass).
 
     Restricted to the occurring variables, matching IchiBan's scope
     (silent domain variables have Banzhaf value 0 and never rank).
     """
     occurring = function.variables
-    values = {v: value for v, value in exaban_all(tree).items()
+    values = {v: value for v, value in exaban_all(artifact.root).items()
               if v in occurring}
     return RankingComputation(outcome=CachedAttribution(
         method_used="exact",
         values={v: Fraction(value) for v, value in values.items()},
         bounds={v: (value, value) for v, value in values.items()},
-    ))
+    ), artifact=artifact)
 
 
 def compute_ranking(function: DNF, method: str, k: Optional[int],
                     epsilon: Optional[float],
                     timeout_seconds: Optional[float],
-                    tree: object = None,
+                    artifact: Optional[CompiledLineage] = None,
                     max_steps: Optional[int] = None,
                     heuristic: Heuristic = select_most_frequent
                     ) -> RankingComputation:
@@ -111,8 +118,9 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
     a decided top-k set for ``topk``); otherwise the run may also stop at
     the certified relative error.  ``max_steps`` bounds the anytime run's
     bound evaluations (IchiBan's budget unit); either budget exhausting
-    produces the degraded best-so-far result.  A ``tree`` (complete
-    d-tree) bypasses the anytime run entirely.
+    produces the degraded best-so-far result -- whose partial tree still
+    comes back as a resumable artifact.  A complete ``artifact`` bypasses
+    the anytime run entirely; a partial one seeds it.
     """
     if method not in ("rank", "topk"):
         raise ValueError(
@@ -121,13 +129,15 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
         )
     if method == "topk" and (k is None or k < 1):
         raise ValueError("method 'topk' needs k >= 1")
-    if tree is not None:
-        return _exact_ranking(function, tree)
+    if artifact is not None and artifact.complete:
+        return _exact_ranking(function, artifact)
     if method == "topk":
         controller = _topk_controller(k, epsilon)
     else:
         controller = _rank_controller(epsilon)
-    run = _IchiBanRun(function, heuristic)
+    compiler = (artifact.resume_compiler(heuristic)
+                if artifact is not None else None)
+    run = _IchiBanRun(function, heuristic, compiler=compiler)
     try:
         intervals = run.run(controller, max_steps, timeout_seconds)
     except IchiBanTimeout as timeout:
@@ -135,9 +145,10 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
             outcome=_from_intervals(method, timeout.intervals,
                                     converged=False),
             rounds=timeout.rounds,
+            artifact=CompiledLineage.from_compiler(run.state.compiler),
         )
     return RankingComputation(
         outcome=_from_intervals(method, intervals, converged=True),
         rounds=run.rounds,
-        tree=run.state.compiler.root if run.state.is_complete() else None,
+        artifact=CompiledLineage.from_compiler(run.state.compiler),
     )

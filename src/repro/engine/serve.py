@@ -9,7 +9,13 @@ actually requested, but all of them share a single in-memory
 :class:`~repro.engine.store.CacheStore`, and a single
 :class:`~repro.engine.stats.EngineStats` -- sharing is sound because
 result-cache keys embed the method, epsilon and k, so entries of
-different methods never collide.
+different methods never collide.  The shared cache includes the
+compiled-lineage artifact tier (keyed by canonical lineage alone), which
+is where the service earns its keep on mixed traffic: an ``attribute``
+request that compiles a d-tree makes the later ``rank``/``topk``
+requests over isomorphic lineages *exact* and compilation-free, in this
+process and -- through the store's artifact shards -- in every
+warm-started successor.
 
 Requests and responses are plain dicts (JSON-serializable end to end;
 the ``repro serve --requests FILE`` CLI feeds them from JSON Lines)::
@@ -68,9 +74,11 @@ class AttributionService:
         Optional persistent tier shared by every method engine.
     warm_start:
         When true (and a store is present), preload the store's entries
-        into the shared in-memory tier at construction, so even the very
-        first batch hits memory.  The number of entries loaded is
-        reported by :meth:`stats` as ``warm_loaded``.
+        -- results and compilation artifacts -- into the shared
+        in-memory tiers at construction, so even the very first batch
+        hits memory and partial compilations resume instead of
+        restarting.  The number of result entries loaded is reported by
+        :meth:`stats` as ``warm_loaded``.
 
     Examples
     --------

@@ -39,6 +39,21 @@ class EngineStats:
     compilations:
         Fresh computations actually executed (one per distinct canonical
         lineage that missed the cache).
+    tree_compilations:
+        Computations that had to start a d-tree from scratch (no
+        compiled-lineage artifact in any tier).  The difference between
+        ``compilations`` and this counter is work the artifact tier
+        saved: evaluations served off an already compiled (or partially
+        compiled) tree.
+    artifact_hits:
+        Computations that reused a compiled-lineage artifact from the
+        in-memory artifact cache.
+    artifact_store_hits:
+        Computations whose artifact came from the persistent store tier
+        (always 0 without a store).
+    artifact_resumes:
+        Reused artifacts that were *partial*: refinement resumed from
+        the persisted/cached frontier instead of restarting.
     fallbacks:
         ``auto``-method computations where exact compilation exhausted its
         budget and the engine fell back to AdaBan.
@@ -61,6 +76,10 @@ class EngineStats:
     store_hits: int = 0
     cache_misses: int = 0
     compilations: int = 0
+    tree_compilations: int = 0
+    artifact_hits: int = 0
+    artifact_store_hits: int = 0
+    artifact_resumes: int = 0
     fallbacks: int = 0
     refinement_rounds: int = 0
     partial_results: int = 0
@@ -109,6 +128,18 @@ class EngineStats:
             "compute": self.cache_misses / total,
         }
 
+    def artifact_hit_rate(self) -> float:
+        """Fraction of fresh computations that reused a compiled artifact.
+
+        The artifact tier sits *behind* the result tiers: it is only
+        consulted when a computation actually runs, so the denominator is
+        the computations, not the answers.
+        """
+        total = (self.artifact_hits + self.artifact_store_hits
+                 + self.tree_compilations)
+        return ((self.artifact_hits + self.artifact_store_hits) / total
+                if total else 0.0)
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict snapshot for reports and JSON output."""
         return {
@@ -121,6 +152,13 @@ class EngineStats:
             "tier_hit_rates": {tier: round(rate, 4)
                                for tier, rate in self.tier_hit_rates().items()},
             "compilations": self.compilations,
+            "artifacts": {
+                "tree_compilations": self.tree_compilations,
+                "memory_hits": self.artifact_hits,
+                "store_hits": self.artifact_store_hits,
+                "resumes": self.artifact_resumes,
+                "hit_rate": round(self.artifact_hit_rate(), 4),
+            },
             "fallbacks": self.fallbacks,
             "refinement_rounds": self.refinement_rounds,
             "partial_results": self.partial_results,
@@ -138,6 +176,10 @@ class EngineStats:
         self.store_hits = 0
         self.cache_misses = 0
         self.compilations = 0
+        self.tree_compilations = 0
+        self.artifact_hits = 0
+        self.artifact_store_hits = 0
+        self.artifact_resumes = 0
         self.fallbacks = 0
         self.refinement_rounds = 0
         self.partial_results = 0

@@ -1,4 +1,4 @@
-"""Persistent cache stores: the engine's second, cross-process tier.
+"""Persistent cache stores: the engine's cross-process tiers.
 
 The in-memory :class:`~repro.engine.cache.LineageCache` dies with the
 process, so every deployment starts cold.  This module adds a pluggable
@@ -6,6 +6,18 @@ process, so every deployment starts cold.  This module adds a pluggable
 configured :class:`CacheStore`, and freshly computed (converged) results
 are written back, so canonical-space attributions survive process
 restarts and can be shared between a warm-up job and a serving process.
+
+Stores carry **two artifact kinds**:
+
+* **results** -- one :class:`~repro.engine.cache.CachedAttribution` per
+  :data:`~repro.engine.cache.ResultKey` (canonical lineage, method,
+  canonical epsilon, k);
+* **compiled-lineage artifacts** -- one
+  :class:`~repro.engine.artifact.CompiledLineage` per canonical lineage
+  alone (method/epsilon/k independent): a complete d-tree, or a partial
+  one whose ``DNFLeaf`` frontier a warm-started process *resumes*
+  instead of recompiling.  Serialized exactly via
+  :mod:`repro.dtree.serialize`.
 
 Two backends are provided:
 
@@ -15,16 +27,19 @@ Two backends are provided:
 * :class:`DiskStore` -- a sharded on-disk store.  Entries are serialized
   to a **versioned JSON format** (exact ``Fraction`` round-trip -- a
   warm-started engine returns bit-identical values), grouped into shard
-  files by a stable hash of the result key, written **atomically**
-  (temp file + ``os.replace``), and evicted oldest-first against a
-  configurable entry bound.  Corrupted or old-version shard files are
+  files by a stable hash of the encoded key (``shard-*.json`` for
+  results, ``trees-*.json`` for artifacts), written **atomically**
+  (temp file + ``os.replace``), and evicted oldest-first against
+  per-kind entry bounds.  Corrupted or old-version shard files are
   ignored -- the engine just recomputes -- never raised.
 
-Everything in a store lives in **canonical variable space** keyed by
-:data:`~repro.engine.cache.ResultKey` (canonical lineage, method,
-epsilon, k), exactly like the in-memory result cache; compiled d-trees
-are deliberately *not* persisted (they are linked object graphs whose
-pickle cost exceeds recompilation for typical lineages).
+Result keys encode epsilon through the **canonical exact encoding**
+(:func:`~repro.engine.cache.canonical_epsilon`: an exact ``Fraction``,
+written as ``"n/d"``), shared with the memory tier, so float-repr drift
+can never split or alias equivalent entries across processes.  Shards
+written before this encoding (raw JSON floats) stay readable: their keys
+decode to the canonical form, and lookups fall back to the legacy
+encoding -- migrating hits to the canonical one on the next flush.
 """
 
 from __future__ import annotations
@@ -37,7 +52,14 @@ import zlib
 from fractions import Fraction
 from typing import Dict, Iterator, List, Optional, Protocol, Tuple
 
-from repro.engine.cache import CachedAttribution, ResultKey
+from repro.engine.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    CompiledLineage,
+    decode_artifact,
+    encode_artifact,
+)
+from repro.engine.cache import CachedAttribution, ResultKey, canonical_epsilon
+from repro.engine.canonical import CanonicalKey
 
 #: On-disk format version; bumped on any incompatible change.  Shards
 #: recording a different version are ignored wholesale (treated as empty),
@@ -46,11 +68,13 @@ STORE_FORMAT_VERSION = 1
 
 
 class CacheStore(Protocol):
-    """What the engine needs from a persistent result store.
+    """What the engine needs from a persistent store.
 
     Implementations must be safe to call from one process at a time;
     :class:`DiskStore` additionally tolerates concurrent *readers* of the
-    same directory (shard writes are atomic).
+    same directory (shard writes are atomic).  The artifact methods are
+    optional -- the engine probes for them with ``hasattr`` -- so a
+    minimal result-only store still plugs in.
 
     Methods
     -------
@@ -61,13 +85,16 @@ class CacheStore(Protocol):
         Insert or overwrite one entry.  May buffer; durability is only
         guaranteed after :meth:`flush`.
     flush():
-        Make every buffered ``put`` durable.
+        Make every buffered ``put``/``put_artifact`` durable.
     items():
         Iterate ``(key, value)`` pairs over the whole store (used by
         warm-start loading and ``repro cache stats``).
+    get_artifact(key) / put_artifact(key, value) / artifact_items():
+        Same contract for compiled-lineage artifacts, keyed by
+        :data:`~repro.engine.canonical.CanonicalKey` alone.
     stats():
-        A plain-dict summary (entry counts, backend details) for
-        reporting.
+        A plain-dict summary (per-kind entry counts, backend details)
+        for reporting.
     """
 
     def get(self, key: ResultKey) -> Optional[CachedAttribution]: ...
@@ -111,20 +138,49 @@ def _decode_number(encoded):
 def encode_key(key: ResultKey) -> str:
     """Deterministic string form of a :data:`ResultKey` (the shard-entry key).
 
-    The canonical clause tuples become nested JSON lists; method, epsilon
-    and k pass through (``repr`` round-trip of floats is exact under
-    ``json``).
+    The canonical clause tuples become nested JSON lists; epsilon is
+    normalized through :func:`~repro.engine.cache.canonical_epsilon` and
+    written as the exact ``"n/d"`` string, so every process encodes an
+    equivalent key identically regardless of the numeric type it held.
     """
     (num_variables, clauses), method, epsilon, k = key
+    fraction = canonical_epsilon(epsilon)
     return json.dumps(
-        [num_variables, [list(clause) for clause in clauses],
-         method, epsilon, k],
+        [num_variables, [list(clause) for clause in clauses], method,
+         None if fraction is None else _encode_number(fraction), k],
+        separators=(",", ":"),
+    )
+
+
+def _legacy_encode_key(key: ResultKey) -> Optional[str]:
+    """The pre-canonical encoding (epsilon as a raw JSON float), if any.
+
+    Returns ``None`` when no legacy form can exist: a ``None`` epsilon
+    encodes identically in both formats, and an epsilon that is not
+    exactly float-representable cannot have been written by the old
+    float-keyed format at all.
+    """
+    (num_variables, clauses), method, epsilon, k = key
+    if epsilon is None:
+        return None
+    fraction = canonical_epsilon(epsilon)
+    as_float = float(fraction)
+    if Fraction(as_float) != fraction:
+        return None
+    return json.dumps(
+        [num_variables, [list(clause) for clause in clauses], method,
+         as_float, k],
         separators=(",", ":"),
     )
 
 
 def decode_key(encoded: str) -> ResultKey:
-    """Inverse of :func:`encode_key` (raises ``ValueError`` on malformed input)."""
+    """Inverse of :func:`encode_key` (raises ``ValueError`` on malformed input).
+
+    Accepts both the canonical ``"n/d"`` epsilon encoding and the legacy
+    raw-float one (old shards); either decodes to the canonical
+    ``Fraction``-keyed :data:`ResultKey`.
+    """
     try:
         num_variables, clauses, method, epsilon, k = json.loads(encoded)
         canonical = (int(num_variables),
@@ -132,11 +188,40 @@ def decode_key(encoded: str) -> ResultKey:
                            for clause in clauses))
         if not isinstance(method, str):
             raise ValueError(f"malformed method {method!r}")
-        return (canonical, method,
-                None if epsilon is None else float(epsilon),
+        if epsilon is None:
+            fraction = None
+        elif isinstance(epsilon, str):
+            fraction = _decode_number(epsilon)
+            if not isinstance(fraction, Fraction):
+                raise ValueError(f"malformed epsilon {epsilon!r}")
+        elif isinstance(epsilon, (int, float)) and not isinstance(epsilon, bool):
+            fraction = canonical_epsilon(epsilon)
+        else:
+            raise ValueError(f"malformed epsilon {epsilon!r}")
+        return (canonical, method, fraction,
                 None if k is None else int(k))
     except (TypeError, json.JSONDecodeError) as error:
         raise ValueError(f"malformed stored key {encoded!r}") from error
+
+
+def encode_canonical_key(key: CanonicalKey) -> str:
+    """Deterministic string form of a bare canonical lineage key."""
+    num_variables, clauses = key
+    return json.dumps(
+        [num_variables, [list(clause) for clause in clauses]],
+        separators=(",", ":"),
+    )
+
+
+def decode_canonical_key(encoded: str) -> CanonicalKey:
+    """Inverse of :func:`encode_canonical_key` (``ValueError`` on damage)."""
+    try:
+        num_variables, clauses = json.loads(encoded)
+        return (int(num_variables),
+                tuple(tuple(int(v) for v in clause) for clause in clauses))
+    except (TypeError, json.JSONDecodeError) as error:
+        raise ValueError(
+            f"malformed stored canonical key {encoded!r}") from error
 
 
 def encode_entry(value: CachedAttribution) -> Dict[str, object]:
@@ -175,11 +260,13 @@ class MemoryStore:
 
     Useful in tests and for wiring a store-shaped tier -- e.g. one shared
     by several engines of a service -- without touching disk.  ``flush``
-    is a no-op; there is nothing to make durable.
+    is a no-op; there is nothing to make durable.  Carries both kinds:
+    results and compiled-lineage artifacts.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[ResultKey, CachedAttribution] = {}
+        self._artifacts: Dict[CanonicalKey, CompiledLineage] = {}
         self._lock = threading.Lock()
         self.gets = 0
         self.puts = 0
@@ -194,6 +281,15 @@ class MemoryStore:
             self.puts += 1
             self._entries[key] = value
 
+    def get_artifact(self, key: CanonicalKey) -> Optional[CompiledLineage]:
+        with self._lock:
+            return self._artifacts.get(key)
+
+    def put_artifact(self, key: CanonicalKey,
+                     value: CompiledLineage) -> None:
+        with self._lock:
+            self._artifacts[key] = value
+
     def flush(self) -> None:
         """No-op (a memory store is always 'durable' for its lifetime)."""
 
@@ -202,94 +298,119 @@ class MemoryStore:
             snapshot = list(self._entries.items())
         return iter(snapshot)
 
+    def artifact_items(self) -> Iterator[Tuple[CanonicalKey, CompiledLineage]]:
+        with self._lock:
+            snapshot = list(self._artifacts.items())
+        return iter(snapshot)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def stats(self) -> Dict[str, object]:
-        """Entry count plus raw get/put counters."""
+        """Per-kind entry counts plus raw get/put counters."""
         with self._lock:
             return {"backend": "memory", "entries": len(self._entries),
+                    "artifacts": len(self._artifacts),
                     "gets": self.gets, "puts": self.puts}
 
 
 class DiskStore:
     """Sharded on-disk :class:`CacheStore` with a versioned JSON format.
 
-    Layout: ``<path>/shard-<index>.json``, one JSON document per shard::
+    Layout: ``<path>/shard-<index>.json`` for results and
+    ``<path>/trees-<index>.json`` for compiled-lineage artifacts, one
+    JSON document per shard::
 
         {"version": 1, "entries": {"<encoded key>": {"stamp": 7, ...}}}
 
     Entries are routed to shards by a stable CRC32 of their encoded key,
-    so a given :data:`ResultKey` always lands in the same shard file
-    across processes.  Shards are loaded lazily and kept in memory;
-    ``put`` buffers (marking the shard dirty) and :meth:`flush` rewrites
-    dirty shards atomically -- the new content is written to a temp file
-    in the same directory and ``os.replace``d over the old one, so a
-    crash mid-write leaves the previous shard intact.
+    so a given key always lands in the same shard file across processes.
+    Shards are loaded lazily and kept in memory; ``put``/``put_artifact``
+    buffer (marking the shard dirty) and :meth:`flush` rewrites dirty
+    shards atomically -- the new content is written to a temp file in
+    the same directory and ``os.replace``d over the old one, so a crash
+    mid-write leaves the previous shard intact.
 
     Durability-vs-throughput is explicit: the engine flushes once per
     batch, a service can flush per request or on shutdown.
 
-    Eviction is size-bounded and oldest-first: every entry carries a
-    monotonic insertion ``stamp`` (persisted in a small ``meta.json``,
-    and re-derived from shard contents when that file is lost), and at
-    flush time each shard is trimmed to its share of ``max_entries``
-    (``max_entries // shards``) by dropping the lowest stamps.  The
-    shard count is clamped to ``max_entries`` so the total can never
-    exceed the bound; per-shard rounding only makes it stricter.
+    Eviction is size-bounded and oldest-first, independently per kind:
+    every entry carries a monotonic insertion ``stamp`` (persisted in a
+    small ``meta.json``, and re-derived from shard contents when that
+    file is lost), and at flush time each shard is trimmed to its share
+    of the kind's bound (``max_entries`` for results, ``max_artifacts``
+    for trees) by dropping the lowest stamps.  Shard counts are clamped
+    to the bounds so the totals can never exceed them; per-shard
+    rounding only makes it stricter.
 
     Robustness: a shard that fails to parse, fails structural validation,
-    or records a different :data:`STORE_FORMAT_VERSION` is treated as
-    empty (counted in ``corrupt_shards``) -- the engine recomputes and
-    the next flush overwrites the bad file.  No read path ever raises on
-    bad content.
+    or records a different format version is treated as empty (counted
+    in ``corrupt_shards``) -- the engine recomputes and the next flush
+    overwrites the bad file.  No read path ever raises on bad content.
+    Artifact trees are additionally validated on decode
+    (:func:`repro.dtree.serialize.decode_tree` runs the structural
+    invariants), so a tampered tree can never reach an evaluator.
     """
 
     def __init__(self, path: str, max_entries: int = 65_536,
-                 shards: int = 16) -> None:
-        if max_entries < 1:
+                 shards: int = 16, max_artifacts: int = 4_096,
+                 tree_shards: int = 8) -> None:
+        if max_entries < 1 or max_artifacts < 1:
             raise ValueError("store capacity must be positive")
-        if shards < 1:
+        if shards < 1 or tree_shards < 1:
             raise ValueError("shard count must be positive")
         self.path = path
         self.max_entries = max_entries
-        # Clamped so `shards * per_shard <= max_entries` always holds;
-        # an unclamped tiny capacity (max_entries < shards) would retain
-        # one entry per shard and overshoot the bound.  Deterministic in
-        # the constructor arguments, so every process opening the same
-        # directory with the same configuration routes keys identically.
+        self.max_artifacts = max_artifacts
+        # Clamped so `shards * per_shard <= bound` always holds; an
+        # unclamped tiny capacity (bound < shards) would retain one entry
+        # per shard and overshoot.  Deterministic in the constructor
+        # arguments, so every process opening the same directory with the
+        # same configuration routes keys identically.
         self.shards = min(shards, max_entries)
+        self.tree_shards = min(tree_shards, max_artifacts)
         self._per_shard = max(1, max_entries // self.shards)
+        self._per_tree_shard = max(1, max_artifacts // self.tree_shards)
         #: shard index -> {encoded key:
         #:   {"stamp": int, "entry": dict, "decoded": CachedAttribution}}
         self._loaded: Dict[int, Dict[str, Dict[str, object]]] = {}
+        #: tree-shard index -> {encoded canonical key:
+        #:   {"stamp": int, "entry": dict, "decoded": CompiledLineage}}
+        self._tree_loaded: Dict[int, Dict[str, Dict[str, object]]] = {}
         self._dirty: set = set()
+        self._tree_dirty: set = set()
         self._lock = threading.Lock()
         self.corrupt_shards = 0
         os.makedirs(path, exist_ok=True)
-        self._stamp = self._load_stamp()
+        self._stamp, self._tree_stamp = self._load_stamps()
 
     # -- paths and shard IO ------------------------------------------- #
 
-    def _shard_index(self, encoded_key: str) -> int:
-        return zlib.crc32(encoded_key.encode("utf-8")) % self.shards
+    @staticmethod
+    def _route(encoded_key: str, shard_count: int) -> int:
+        return zlib.crc32(encoded_key.encode("utf-8")) % shard_count
 
     def _shard_path(self, index: int) -> str:
         return os.path.join(self.path, f"shard-{index:04d}.json")
 
+    def _tree_shard_path(self, index: int) -> str:
+        return os.path.join(self.path, f"trees-{index:04d}.json")
+
     def _meta_path(self) -> str:
         return os.path.join(self.path, "meta.json")
 
-    def _load_stamp(self) -> int:
+    def _load_stamps(self) -> Tuple[int, int]:
         try:
             with open(self._meta_path(), "r", encoding="utf-8") as handle:
                 meta = json.load(handle)
             if meta.get("version") != STORE_FORMAT_VERSION:
-                return 0
-            return int(meta["stamp"])
+                return 0, 0
+            # Older metas predate the artifact tier and carry no
+            # tree_stamp; 0 is safe (re-derived from shard contents).
+            return int(meta["stamp"]), int(meta.get("tree_stamp", 0))
         except (OSError, ValueError, KeyError, TypeError):
-            return 0
+            return 0, 0
 
     def _atomic_write(self, path: str, document: Dict[str, object]) -> None:
         descriptor, temp_path = tempfile.mkstemp(
@@ -305,24 +426,36 @@ class DiskStore:
                 pass
             raise
 
+    def _read_shard_document(self, path: str, version: int
+                             ) -> Optional[Dict[str, object]]:
+        """Parse one shard file; ``None`` for missing/damaged/old files."""
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            if document.get("version") != version:
+                raise ValueError(f"format version {document.get('version')!r}")
+            entries = document["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("entries is not an object")
+            return document
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError):
+            self.corrupt_shards += 1
+            return None
+
     def _load_shard(self, index: int) -> Dict[str, Dict[str, object]]:
-        """Read one shard from disk, treating any damage as an empty shard."""
+        """Read one result shard, treating any damage as an empty shard."""
         shard = self._loaded.get(index)
         if shard is not None:
             return shard
         shard = {}
-        path = self._shard_path(index)
-        if os.path.exists(path):
+        document = self._read_shard_document(self._shard_path(index),
+                                             STORE_FORMAT_VERSION)
+        if document is not None:
             try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    document = json.load(handle)
-                if document.get("version") != STORE_FORMAT_VERSION:
-                    raise ValueError(
-                        f"format version {document.get('version')!r}")
-                entries = document["entries"]
-                if not isinstance(entries, dict):
-                    raise ValueError("entries is not an object")
-                for encoded_key, record in entries.items():
+                for encoded_key, record in document["entries"].items():
                     # Validate eagerly so one bad record cannot surface
                     # later as a crash inside the engine's hot path; the
                     # decoded entry is kept, so get()/items() never pay
@@ -332,8 +465,7 @@ class DiskStore:
                     shard[encoded_key] = {"stamp": int(record["stamp"]),
                                           "entry": record["entry"],
                                           "decoded": decoded}
-            except (OSError, ValueError, KeyError, TypeError,
-                    json.JSONDecodeError):
+            except (ValueError, KeyError, TypeError, ZeroDivisionError):
                 self.corrupt_shards += 1
                 shard = {}
         if shard:
@@ -347,23 +479,66 @@ class DiskStore:
         self._loaded[index] = shard
         return shard
 
-    # -- CacheStore interface ----------------------------------------- #
+    def _load_tree_shard(self, index: int) -> Dict[str, Dict[str, object]]:
+        """Read one artifact shard, treating any damage as an empty shard."""
+        shard = self._tree_loaded.get(index)
+        if shard is not None:
+            return shard
+        shard = {}
+        document = self._read_shard_document(self._tree_shard_path(index),
+                                             ARTIFACT_FORMAT_VERSION)
+        if document is not None:
+            try:
+                for encoded_key, record in document["entries"].items():
+                    decode_canonical_key(encoded_key)
+                    decoded = decode_artifact(record["entry"])
+                    shard[encoded_key] = {"stamp": int(record["stamp"]),
+                                          "entry": record["entry"],
+                                          "decoded": decoded}
+            except (ValueError, KeyError, TypeError, ZeroDivisionError):
+                self.corrupt_shards += 1
+                shard = {}
+        if shard:
+            newest = max(record["stamp"] for record in shard.values())
+            if newest > self._tree_stamp:
+                self._tree_stamp = newest
+        self._tree_loaded[index] = shard
+        return shard
+
+    # -- CacheStore interface: results -------------------------------- #
 
     def get(self, key: ResultKey) -> Optional[CachedAttribution]:
-        """Look one result up (loading its shard on first touch)."""
+        """Look one result up (loading its shard on first touch).
+
+        Falls back to the legacy float-epsilon encoding for entries
+        written by older processes, migrating hits to the canonical
+        encoding (rewritten at the next flush).
+        """
         encoded = encode_key(key)
         with self._lock:
-            shard = self._load_shard(self._shard_index(encoded))
+            index = self._route(encoded, self.shards)
+            shard = self._load_shard(index)
             record = shard.get(encoded)
+            if record is not None:
+                return record["decoded"]
+            legacy = _legacy_encode_key(key)
+            if legacy is None or legacy == encoded:
+                return None
+            legacy_index = self._route(legacy, self.shards)
+            legacy_shard = self._load_shard(legacy_index)
+            record = legacy_shard.pop(legacy, None)
             if record is None:
                 return None
+            shard[encoded] = record
+            self._dirty.add(index)
+            self._dirty.add(legacy_index)
             return record["decoded"]
 
     def put(self, key: ResultKey, value: CachedAttribution) -> None:
         """Buffer one entry (durable after the next :meth:`flush`)."""
         encoded = encode_key(key)
         with self._lock:
-            index = self._shard_index(encoded)
+            index = self._route(encoded, self.shards)
             shard = self._load_shard(index)
             self._stamp += 1
             shard[encoded] = {"stamp": self._stamp,
@@ -371,34 +546,71 @@ class DiskStore:
                               "decoded": value}
             self._dirty.add(index)
 
-    def flush(self) -> None:
-        """Atomically rewrite every dirty shard, evicting past the bound."""
+    # -- CacheStore interface: compiled-lineage artifacts -------------- #
+
+    def get_artifact(self, key: CanonicalKey) -> Optional[CompiledLineage]:
+        """Look one compiled-lineage artifact up (lazy shard load)."""
+        encoded = encode_canonical_key(key)
         with self._lock:
-            if not self._dirty:
+            shard = self._load_tree_shard(
+                self._route(encoded, self.tree_shards))
+            record = shard.get(encoded)
+            if record is None:
+                return None
+            return record["decoded"]
+
+    def put_artifact(self, key: CanonicalKey,
+                     value: CompiledLineage) -> None:
+        """Buffer one artifact (durable after the next :meth:`flush`)."""
+        encoded = encode_canonical_key(key)
+        with self._lock:
+            index = self._route(encoded, self.tree_shards)
+            shard = self._load_tree_shard(index)
+            self._tree_stamp += 1
+            shard[encoded] = {"stamp": self._tree_stamp,
+                              "entry": encode_artifact(value),
+                              "decoded": value}
+            self._tree_dirty.add(index)
+
+    # -- flushing and iteration ---------------------------------------- #
+
+    def _flush_kind(self, dirty: set, loaded: Dict[int, Dict],
+                    per_shard: int, path_of, version: int) -> None:
+        for index in sorted(dirty):
+            shard = loaded.get(index, {})
+            if len(shard) > per_shard:
+                keep = sorted(shard.items(),
+                              key=lambda item: item[1]["stamp"],
+                              reverse=True)[:per_shard]
+                shard = dict(keep)
+                loaded[index] = shard
+            serializable = {
+                encoded_key: {"stamp": record["stamp"],
+                              "entry": record["entry"]}
+                for encoded_key, record in shard.items()
+            }
+            self._atomic_write(path_of(index),
+                               {"version": version,
+                                "entries": serializable})
+        dirty.clear()
+
+    def flush(self) -> None:
+        """Atomically rewrite every dirty shard, evicting past the bounds."""
+        with self._lock:
+            if not self._dirty and not self._tree_dirty:
                 return
-            for index in sorted(self._dirty):
-                shard = self._loaded.get(index, {})
-                if len(shard) > self._per_shard:
-                    keep = sorted(shard.items(),
-                                  key=lambda item: item[1]["stamp"],
-                                  reverse=True)[:self._per_shard]
-                    shard = dict(keep)
-                    self._loaded[index] = shard
-                serializable = {
-                    encoded_key: {"stamp": record["stamp"],
-                                  "entry": record["entry"]}
-                    for encoded_key, record in shard.items()
-                }
-                self._atomic_write(self._shard_path(index),
-                                   {"version": STORE_FORMAT_VERSION,
-                                    "entries": serializable})
-            self._dirty.clear()
+            self._flush_kind(self._dirty, self._loaded, self._per_shard,
+                             self._shard_path, STORE_FORMAT_VERSION)
+            self._flush_kind(self._tree_dirty, self._tree_loaded,
+                             self._per_tree_shard, self._tree_shard_path,
+                             ARTIFACT_FORMAT_VERSION)
             self._atomic_write(self._meta_path(),
                                {"version": STORE_FORMAT_VERSION,
-                                "stamp": self._stamp})
+                                "stamp": self._stamp,
+                                "tree_stamp": self._tree_stamp})
 
     def items(self) -> Iterator[Tuple[ResultKey, CachedAttribution]]:
-        """Iterate every entry of every shard (loading all of them).
+        """Iterate every result of every shard (loading all of them).
 
         The snapshot is taken under the lock before anything is yielded,
         so consumers may call :meth:`put`/:meth:`get` mid-iteration.
@@ -410,23 +622,46 @@ class DiskStore:
         for encoded_key, record in records:
             yield decode_key(encoded_key), record["decoded"]
 
+    def artifact_items(self) -> Iterator[Tuple[CanonicalKey, CompiledLineage]]:
+        """Iterate every compiled-lineage artifact (snapshot under lock)."""
+        with self._lock:
+            records = []
+            for index in range(self.tree_shards):
+                records.extend(self._load_tree_shard(index).items())
+        for encoded_key, record in records:
+            yield decode_canonical_key(encoded_key), record["decoded"]
+
     def __len__(self) -> int:
         with self._lock:
             return sum(len(self._load_shard(index))
                        for index in range(self.shards))
 
-    def stats(self) -> Dict[str, object]:
-        """Entry/shard counts, capacity, and on-disk footprint."""
-        entries = len(self)
+    def artifact_count(self) -> int:
+        """Number of persisted compiled-lineage artifacts."""
+        with self._lock:
+            return sum(len(self._load_tree_shard(index))
+                       for index in range(self.tree_shards))
+
+    def _kind_footprint(self, shard_count: int, path_of
+                        ) -> Tuple[int, int]:
         shard_files = 0
         total_bytes = 0
-        for index in range(self.shards):
-            path = self._shard_path(index)
+        for index in range(shard_count):
             try:
-                total_bytes += os.path.getsize(path)
+                total_bytes += os.path.getsize(path_of(index))
                 shard_files += 1
             except OSError:
                 continue
+        return shard_files, total_bytes
+
+    def stats(self) -> Dict[str, object]:
+        """Per-kind entry/shard counts, capacities, and on-disk footprint."""
+        entries = len(self)
+        artifacts = self.artifact_count()
+        shard_files, result_bytes = self._kind_footprint(
+            self.shards, self._shard_path)
+        tree_files, tree_bytes = self._kind_footprint(
+            self.tree_shards, self._tree_shard_path)
         return {
             "backend": "disk",
             "path": self.path,
@@ -436,7 +671,21 @@ class DiskStore:
             "shards": self.shards,
             "shard_files": shard_files,
             "corrupt_shards": self.corrupt_shards,
-            "disk_bytes": total_bytes,
+            "disk_bytes": result_bytes + tree_bytes,
+            "kinds": {
+                "results": {
+                    "entries": entries,
+                    "max_entries": self.max_entries,
+                    "shard_files": shard_files,
+                    "disk_bytes": result_bytes,
+                },
+                "compiled_trees": {
+                    "entries": artifacts,
+                    "max_entries": self.max_artifacts,
+                    "shard_files": tree_files,
+                    "disk_bytes": tree_bytes,
+                },
+            },
         }
 
 
@@ -473,15 +722,52 @@ def load_results(store: CacheStore, cache) -> int:
     return loaded
 
 
+def save_artifacts(artifact_entries, store: CacheStore) -> int:
+    """Write ``(canonical key, CompiledLineage)`` pairs into ``store``.
+
+    Tolerates result-only stores (returns 0); skips trivial partials (an
+    undecomposed frontier with zero expansions carries nothing worth
+    resuming).  Flushes on completion.
+    """
+    if not hasattr(store, "put_artifact"):
+        return 0
+    written = 0
+    for key, artifact in artifact_entries:
+        if artifact.complete or artifact.expansion_steps > 0:
+            store.put_artifact(key, artifact)
+            written += 1
+    store.flush()
+    return written
+
+
+def load_artifacts(store: CacheStore, cache) -> int:
+    """Load every persisted artifact into an in-memory artifact cache.
+
+    ``cache`` is the engine's ``cache.artifacts`` LRU; result-only
+    stores load nothing.  Returns the number of artifacts loaded.
+    """
+    if not hasattr(store, "artifact_items"):
+        return 0
+    loaded = 0
+    for key, artifact in store.artifact_items():
+        cache.put(key, artifact)
+        loaded += 1
+    return loaded
+
+
 __all__ = [
     "STORE_FORMAT_VERSION",
     "CacheStore",
     "DiskStore",
     "MemoryStore",
+    "decode_canonical_key",
     "decode_entry",
     "decode_key",
+    "encode_canonical_key",
     "encode_entry",
     "encode_key",
+    "load_artifacts",
     "load_results",
+    "save_artifacts",
     "save_results",
 ]

@@ -353,8 +353,11 @@ def run_workload_epochs(workload: Workload,
         Optional persistent tier for the engine (ignored when ``engine``
         is passed and already has one).
     warm_start:
-        Preload the store into the engine's memory tier before the first
-        epoch (requires a store).
+        Preload the store into the engine's memory tiers before the
+        first epoch (requires a store).  This loads results *and*
+        compiled-lineage artifacts, so the warm process not only serves
+        repeated results from memory but also resumes partial
+        compilations a previous process persisted mid-refinement.
     engine:
         Serve through this engine instead of building a fresh ``auto``
         one -- e.g. to measure an already-warm process.

@@ -162,3 +162,101 @@ class TestShapleyPath:
             (attribution,) = engine.attribute_lineages([function])
             assert sum(attribution.values.values()) == 1
             assert all(value >= 0 for value in attribution.values.values())
+
+
+class TestSharedArtifact:
+    """One compilation, every evaluator: the compiled-lineage tier.
+
+    A canonical lineage is compiled exactly once (by the exact method);
+    exact, shapley, rank and topk then all evaluate off the shared
+    artifact — the engine must never recompile, and every value must be
+    bit-identical (``Fraction`` equality, type included) to a fresh
+    per-method engine that pays its own compilation.
+    """
+
+    def _shared_engines(self, store):
+        from dataclasses import replace
+
+        base = EngineConfig(method="exact", store=store)
+        engines = {}
+        cache = None
+        for method in ("exact", "shapley", "rank", "topk"):
+            config = replace(base, method=method,
+                             epsilon=None if method in ("rank", "topk")
+                             else base.epsilon,
+                             k=3 if method == "topk" else None)
+            engine = Engine(config)
+            if cache is None:
+                cache = engine.cache
+            engine.cache = cache
+            engines[method] = engine
+        return engines
+
+    def test_every_method_off_one_compilation_is_bit_identical(self):
+        from repro.engine import MemoryStore
+
+        shared = self._shared_engines(MemoryStore())
+        for function in _instances(seed=22, count=10):
+            results = {}
+            for method, engine in shared.items():
+                (results[method],) = engine.attribute_lineages([function])
+            # The artifact tier did its job: exactly one tree was built
+            # across all four methods (per distinct canonical lineage).
+            for method in ("shapley", "rank", "topk"):
+                fresh = Engine(EngineConfig(
+                    method=method,
+                    epsilon=None if method in ("rank", "topk") else 0.1,
+                    k=3 if method == "topk" else None))
+                (expected,) = fresh.attribute_lineages([function])
+                if method == "shapley":
+                    assert results[method].values == expected.values
+                    for variable, value in results[method].values.items():
+                        assert isinstance(value, Fraction)
+                        assert value == expected.values[variable]
+                else:
+                    # Off a complete artifact the ranking methods are
+                    # exact; the fresh anytime run certifies intervals
+                    # that must contain those exact values.
+                    assert results[method].method_used == "exact"
+                    exact = banzhaf_all_brute_force(function)
+                    for variable, value in results[method].values.items():
+                        assert isinstance(value, Fraction)
+                        assert value == exact[variable]
+                    for variable, (lo, hi) in expected.bounds.items():
+                        assert lo <= exact[variable] <= hi
+        total = sum(e.stats.tree_compilations for e in shared.values())
+        distinct = shared["exact"].stats.compilations
+        assert total == distinct, (
+            "methods sharing the artifact tier must compile once per "
+            f"distinct lineage ({distinct}), not {total} times"
+        )
+        for method in ("shapley", "rank", "topk"):
+            assert shared[method].stats.tree_compilations == 0
+            assert shared[method].stats.artifact_hits == \
+                shared[method].stats.compilations
+
+    def test_resumed_partial_artifact_converges_to_identical_values(self):
+        # A budget-starved certain ranking leaves a partial artifact; a
+        # second engine resumes it and must converge to interval evidence
+        # consistent with the exact values — and, because the resumed run
+        # finishes the tree or separates exactly, the reported top-k set
+        # must be legitimate.
+        from repro.core.ichiban import ranked_from_bounds
+        from repro.experiments.metrics import ground_truth_topk
+
+        resumes = 0
+        for function in _instances(seed=23, count=10):
+            starved = Engine(EngineConfig(method="rank", epsilon=None,
+                                          max_shannon_steps=1))
+            starved.attribute_lineages([function])
+            resumed = Engine(EngineConfig(method="rank", epsilon=None))
+            resumed.cache = starved.cache
+            (full,) = resumed.attribute_lineages([function])
+            resumes += resumed.stats.artifact_resumes
+            exact = banzhaf_all_brute_force(function)
+            for variable, (lo, hi) in full.bounds.items():
+                assert lo <= exact[variable] <= hi
+            reported = [entry.variable
+                        for entry in ranked_from_bounds(full.bounds, 2)]
+            assert set(reported) <= ground_truth_topk(exact, 2)
+        assert resumes >= 1

@@ -10,7 +10,7 @@ from repro.baselines.brute_force import banzhaf_all_brute_force
 from repro.boolean.dnf import DNF
 from repro.core.ichiban import ichiban_topk
 from repro.dtree.compile import CompilationLimitReached, compile_dnf
-from repro.engine import Engine, EngineConfig, canonicalize
+from repro.engine import CompiledLineage, Engine, EngineConfig, canonicalize
 from repro.engine.cache import LineageCache, LRUCache
 from repro.experiments.runner import ExperimentConfig, run_workload_batched
 from repro.workloads.suite import build_workload
@@ -304,13 +304,17 @@ class TestRankingEngine:
         estimates = [entry.estimate for _, entry in entries]
         assert estimates == sorted(estimates, reverse=True)
 
-    def test_cached_dtree_yields_exact_ranking(self):
+    def test_cached_artifact_yields_exact_ranking(self):
         engine = Engine(EngineConfig(method="topk", k=2, epsilon=0.1))
         canonical = canonicalize(self.FUNCTION)
-        engine.cache.dtrees.put(canonical.key, compile_dnf(canonical.dnf))
+        engine.cache.artifacts.put(
+            canonical.key,
+            CompiledLineage.from_complete_tree(compile_dnf(canonical.dnf)))
         (attribution,) = engine.attribute_lineages([self.FUNCTION])
         assert attribution.method_used == "exact"
         assert engine.stats.refinement_rounds == 0
+        assert engine.stats.artifact_hits == 1
+        assert engine.stats.tree_compilations == 0
         exact = banzhaf_all_brute_force(self.FUNCTION)
         assert attribution.values == {v: Fraction(x)
                                       for v, x in exact.items()}
@@ -318,13 +322,14 @@ class TestRankingEngine:
     def test_completed_run_caches_tree_for_other_k(self):
         # Separating the middle variable of this chain with certainty
         # requires expanding the whole d-tree; the completed tree is then
-        # cached and serves a different k exactly, with zero further
-        # refinement rounds.
+        # cached as a complete artifact and serves a different k exactly,
+        # with zero further refinement rounds.
         chain = DNF([[0, 1], [1, 2]])
         engine = Engine(EngineConfig(method="topk", k=2, epsilon=None))
         engine.attribute_lineages([chain])
         canonical = canonicalize(chain)
-        assert engine.cache.dtrees.get(canonical.key) is not None
+        artifact = engine.cache.artifacts.get(canonical.key)
+        assert artifact is not None and artifact.complete
         rounds_before = engine.stats.refinement_rounds
         outcomes = engine._attribute_batch([chain], k=1)
         assert outcomes[0][1].method_used == "exact"

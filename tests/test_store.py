@@ -329,3 +329,217 @@ class TestEngineStoreTier:
                                       store=DiskStore(str(tmp_path))))
         other_k.attribute_lineages([lineage])
         assert other_k.stats.store_hits == 0
+
+
+def _canonical_key(num_variables=3, clauses=((0, 1), (1, 2))):
+    return (num_variables, tuple(tuple(c) for c in clauses))
+
+
+def _artifact(complete=True, function=None):
+    from repro.dtree.compile import compile_dnf
+    from repro.dtree.incremental import IncrementalCompiler
+    from repro.engine.artifact import CompiledLineage
+
+    if function is None:
+        function = DNF([(0, 1), (1, 2)], domain=range(3))
+    if complete:
+        return CompiledLineage.from_complete_tree(compile_dnf(function))
+    compiler = IncrementalCompiler(function)
+    compiler.expand_step()
+    return CompiledLineage.from_compiler(compiler)
+
+
+class TestEpsilonCanonicalization:
+    """ResultKey epsilon is one exact canonical encoding everywhere."""
+
+    def test_float_and_fraction_epsilon_share_one_key(self):
+        from repro.engine.cache import LineageCache, canonical_epsilon
+
+        key = _canonical_key()
+        via_float = LineageCache.result_key(key, "approximate", 0.1)
+        via_fraction = LineageCache.result_key(key, "approximate",
+                                               Fraction(0.1))
+        assert via_float == via_fraction
+        assert hash(via_float) == hash(via_fraction)
+        assert encode_key(via_float) == encode_key(via_fraction)
+        assert canonical_epsilon(None) is None
+
+    def test_distinct_floats_stay_distinct(self):
+        # 0.1 + 0.2 != 0.3 in binary: the canonical encoding is exact,
+        # so it must not conflate genuinely different epsilons either.
+        a = encode_key(_key(method="approximate", epsilon=0.1 + 0.2))
+        b = encode_key(_key(method="approximate", epsilon=0.3))
+        assert a != b
+
+    def test_disk_encoding_carries_no_float(self):
+        encoded = encode_key(_key(method="approximate", epsilon=0.1))
+        raw = json.loads(encoded)
+        assert isinstance(raw[3], str) and "/" in raw[3]
+        decoded = decode_key(encoded)
+        assert decoded[2] == Fraction(0.1) == 0.1
+
+    def test_legacy_float_keyed_shards_stay_readable(self, tmp_path):
+        """A shard written with raw-float epsilons must keep serving."""
+        import zlib
+
+        key, entry = _key(method="approximate", epsilon=0.1), _entry()
+        # Forge the pre-canonical on-disk form: epsilon as a JSON float,
+        # routed by the CRC of that legacy encoding.
+        (num_variables, clauses), method, epsilon, k = key
+        legacy = json.dumps(
+            [num_variables, [list(c) for c in clauses], method, 0.1, k],
+            separators=(",", ":"))
+        shards = 4
+        index = zlib.crc32(legacy.encode("utf-8")) % shards
+        from repro.engine.store import encode_entry as _encode_entry
+        (tmp_path / f"shard-{index:04d}.json").write_text(
+            json.dumps({"version": STORE_FORMAT_VERSION,
+                        "entries": {legacy: {"stamp": 1,
+                                             "entry": _encode_entry(entry)}}}),
+            encoding="utf-8")
+
+        store = DiskStore(str(tmp_path), shards=shards)
+        assert store.get(key) == entry          # legacy fallback lookup
+        store.flush()                           # migration persisted
+        migrated = DiskStore(str(tmp_path), shards=shards)
+        assert migrated.get(key) == entry
+        # After migration the canonical encoding serves directly.
+        canonical = encode_key(key)
+        canonical_index = zlib.crc32(canonical.encode("utf-8")) % shards
+        document = json.loads(
+            (tmp_path / f"shard-{canonical_index:04d}.json").read_text())
+        assert canonical in document["entries"]
+
+    def test_items_normalize_legacy_keys(self, tmp_path):
+        key, entry = _key(method="approximate", epsilon=0.25), _entry()
+        store = DiskStore(str(tmp_path), shards=1)
+        store.put(key, entry)
+        store.flush()
+        for decoded_key, _value in DiskStore(str(tmp_path), shards=1).items():
+            assert isinstance(decoded_key[2], Fraction)
+
+
+class TestArtifactTier:
+    def test_memory_store_artifact_roundtrip(self):
+        store = MemoryStore()
+        key, artifact = _canonical_key(), _artifact()
+        assert store.get_artifact(key) is None
+        store.put_artifact(key, artifact)
+        assert store.get_artifact(key) is artifact
+        assert dict(store.artifact_items()) == {key: artifact}
+        assert store.stats()["artifacts"] == 1
+
+    def test_disk_store_artifact_roundtrip_across_handles(self, tmp_path):
+        from repro.dtree.serialize import trees_equal
+
+        key = _canonical_key()
+        for artifact in (_artifact(complete=True),
+                         _artifact(complete=False)):
+            writer = DiskStore(str(tmp_path / str(artifact.complete)))
+            writer.put_artifact(key, artifact)
+            writer.flush()
+            reader = DiskStore(str(tmp_path / str(artifact.complete)))
+            loaded = reader.get_artifact(key)
+            assert loaded is not None
+            assert loaded.complete == artifact.complete
+            assert trees_equal(loaded.root, artifact.root)
+
+    def test_corrupted_tree_shard_is_ignored(self, tmp_path):
+        key, artifact = _canonical_key(), _artifact()
+        store = DiskStore(str(tmp_path), tree_shards=1)
+        store.put_artifact(key, artifact)
+        store.flush()
+        (tmp_path / "trees-0000.json").write_text("{ nope", encoding="utf-8")
+        reader = DiskStore(str(tmp_path), tree_shards=1)
+        assert reader.get_artifact(key) is None
+        assert reader.corrupt_shards == 1
+        # Result shards are unaffected by tree-shard damage.
+        reader.put(_key(), _entry())
+        reader.flush()
+        assert DiskStore(str(tmp_path), tree_shards=1).get(_key()) == _entry()
+
+    def test_tampered_tree_is_rejected_not_crashing(self, tmp_path):
+        key, artifact = _canonical_key(), _artifact()
+        store = DiskStore(str(tmp_path), tree_shards=1)
+        store.put_artifact(key, artifact)
+        store.flush()
+        path = tmp_path / "trees-0000.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        record = next(iter(document["entries"].values()))
+        record["entry"]["complete"] = not record["entry"]["complete"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        reader = DiskStore(str(tmp_path), tree_shards=1)
+        assert reader.get_artifact(key) is None
+        assert reader.corrupt_shards == 1
+
+    def test_artifact_eviction_honors_bound(self, tmp_path):
+        store = DiskStore(str(tmp_path), max_artifacts=3, tree_shards=1)
+        keys = [_canonical_key(clauses=((0, 1), (1, 2), (0, index % 3)))
+                for index in range(3)]
+        keys += [_canonical_key(clauses=((0, index),))
+                 for index in range(1, 4)]
+        for index, key in enumerate(keys):
+            store.put_artifact(key, _artifact(
+                function=DNF([(0, 1), (1, 2)], domain=range(3 + index))))
+        store.flush()
+        assert store.artifact_count() <= 3
+        reader = DiskStore(str(tmp_path), max_artifacts=3, tree_shards=1)
+        assert reader.artifact_count() <= 3
+
+    def test_stats_report_per_kind(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put(_key(), _entry())
+        store.put_artifact(_canonical_key(), _artifact())
+        store.flush()
+        stats = store.stats()
+        kinds = stats["kinds"]
+        assert kinds["results"]["entries"] == 1
+        assert kinds["compiled_trees"]["entries"] == 1
+        assert kinds["results"]["disk_bytes"] > 0
+        assert kinds["compiled_trees"]["disk_bytes"] > 0
+        assert stats["disk_bytes"] == (kinds["results"]["disk_bytes"]
+                                       + kinds["compiled_trees"]["disk_bytes"])
+
+    def test_save_load_helpers_skip_trivial_partials(self):
+        from repro.engine.artifact import CompiledLineage
+        from repro.engine.store import load_artifacts, save_artifacts
+        from repro.dtree.incremental import node_for
+
+        store = MemoryStore()
+        trivial = CompiledLineage(
+            root=node_for(DNF([(0, 1), (1, 2)], domain=range(3))),
+            complete=False)
+        written = save_artifacts(
+            [(_canonical_key(), _artifact()),
+             (_canonical_key(clauses=((0, 1),)), trivial)], store)
+        assert written == 1
+        cache = LineageCache(16).artifacts
+        assert load_artifacts(store, cache) == 1
+
+    def test_engine_resumes_persisted_partial_across_processes(self, tmp_path):
+        # A budget-starved certain ranking persists its partial tree; a
+        # fresh process over the same directory resumes it rather than
+        # restarting the refinement.
+        lineage = DNF([[i, (i + 1) % 8] for i in range(8)])
+        # 8 variables: the first round alone costs 8 bound evaluations,
+        # so a 20-step budget allows a couple of expansions (a
+        # non-trivial, persistable frontier) but not convergence.
+        starved = Engine(EngineConfig(method="rank", epsilon=None,
+                                      max_shannon_steps=20,
+                                      store=DiskStore(str(tmp_path))))
+        (partial,) = starved.attribute_lineages([lineage])
+        assert starved.stats.partial_results == 1
+
+        warm = Engine(EngineConfig(method="rank", epsilon=None,
+                                   store=DiskStore(str(tmp_path))))
+        (full,) = warm.attribute_lineages([lineage])
+        assert warm.stats.artifact_store_hits == 1
+        assert warm.stats.artifact_resumes == 1
+        assert warm.stats.tree_compilations == 0
+        # The resumed run converges; its interval evidence contains the
+        # exact values.
+        from repro.baselines.brute_force import banzhaf_all_brute_force
+
+        exact = banzhaf_all_brute_force(lineage)
+        for variable, (lo, hi) in full.bounds.items():
+            assert lo <= exact[variable] <= hi
