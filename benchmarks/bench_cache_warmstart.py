@@ -34,7 +34,7 @@ import tempfile
 from fractions import Fraction
 from typing import List
 
-from conftest import register_report
+from conftest import emit_bench_json, register_report
 
 from repro.engine.store import DiskStore
 from repro.experiments.runner import ExperimentConfig, run_workload_epochs
@@ -113,6 +113,25 @@ def run_benchmark(epochs: int = None, rounds: int = None) -> str:
 
     speedup = cold_first / warm_first
     cold_hit_rate = cold_reports[0].stats["hit_rate"]
+    emit_bench_json(
+        "cache_warmstart",
+        workload="pr1-attribution repeat traffic, warm-started process "
+                 "vs cold first epoch",
+        speedup=round(speedup, 3),
+        ops_per_sec={
+            "attribution.instances_per_sec.warm": round(
+                len(workload.instances) / warm_first, 1),
+            "attribution.instances_per_sec.cold": round(
+                len(workload.instances) / cold_first, 1),
+        },
+        metrics={
+            "instances_per_epoch": len(workload.instances),
+            "cold_first_ms": round(cold_first * 1000, 1),
+            "warm_first_ms": round(warm_first * 1000, 1),
+            "warm_hit_rate": hit_rate,
+            "store_entries": store_stats["entries"],
+        },
+    )
     lines = [
         f"instances per epoch:   {len(workload.instances)}",
         f"cold epochs:           {epochs} (rounds: {max(1, rounds)})",

@@ -35,7 +35,7 @@ from dataclasses import replace
 from fractions import Fraction
 from typing import Dict, List
 
-from conftest import register_report
+from conftest import emit_bench_json, register_report
 
 from repro.baselines.brute_force import banzhaf_all_brute_force
 from repro.boolean.dnf import DNF
@@ -195,6 +195,27 @@ def run_benchmark() -> str:
     )
 
     speedup = baseline_total / shared_total
+    emit_bench_json(
+        "compile_reuse",
+        workload="pr1 cross-method traffic "
+                 f"({' -> '.join(METHODS)}), shared artifact tier vs "
+                 "per-method recompilation",
+        speedup=round(speedup, 3),
+        ops_per_sec={
+            "requests.instances_per_sec.shared": round(
+                len(METHODS) * len(lineages) / shared_total, 1),
+            "requests.instances_per_sec.recompile": round(
+                len(METHODS) * len(lineages) / baseline_total, 1),
+        },
+        metrics={
+            "lineages_per_method": len(lineages),
+            "shared_total_ms": round(shared_total * 1000, 1),
+            "baseline_total_ms": round(baseline_total * 1000, 1),
+            "baseline_tree_compilations": baseline_compiles,
+            "warm_resume_rounds": warm.stats.refinement_rounds,
+            "scratch_rounds": scratch.stats.refinement_rounds,
+        },
+    )
     lines = [
         f"lineages per method:     {len(lineages)} "
         f"({shared_engines['exact'].stats.compilations} distinct canonical)",

@@ -28,7 +28,7 @@ import time
 from fractions import Fraction
 from typing import Dict, List, Tuple
 
-from conftest import register_report
+from conftest import emit_bench_json, register_report
 
 from repro.core.exaban import exaban_all
 from repro.dtree.compile import compile_dnf
@@ -87,6 +87,25 @@ def run_benchmark(rounds: int = 3, epochs: int = 3) -> str:
     )
 
     speedup = seed_seconds / serial_seconds
+    emit_bench_json(
+        "engine_batch",
+        workload="pr1-attribution: academic+imdb+tpch, "
+                 f"{max(1, epochs)}-epoch repeat traffic",
+        speedup=round(speedup, 3),
+        ops_per_sec={
+            "attribution.instances_per_sec.engine": round(
+                len(lineages) / serial_seconds, 1),
+            "attribution.instances_per_sec.seed": round(
+                len(lineages) / seed_seconds, 1),
+        },
+        metrics={
+            "instances": len(lineages),
+            "engine_serial_ms": round(serial_seconds * 1000, 1),
+            "seed_serial_ms": round(seed_seconds * 1000, 1),
+            "parallel_ms": round(parallel_seconds * 1000, 1),
+            "cache_hit_rate": stats["hit_rate"],
+        },
+    )
     lines = [
         f"cpu cores:            {os.cpu_count()}",
         f"instances:            {len(lineages)} "

@@ -27,7 +27,7 @@ import os
 import time
 from typing import Dict, List, Tuple
 
-from conftest import register_report
+from conftest import emit_bench_json, register_report
 
 from repro.core.ichiban import ichiban_topk, ranked_from_bounds
 from repro.engine import Engine, EngineConfig
@@ -108,6 +108,25 @@ def run_benchmark(rounds: int = 3, epochs: int = 3) -> str:
     )
 
     speedup = per_answer_seconds / engine_seconds
+    emit_bench_json(
+        "engine_ranking",
+        workload=f"pr1 top-{K} ranking, {max(1, epochs)}-epoch repeat "
+                 "traffic, cached engine vs per-answer IchiBan",
+        speedup=round(speedup, 3),
+        ops_per_sec={
+            "ranking.instances_per_sec.engine": round(
+                len(lineages) / engine_seconds, 1),
+            "ranking.instances_per_sec.per_answer": round(
+                len(lineages) / per_answer_seconds, 1),
+        },
+        metrics={
+            "instances": len(lineages),
+            "engine_ms": round(engine_seconds * 1000, 1),
+            "per_answer_ms": round(per_answer_seconds * 1000, 1),
+            "cache_hit_rate": stats["hit_rate"],
+            "refinement_rounds": stats["refinement_rounds"],
+        },
+    )
     lines = [
         f"cpu cores:            {os.cpu_count()}",
         f"instances:            {len(lineages)} "

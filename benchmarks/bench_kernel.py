@@ -1,0 +1,275 @@
+"""Kernel benchmark: bitset DNF kernel + fused passes vs the seed reference.
+
+This PR lowered the hot DNF set algebra onto machine-word bitmasks
+(:mod:`repro.boolean.bitset`) and replaced the recursive per-call counting
+passes with iterative fused passes sharing a subtree-count memo, plus a
+Shapley evaluation that computes the variable-independent model vectors
+once per tree instead of once per variable.  This benchmark proves the
+end-to-end effect on the PR-1 attribution workload (the Academic / IMDB /
+TPC-H stand-ins of ``bench_engine_batch``):
+
+* **kernel** -- today's hot path: bitset kernel ON, compile once, fused
+  count/Banzhaf passes over a shared counts memo, shared-models Shapley;
+* **reference** -- the seed execution kept alive for differential testing:
+  frozenset DNF operations (``repro.boolean.dnf.frozenset_reference``) and
+  the recursive, unshared passes (:mod:`repro.core.reference`).
+
+Traffic is **repeat-free and cold-cache**: every lineage is attributed
+exactly once, from scratch -- no result cache, no artifact reuse across
+answers -- so the speedup is pure hot-path work, not caching.  Asserts
+bit-identical ``int``/``Fraction`` values and a >= 2x wall-clock win.
+
+A second section micro-benchmarks the kernel operations on the
+``hard_wide`` instances of ``workloads.suite.hard_instances()`` (up to
+~60-variable clauses masks), whose exact compilation is intractable: the
+structural ops run at full width and the one compile attempt carries an
+explicit ``timeout_seconds`` budget so CI cannot hang on them.
+
+Runs standalone (``python benchmarks/bench_kernel.py``) or under pytest
+with the rest of the benchmark harness.  Emits ``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+from conftest import emit_bench_json, register_report
+
+from repro.boolean.dnf import DNF, frozenset_reference, set_kernel_enabled
+from repro.boolean.idnf import idnf_model_count, lower_idnf, upper_idnf
+from repro.boolean.operations import independent_components
+from repro.core import reference as seed
+from repro.core.exaban import exaban_all
+from repro.core.shapley import shapley_all
+from repro.dtree.compile import (
+    CompilationBudget,
+    CompilationLimitReached,
+    compile_dnf,
+)
+from repro.dtree.heuristics import select_most_frequent
+from repro.engine.engine import ensure_recursion_head_room
+from repro.workloads.suite import default_workloads, hard_instances
+
+#: Wall-clock budget for the (intractable) hard_wide compile attempts.
+HARD_WIDE_TIMEOUT_SECONDS = float(os.environ.get("REPRO_BENCH_TIMEOUT", "1.5"))
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _workload_data() -> List[Tuple[tuple, tuple]]:
+    """The PR-1 attribution workload as plain clause data (repeat-free)."""
+    workloads = default_workloads(include_hard=False)
+    return [
+        (instance.lineage.sorted_clauses(),
+         tuple(sorted(instance.lineage.domain)))
+        for workload in workloads for instance in workload.instances
+    ]
+
+
+def _attribute_kernel(data) -> Tuple[list, float]:
+    """Cold-cache attribution on the current hot path (kernel ON)."""
+    set_kernel_enabled(True)
+    results = []
+    started = time.monotonic()
+    for clauses, domain in data:
+        lineage = DNF(clauses, domain=domain)
+        tree = compile_dnf(lineage)
+        counts: Dict[int, int] = {}
+        banzhaf = exaban_all(tree, counts=counts)
+        shapley = shapley_all(lineage, tree=tree)
+        results.append((banzhaf, shapley))
+    return results, time.monotonic() - started
+
+
+def _attribute_reference(data) -> Tuple[list, float]:
+    """The same traffic on the seed path: frozenset ops, recursive passes."""
+    ensure_recursion_head_room()  # the recursive reference needs it
+    results = []
+    with frozenset_reference():
+        started = time.monotonic()
+        for clauses, domain in data:
+            lineage = DNF(clauses, domain=domain)
+            tree = compile_dnf(lineage)
+            banzhaf = seed.exaban_all_recursive(tree)
+            shapley = seed.shapley_all_recursive(lineage, tree)
+            results.append((banzhaf, shapley))
+        elapsed = time.monotonic() - started
+    return results, elapsed
+
+
+def _ops_per_sec(operation, repetitions: int) -> float:
+    """Best-of-3 rate, so one scheduler hiccup does not skew a row."""
+    best = float("inf")
+    for _ in range(3):
+        started = time.monotonic()
+        for _ in range(repetitions):
+            operation()
+        best = min(best, time.monotonic() - started)
+    return repetitions / best if best > 0 else float("inf")
+
+
+def _hard_wide_microbench() -> Tuple[Dict[str, float], List[str]]:
+    """Kernel ops/sec on the ``hard_wide`` instances, vs the reference.
+
+    These 40-60 variable instances populate the failure rows of Table 2:
+    exact compilation is intractable, so the one compile attempt runs
+    under an explicit ``timeout_seconds`` budget (never unbounded in CI).
+    The structural operations themselves are cheap and exercised at full
+    mask width.
+    """
+    wide = [instance for instance in hard_instances(default_workloads())
+            if "wide" in instance.tags]
+    repetitions = 5 if _SMOKE else 40
+    ops: Dict[str, float] = {}
+    lines: List[str] = []
+
+    datasets = [(instance.lineage.sorted_clauses(),
+                 tuple(sorted(instance.lineage.domain)))
+                for instance in wide]
+
+    def measure(label: str, op) -> None:
+        # Prebuild the functions per mode (outside the timed loop) so the
+        # rate is the structural operation itself at full mask width, not
+        # object construction.
+        set_kernel_enabled(True)
+        lineages = [DNF(clauses, domain=domain)
+                    for clauses, domain in datasets]
+        variables = [select_most_frequent(lineage) for lineage in lineages]
+        kernel_rate = _ops_per_sec(lambda: op(lineages, variables),
+                                   repetitions)
+        with frozenset_reference():
+            lineages = [DNF(clauses, domain=domain)
+                        for clauses, domain in datasets]
+            variables = [select_most_frequent(lineage)
+                         for lineage in lineages]
+            reference_rate = _ops_per_sec(lambda: op(lineages, variables),
+                                          repetitions)
+        ops[f"hard_wide.{label}.kernel"] = round(kernel_rate, 1)
+        ops[f"hard_wide.{label}.reference"] = round(reference_rate, 1)
+        lines.append(
+            f"  {label:<12} {kernel_rate:10.0f} ops/s kernel   "
+            f"{reference_rate:10.0f} ops/s reference   "
+            f"({kernel_rate / reference_rate:.2f}x)"
+        )
+
+    def absorb_op(lineages, variables):
+        for lineage in lineages:
+            lineage.absorb()
+
+    def cofactor_op(lineages, variables):
+        for lineage, variable in zip(lineages, variables):
+            lineage.cofactor(variable, False)
+            lineage.cofactor(variable, True)
+
+    def components_op(lineages, variables):
+        for lineage, variable in zip(lineages, variables):
+            independent_components(lineage.cofactor(variable, False))
+
+    def idnf_op(lineages, variables):
+        for lineage in lineages:
+            idnf_model_count(lower_idnf(lineage))
+            idnf_model_count(upper_idnf(lineage))
+
+    measure("absorb", absorb_op)
+    measure("cofactor", cofactor_op)
+    measure("components", components_op)
+    measure("lu_idnf", idnf_op)
+
+    # One budgeted compile attempt per instance: hard_wide is intractable
+    # by design, so the budget -- not CI's patience -- bounds the attempt.
+    set_kernel_enabled(True)
+    attempted = completed = 0
+    started = time.monotonic()
+    for clauses, domain in datasets:
+        attempted += 1
+        budget = CompilationBudget(timeout_seconds=HARD_WIDE_TIMEOUT_SECONDS)
+        try:
+            compile_dnf(DNF(clauses, domain=domain), budget=budget)
+            completed += 1
+        except CompilationLimitReached:
+            pass
+    elapsed = time.monotonic() - started
+    ops["hard_wide.compile.timeout_seconds"] = HARD_WIDE_TIMEOUT_SECONDS
+    ops["hard_wide.compile.attempted"] = attempted
+    ops["hard_wide.compile.completed"] = completed
+    lines.append(
+        f"  compile      {attempted} budgeted attempts "
+        f"(timeout_seconds={HARD_WIDE_TIMEOUT_SECONDS}), {completed} "
+        f"completed, {elapsed:.1f}s total"
+    )
+    assert elapsed <= attempted * (HARD_WIDE_TIMEOUT_SECONDS + 2.0), (
+        "budgeted hard_wide compiles overran their timeout budget"
+    )
+    return ops, lines
+
+
+def run_benchmark(rounds: int = 3) -> str:
+    if _SMOKE:
+        rounds = 1
+    data = _workload_data()
+
+    kernel_seconds = reference_seconds = float("inf")
+    for _ in range(max(1, rounds)):
+        kernel_values, kernel_elapsed = _attribute_kernel(data)
+        reference_values, reference_elapsed = _attribute_reference(data)
+        # Bit-identical: exact integer Banzhaf values and exact Fraction
+        # Shapley values, variable by variable.
+        assert kernel_values == reference_values, (
+            "bitset kernel diverged from the frozenset reference"
+        )
+        kernel_seconds = min(kernel_seconds, kernel_elapsed)
+        reference_seconds = min(reference_seconds, reference_elapsed)
+
+    speedup = reference_seconds / kernel_seconds
+    instances_per_sec = len(data) / kernel_seconds
+
+    ops, hard_lines = _hard_wide_microbench()
+    ops["attribution.instances_per_sec.kernel"] = round(instances_per_sec, 1)
+    ops["attribution.instances_per_sec.reference"] = round(
+        len(data) / reference_seconds, 1)
+
+    assert speedup >= 2.0, (
+        f"expected >= 2x end-to-end attribution speedup over the frozenset "
+        f"reference, measured {speedup:.2f}x "
+        f"({kernel_seconds * 1000:.0f}ms vs {reference_seconds * 1000:.0f}ms)"
+    )
+
+    workload_label = ("pr1-attribution: academic+imdb+tpch, repeat-free "
+                     "cold-cache, banzhaf+shapley per answer")
+    emit_bench_json(
+        "kernel",
+        workload=workload_label,
+        speedup=round(speedup, 3),
+        ops_per_sec=ops,
+        metrics={
+            "instances": len(data),
+            "kernel_ms": round(kernel_seconds * 1000, 1),
+            "reference_ms": round(reference_seconds * 1000, 1),
+            "rounds": max(1, rounds),
+            "hard_wide_timeout_seconds": HARD_WIDE_TIMEOUT_SECONDS,
+        },
+    )
+
+    lines = [
+        f"workload:            {workload_label}",
+        f"instances:           {len(data)} (each attributed once, cold)",
+        f"kernel:              {kernel_seconds * 1000:8.1f} ms "
+        f"({instances_per_sec:.0f} instances/s)",
+        f"reference (seed):    {reference_seconds * 1000:8.1f} ms",
+        f"speedup:             {speedup:.2f}x (assert >= 2.0x, bit-identical "
+        f"Banzhaf ints + Shapley Fractions)",
+        "hard_wide micro-bench (52-var class, wide masks):",
+        *hard_lines,
+    ]
+    return "\n".join(lines)
+
+
+def test_kernel_speedup():
+    report = run_benchmark()
+    register_report("kernel_speedup", report)
+
+
+if __name__ == "__main__":
+    print(run_benchmark())

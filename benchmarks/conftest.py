@@ -10,9 +10,11 @@ summary (and written to ``benchmarks/results/``).
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import Dict, List
+import time
+from typing import Dict, List, Optional
 
 import pytest
 
@@ -39,6 +41,40 @@ def register_report(name: str, text: str) -> None:
     path = os.path.join(_RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+#: Schema version of the machine-readable benchmark summaries below.  Bump
+#: on any incompatible change; CI consumers key on it.
+BENCH_JSON_SCHEMA = 1
+
+
+def emit_bench_json(name: str, *, workload: str,
+                    speedup: Optional[float] = None,
+                    ops_per_sec: Optional[Dict[str, float]] = None,
+                    metrics: Optional[Dict[str, object]] = None) -> str:
+    """Write a standardized ``BENCH_<name>.json`` summary.
+
+    Every benchmark emits the same envelope -- ``bench``, ``schema_version``,
+    ``created_unix``, ``workload``, ``speedup``, ``ops_per_sec``,
+    ``metrics`` -- into ``benchmarks/results/``, where CI uploads them as
+    artifacts, so the perf trajectory across PRs is machine-readable from
+    one glob (``BENCH_*.json``).  Returns the path written.
+    """
+    payload = {
+        "bench": name,
+        "schema_version": BENCH_JSON_SCHEMA,
+        "created_unix": int(time.time()),
+        "workload": workload,
+        "speedup": speedup,
+        "ops_per_sec": ops_per_sec or {},
+        "metrics": metrics or {},
+    }
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -21,13 +21,85 @@ Two representation choices matter for correctness:
 
 Variables are plain integers.  The database layer assigns consecutive integer
 ids to endogenous facts.
+
+Representation
+--------------
+The *logical* representation above is unchanged, but the hot operations run
+on a **bitset kernel** (:mod:`repro.boolean.bitset`): the domain is sorted
+into a dense variable order, every clause becomes one Python ``int``
+bitmask over that order, and absorption / cofactoring / factoring /
+independence checks become single-word mask operations.  Both views are
+built lazily and cached -- a DNF produced by a kernel operation only
+materializes its frozenset clauses when something asks for them, and a DNF
+built from clauses only builds masks when a kernel operation runs.  The
+public API -- ``clauses``, iteration, equality, ordering of
+``sorted_clauses`` -- is byte-for-byte the thin frozenset view it always
+was.
+
+The original frozenset implementations are kept alive behind
+:func:`set_kernel_enabled` / :func:`frozenset_reference` as the *reference
+kernel*: the Hypothesis differential suite and ``benchmarks/bench_kernel.py``
+run every operation both ways and require identical results.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet, Iterable, Iterator, Sequence, Tuple
+from contextlib import contextmanager
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.boolean.bitset import (
+    BitsetKernel,
+    absorb_masks,
+    iter_bits,
+    popcount,
+    project_mask,
+    projection_table,
+)
 
 Clause = FrozenSet[int]
+
+#: Process-wide switch between the bitset kernel (default) and the original
+#: frozenset reference implementations of the hot DNF operations.
+_KERNEL_ENABLED = True
+
+
+def kernel_enabled() -> bool:
+    """``True`` while the bitset kernel serves the hot DNF operations."""
+    return _KERNEL_ENABLED
+
+
+def set_kernel_enabled(enabled: bool) -> bool:
+    """Switch the bitset kernel on/off; returns the previous setting.
+
+    With the kernel off every operation takes the original frozenset code
+    path (the *reference* implementation).  Results are identical either
+    way -- the differential test suite asserts exactly that -- so the
+    switch exists for benchmarking and differential testing, not for
+    correctness workarounds.
+    """
+    global _KERNEL_ENABLED
+    previous = _KERNEL_ENABLED
+    _KERNEL_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def frozenset_reference() -> Iterator[None]:
+    """Run a block against the frozenset reference implementation."""
+    previous = set_kernel_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernel_enabled(previous)
 
 
 def make_clause(variables: Iterable[int]) -> Clause:
@@ -55,7 +127,8 @@ class DNF:
         exactly those variables.
     """
 
-    __slots__ = ("_clauses", "_domain", "_hash")
+    __slots__ = ("_clauses", "_domain", "_hash", "_kernel", "_variables",
+                 "_frequencies")
 
     def __init__(self, clauses: Iterable[Iterable[int]],
                  domain: Iterable[int] | None = None) -> None:
@@ -72,9 +145,51 @@ class DNF:
                 raise ValueError(
                     f"domain must cover all clause variables; missing {missing}"
                 )
-        self._clauses = clause_set
+        self._clauses: Optional[FrozenSet[Clause]] = clause_set
         self._domain = dom
         self._hash: int | None = None
+        self._kernel: Optional[BitsetKernel] = None
+        self._variables: Optional[FrozenSet[int]] = None
+        self._frequencies: Optional[Dict[int, int]] = None
+
+    @classmethod
+    def _from_kernel(cls, masks: Iterable[int], order: Tuple[int, ...],
+                     normalized: bool = False,
+                     support: Optional[int] = None,
+                     domain: Optional[FrozenSet[int]] = None) -> "DNF":
+        """Internal fast constructor from clause masks over a sorted order.
+
+        Callers guarantee the invariants: ``order`` is strictly ascending,
+        every mask is non-zero and inside ``(1 << len(order)) - 1``.  With
+        ``normalized=True`` the caller additionally guarantees the masks
+        are already distinct and ascending (true for order-preserving
+        surgeries: filtering, dropping a bit every mask has clear,
+        projecting away shared bits).  ``domain`` may hand over an already
+        materialized frozenset equal to ``set(order)``; otherwise both the
+        frozenset views (clauses *and* domain) stay lazy -- a short-lived
+        intermediate (e.g. a component that becomes a literal leaf) never
+        builds them at all.
+        """
+        self = cls.__new__(cls)
+        self._clauses = None
+        self._domain = domain
+        self._hash = None
+        if not normalized:
+            masks = sorted(set(masks))
+        self._kernel = BitsetKernel(tuple(order), tuple(masks),
+                                    support=support)
+        self._variables = None
+        self._frequencies = None
+        return self
+
+    def _bitset(self) -> BitsetKernel:
+        """The (lazily built, cached) bitset kernel of this function."""
+        kernel = self._kernel
+        if kernel is None:
+            order = tuple(sorted(self._domain))
+            kernel = BitsetKernel.from_clauses(self._clauses, order)
+            self._kernel = kernel
+        return kernel
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -83,50 +198,111 @@ class DNF:
     @property
     def clauses(self) -> FrozenSet[Clause]:
         """The set of clauses (each a frozenset of variable ids)."""
-        return self._clauses
+        clauses = self._clauses
+        if clauses is None:
+            kernel = self._kernel
+            order = kernel.order
+            clauses = frozenset(
+                frozenset(order[position] for position in iter_bits(mask))
+                for mask in kernel.masks
+            )
+            self._clauses = clauses
+        return clauses
 
     @property
     def domain(self) -> FrozenSet[int]:
         """The set of variables the function is defined over."""
-        return self._domain
+        domain = self._domain
+        if domain is None:
+            domain = frozenset(self._kernel.order)
+            self._domain = domain
+        return domain
 
     @property
     def variables(self) -> FrozenSet[int]:
-        """Variables that actually occur in some clause."""
-        occurring: set[int] = set()
-        for clause in self._clauses:
-            occurring |= clause
-        return frozenset(occurring)
+        """Variables that actually occur in some clause (cached)."""
+        if not _KERNEL_ENABLED:
+            occurring: set[int] = set()
+            for clause in self.clauses:
+                occurring |= clause
+            return frozenset(occurring)
+        cached = self._variables
+        if cached is None:
+            cached = self._bitset().variables()
+            self._variables = cached
+        return cached
+
+    def silent_variables(self) -> FrozenSet[int]:
+        """Domain variables occurring in no clause (``domain - variables``).
+
+        The kernel answers the common no-silent case with one integer
+        comparison (full mask vs support) instead of building and
+        subtracting two frozensets -- the d-tree compilers ask this at
+        every decomposition step.
+        """
+        if not _KERNEL_ENABLED:
+            return self.domain - self.variables
+        kernel = self._bitset()
+        full = (1 << len(kernel.order)) - 1
+        if kernel.support == full:
+            return frozenset()
+        return kernel.variables_of_mask(full ^ kernel.support)
 
     def num_variables(self) -> int:
         """Number of variables in the domain (``n`` in the paper's formulas)."""
-        return len(self._domain)
+        domain = self._domain
+        if domain is not None:
+            return len(domain)
+        return len(self._kernel.order)
 
     def num_clauses(self) -> int:
         """Number of clauses."""
-        return len(self._clauses)
+        clauses = self._clauses
+        if clauses is not None:
+            return len(clauses)
+        return len(self._kernel.masks)
 
     def size(self) -> int:
         """Total number of literal occurrences (the ``|phi|`` of the paper)."""
-        return sum(len(clause) for clause in self._clauses)
+        clauses = self._clauses
+        if clauses is not None:
+            return sum(len(clause) for clause in clauses)
+        return sum(popcount(mask) for mask in self._kernel.masks)
 
     def is_false(self) -> bool:
         """``True`` iff the function is the constant 0 (no clauses)."""
-        return not self._clauses
+        return self.num_clauses() == 0
 
     def is_single_literal(self) -> bool:
         """``True`` iff the function is a single one-variable clause."""
-        return len(self._clauses) == 1 and len(next(iter(self._clauses))) == 1
+        clauses = self._clauses
+        if clauses is not None:
+            return len(clauses) == 1 and len(next(iter(clauses))) == 1
+        masks = self._kernel.masks
+        return len(masks) == 1 and popcount(masks[0]) == 1
 
     def single_literal(self) -> int:
         """Return the variable of a single-literal function."""
         if not self.is_single_literal():
             raise ValueError("function is not a single literal")
-        return next(iter(next(iter(self._clauses))))
+        clauses = self._clauses
+        if clauses is not None:
+            return next(iter(next(iter(clauses))))
+        kernel = self._kernel
+        return kernel.order[kernel.masks[0].bit_length() - 1]
 
     def contains_variable(self, variable: int) -> bool:
-        """``True`` iff ``variable`` occurs in some clause."""
-        return any(variable in clause for clause in self._clauses)
+        """``True`` iff ``variable`` occurs in some clause.
+
+        Served off the kernel's support mask in O(1) instead of rescanning
+        every clause -- the bounds machinery and the heuristics probe the
+        same function for many variables.
+        """
+        if not _KERNEL_ENABLED:
+            return any(variable in clause for clause in self.clauses)
+        kernel = self._bitset()
+        position = kernel.position_of(variable)
+        return position >= 0 and bool(kernel.support >> position & 1)
 
     # ------------------------------------------------------------------ #
     # Equality / hashing / display
@@ -135,29 +311,37 @@ class DNF:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DNF):
             return NotImplemented
-        return self._clauses == other._clauses and self._domain == other._domain
+        mine, theirs = self._kernel, other._kernel
+        if mine is not None and theirs is not None:
+            # Equal domains share the sorted order, so comparing the order
+            # tuples and sorted mask tuples is exactly clause-set-plus-
+            # domain equality, without materializing either frozenset.
+            return mine.order == theirs.order and mine.masks == theirs.masks
+        if self.domain != other.domain:
+            return False
+        return self.clauses == other.clauses
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash((self._clauses, self._domain))
+            self._hash = hash((self.clauses, self.domain))
         return self._hash
 
     def __repr__(self) -> str:
         clause_strs = sorted(
             "(" + " & ".join(f"x{v}" for v in sorted(clause)) + ")"
-            for clause in self._clauses
+            for clause in self.clauses
         )
         body = " | ".join(clause_strs) if clause_strs else "FALSE"
-        extra = self._domain - self.variables
+        extra = self.domain - self.variables
         if extra:
             body += f" [over +{len(extra)} silent vars]"
         return f"DNF<{body}>"
 
     def __iter__(self) -> Iterator[Clause]:
-        return iter(self._clauses)
+        return iter(self.clauses)
 
     def __len__(self) -> int:
-        return len(self._clauses)
+        return self.num_clauses()
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -176,11 +360,22 @@ class DNF:
 
     def with_domain(self, domain: Iterable[int]) -> "DNF":
         """Return the same function over a (super)domain."""
-        return DNF(self._clauses, domain=domain)
+        return DNF(self.clauses, domain=domain)
 
     def restricted_domain(self) -> "DNF":
         """Return the same function over exactly its occurring variables."""
-        return DNF(self._clauses, domain=self.variables)
+        if not _KERNEL_ENABLED:
+            return DNF(self.clauses, domain=self.variables)
+        kernel = self._bitset()
+        full = (1 << len(kernel.order)) - 1
+        if kernel.support == full:
+            return self
+        table = projection_table(kernel.support, len(kernel.order))
+        order = tuple(kernel.order[position]
+                      for position in iter_bits(kernel.support))
+        return DNF._from_kernel(
+            [project_mask(mask, table) for mask in kernel.masks], order,
+            normalized=True, support=(1 << len(order)) - 1)
 
     def absorb(self) -> "DNF":
         """Remove absorbed clauses (clauses that are supersets of others).
@@ -189,19 +384,25 @@ class DNF:
         compiler applies it before independence partitioning so that, e.g.,
         ``(x) | (x & y)`` is recognized as the single literal ``x``.
         """
-        clauses = sorted(self._clauses, key=len)
-        kept: list[Clause] = []
-        for clause in clauses:
-            if not any(other <= clause for other in kept):
-                kept.append(clause)
-        if len(kept) == len(self._clauses):
+        if not _KERNEL_ENABLED:
+            clauses = sorted(self.clauses, key=len)
+            kept: list[Clause] = []
+            for clause in clauses:
+                if not any(other <= clause for other in kept):
+                    kept.append(clause)
+            if len(kept) == len(clauses):
+                return self
+            return DNF(kept, domain=self.domain)
+        kernel = self._bitset()
+        kept_masks = absorb_masks(kernel.masks)
+        if kept_masks is None:
             return self
-        return DNF(kept, domain=self._domain)
+        return DNF._from_kernel(kept_masks, kernel.order)
 
     def union(self, other: "DNF") -> "DNF":
         """Disjunction of two DNFs, over the union of their domains."""
-        return DNF(self._clauses | other._clauses,
-                   domain=self._domain | other._domain)
+        return DNF(self.clauses | other.clauses,
+                   domain=self.domain | other.domain)
 
     def conjoin(self, other: "DNF") -> "DNF":
         """Conjunction of two DNFs (clause-wise product), over the union domain.
@@ -211,9 +412,9 @@ class DNF:
         side has one clause per grounding.
         """
         if self.is_false() or other.is_false():
-            return DNF.false(self._domain | other._domain)
-        clauses = [c1 | c2 for c1 in self._clauses for c2 in other._clauses]
-        return DNF(clauses, domain=self._domain | other._domain)
+            return DNF.false(self.domain | other.domain)
+        clauses = [c1 | c2 for c1 in self.clauses for c2 in other.clauses]
+        return DNF(clauses, domain=self.domain | other.domain)
 
     # ------------------------------------------------------------------ #
     # Semantics
@@ -221,7 +422,7 @@ class DNF:
 
     def evaluate(self, true_variables: AbstractSet[int]) -> bool:
         """Evaluate under the assignment that sets exactly ``true_variables``."""
-        return any(clause <= true_variables for clause in self._clauses)
+        return any(clause <= true_variables for clause in self.clauses)
 
     def cofactor(self, variable: int, value: bool) -> "DNF":
         """Return ``phi[variable := value]`` with standard simplifications.
@@ -234,41 +435,79 @@ class DNF:
           the d-tree level handle the constant explicitly);
         * setting it to 0 deletes every clause containing it.
         """
-        new_domain = self._domain - {variable}
-        if value:
-            new_clauses = []
-            for clause in self._clauses:
-                reduced = clause - {variable}
-                if not reduced:
-                    raise ConstantTrue(new_domain)
-                new_clauses.append(reduced)
+        if not _KERNEL_ENABLED:
+            new_domain = self.domain - {variable}
+            if value:
+                new_clauses = []
+                for clause in self.clauses:
+                    reduced = clause - {variable}
+                    if not reduced:
+                        raise ConstantTrue(new_domain)
+                    new_clauses.append(reduced)
+                return DNF(new_clauses, domain=new_domain)
+            new_clauses = [c for c in self.clauses if variable not in c]
             return DNF(new_clauses, domain=new_domain)
-        new_clauses = [c for c in self._clauses if variable not in c]
-        return DNF(new_clauses, domain=new_domain)
+        kernel = self._bitset()
+        position = kernel.position_of(variable)
+        if position < 0:
+            return self
+        bit = 1 << position
+        low = bit - 1
+        high = ~low
+        order = kernel.order
+        new_order = order[:position] + order[position + 1:]
+        if value:
+            new_masks = []
+            for mask in kernel.masks:
+                if mask & bit:
+                    mask ^= bit
+                    if not mask:
+                        raise ConstantTrue(frozenset(new_order))
+                new_masks.append((mask & low) | ((mask >> 1) & high))
+            return DNF._from_kernel(new_masks, new_order)
+        new_masks = [(mask & low) | ((mask >> 1) & high)
+                     for mask in kernel.masks if not mask & bit]
+        return DNF._from_kernel(new_masks, new_order, normalized=True)
 
-    def variable_frequencies(self) -> dict[int, int]:
-        """Map each occurring variable to the number of clauses containing it."""
-        freq: dict[int, int] = {}
-        for clause in self._clauses:
-            for variable in clause:
-                freq[variable] = freq.get(variable, 0) + 1
-        return freq
+    def variable_frequencies(self) -> Dict[int, int]:
+        """Map each occurring variable to the number of clauses containing it.
+
+        Served off the kernel's cached occurrence index (popcounts of the
+        per-variable clause masks); a fresh dict is returned either way, so
+        callers may reorder or consume it freely.
+        """
+        if not _KERNEL_ENABLED:
+            freq: Dict[int, int] = {}
+            for clause in self.clauses:
+                for variable in clause:
+                    freq[variable] = freq.get(variable, 0) + 1
+            return freq
+        cached = self._frequencies
+        if cached is None:
+            cached = self._bitset().frequencies()
+            self._frequencies = cached
+        return dict(cached)
 
     def common_variables(self) -> FrozenSet[int]:
         """Variables occurring in *every* clause (factor-out candidates)."""
-        if not self._clauses:
-            return frozenset()
-        clauses = iter(self._clauses)
-        common = set(next(clauses))
-        for clause in clauses:
-            common &= clause
-            if not common:
-                break
-        return frozenset(common)
+        if not _KERNEL_ENABLED:
+            if not self.clauses:
+                return frozenset()
+            clauses = iter(self.clauses)
+            common = set(next(clauses))
+            for clause in clauses:
+                common &= clause
+                if not common:
+                    break
+            return frozenset(common)
+        kernel = self._bitset()
+        return kernel.variables_of_mask(kernel.common_mask())
 
     def sorted_clauses(self) -> Sequence[Tuple[int, ...]]:
         """Deterministically ordered clause list (for reproducible output)."""
-        return tuple(sorted(tuple(sorted(c)) for c in self._clauses))
+        if self._clauses is None or _KERNEL_ENABLED:
+            return self._bitset().clause_tuples()
+        return tuple(sorted(tuple(sorted(c)) for c in self.clauses))
 
 
 class ConstantTrue(Exception):

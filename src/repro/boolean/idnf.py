@@ -19,13 +19,23 @@ procedures:
 
 Both are computable in time linear in ``|phi|`` and both produce iDNFs over
 the *same domain* as ``phi`` (crucial for comparable model counts).
+
+These syntheses run once per bound evaluation per undecomposed d-tree leaf,
+which makes them an AdaBan hot path: like the structural operations they
+have a bitset-kernel implementation (disjointness is one AND, the greedy
+scans work on masks) and keep the frozenset reference alive behind
+:func:`repro.boolean.dnf.kernel_enabled` for differential testing.  The
+deterministic shortest-first clause order is identical in both paths:
+clause masks over the sorted domain order compare exactly like the sorted
+variable tuples they encode.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.boolean.dnf import Clause, DNF
+from repro.boolean.bitset import popcount
+from repro.boolean.dnf import Clause, DNF, kernel_enabled
 
 
 class IDNF:
@@ -60,12 +70,19 @@ class IDNF:
 
 def is_idnf(function: DNF) -> bool:
     """``True`` iff no variable occurs in more than one clause."""
-    seen: set[int] = set()
-    for clause in function.clauses:
-        for variable in clause:
-            if variable in seen:
-                return False
-        seen |= clause
+    if not kernel_enabled():
+        seen: set[int] = set()
+        for clause in function.clauses:
+            for variable in clause:
+                if variable in seen:
+                    return False
+            seen |= clause
+        return True
+    seen_mask = 0
+    for mask in function._bitset().masks:
+        if mask & seen_mask:
+            return False
+        seen_mask |= mask
     return True
 
 
@@ -74,18 +91,48 @@ def idnf_model_count(function: DNF) -> int:
 
     Raises ``ValueError`` if the function is not an iDNF.
     """
-    if not is_idnf(function):
-        raise ValueError("idnf_model_count requires an iDNF")
     total_vars = function.num_variables()
     occurring = 0
     non_models_occurring = 1
-    for clause in function.clauses:
-        occurring += len(clause)
-        non_models_occurring *= (1 << len(clause)) - 1
+    if kernel_enabled():
+        seen_mask = 0
+        for mask in function._bitset().masks:
+            if mask & seen_mask:
+                raise ValueError("idnf_model_count requires an iDNF")
+            seen_mask |= mask
+            width = popcount(mask)
+            occurring += width
+            non_models_occurring *= (1 << width) - 1
+    else:
+        if not is_idnf(function):
+            raise ValueError("idnf_model_count requires an iDNF")
+        for clause in function.clauses:
+            occurring += len(clause)
+            non_models_occurring *= (1 << len(clause)) - 1
     silent = total_vars - occurring
     # Non-models over the full domain: every clause unsatisfied, silent vars free.
     non_models = non_models_occurring << silent
     return (1 << total_vars) - non_models
+
+
+def _masks_shortest_first(function: DNF) -> List[int]:
+    """Clause masks in the syntheses' deterministic shortest-first order.
+
+    Bit positions follow the sorted domain order, so comparing position
+    tuples is exactly the sorted-variable-tuple comparison the frozenset
+    reference uses.
+    """
+    keyed = []
+    for mask in function._bitset().masks:
+        positions = []
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            positions.append(low.bit_length() - 1)
+        keyed.append((len(positions), tuple(positions), mask))
+    keyed.sort()
+    return [mask for _, _, mask in keyed]
 
 
 def lower_idnf(function: DNF) -> DNF:
@@ -97,14 +144,23 @@ def lower_idnf(function: DNF) -> DNF:
     yields larger (tighter) lower bounds.  The result is over the same domain
     as ``function``.
     """
-    kept: List[Clause] = []
-    used: set[int] = set()
-    for clause_tuple in sorted(function.sorted_clauses(), key=lambda c: (len(c), c)):
-        clause = frozenset(clause_tuple)
-        if not (clause & used):
-            kept.append(clause)
-            used |= clause
-    return DNF(kept, domain=function.domain)
+    if not kernel_enabled():
+        kept: List[Clause] = []
+        used: set[int] = set()
+        for clause_tuple in sorted(function.sorted_clauses(),
+                                   key=lambda c: (len(c), c)):
+            clause = frozenset(clause_tuple)
+            if not (clause & used):
+                kept.append(clause)
+                used |= clause
+        return DNF(kept, domain=function.domain)
+    kept_masks: List[int] = []
+    used_mask = 0
+    for mask in _masks_shortest_first(function):
+        if not mask & used_mask:
+            kept_masks.append(mask)
+            used_mask |= mask
+    return DNF._from_kernel(kept_masks, function._bitset().order)
 
 
 def upper_idnf(function: DNF) -> DNF:
@@ -119,18 +175,35 @@ def upper_idnf(function: DNF) -> DNF:
     shared variable, which is a subset of both clauses and keeps the result
     an iDNF.  The result is over the same domain as ``function``.
     """
-    kept: List[Clause] = []
-    seen: set[int] = set()
-    for clause_tuple in sorted(function.sorted_clauses(), key=lambda c: (len(c), c)):
-        clause = frozenset(clause_tuple)
-        fresh = clause - seen
+    if not kernel_enabled():
+        kept: List[Clause] = []
+        seen: set[int] = set()
+        for clause_tuple in sorted(function.sorted_clauses(),
+                                   key=lambda c: (len(c), c)):
+            clause = frozenset(clause_tuple)
+            fresh = clause - seen
+            if fresh:
+                kept.append(frozenset(fresh))
+                seen |= fresh
+            else:
+                shared = min(clause)
+                for index, existing in enumerate(kept):
+                    if shared in existing:
+                        kept[index] = frozenset({shared})
+                        break
+        return DNF(kept, domain=function.domain).absorb()
+    kept_masks: List[int] = []
+    seen_mask = 0
+    for mask in _masks_shortest_first(function):
+        fresh = mask & ~seen_mask
         if fresh:
-            kept.append(frozenset(fresh))
-            seen |= fresh
+            kept_masks.append(fresh)
+            seen_mask |= fresh
         else:
-            shared = min(clause)
-            for index, existing in enumerate(kept):
-                if shared in existing:
-                    kept[index] = frozenset({shared})
+            shared_bit = mask & -mask
+            for index, existing in enumerate(kept_masks):
+                if existing & shared_bit:
+                    kept_masks[index] = shared_bit
                     break
-    return DNF(kept, domain=function.domain).absorb()
+    return DNF._from_kernel(
+        kept_masks, function._bitset().order).absorb()

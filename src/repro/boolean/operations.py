@@ -11,13 +11,25 @@ The d-tree compiler needs three structural primitives (Section 3.1):
 
 All functions here are pure: they return new :class:`~repro.boolean.dnf.DNF`
 objects and never mutate their inputs.
+
+Each primitive has two implementations selected by
+:func:`repro.boolean.dnf.kernel_enabled`: the bitset-kernel fast path
+(mask-union union-find for components, single AND-reduction for factoring,
+mask surgery for conditioning) and the original frozenset reference kept
+for differential testing.  Both produce identical DNFs.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from repro.boolean.dnf import Clause, ConstantTrue, DNF
+from repro.boolean.bitset import (
+    component_groups,
+    iter_bits,
+    project_mask,
+    projection_table,
+)
+from repro.boolean.dnf import Clause, ConstantTrue, DNF, kernel_enabled
 
 
 def cofactor(function: DNF, variable: int, value: bool) -> DNF:
@@ -115,8 +127,46 @@ def independent_components(function: DNF) -> List[DNF]:
     """
     if function.is_false():
         return [function]
-    components = clause_components(list(function.clauses))
-    return [DNF(component) for component in components]
+    if not kernel_enabled():
+        components = clause_components(list(function.clauses))
+        return [DNF(component) for component in components]
+    kernel = function._bitset()
+    groups = component_groups(kernel.masks)
+    if len(groups) == 1:
+        return [function.restricted_domain()]
+    order = kernel.order
+    width = len(order)
+    result: List[DNF] = []
+    for group in groups:
+        support = 0
+        for mask in group:
+            support |= mask
+        if len(group) == 1:
+            # Single-clause component: its projection is the full mask
+            # over its own variables -- no table needed.
+            component_order = []
+            remaining = support
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                component_order.append(order[low.bit_length() - 1])
+            count = len(component_order)
+            result.append(DNF._from_kernel(
+                [(1 << count) - 1], tuple(component_order),
+                normalized=True, support=(1 << count) - 1))
+            continue
+        table = projection_table(support, width)
+        component_order = []
+        remaining = support
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            component_order.append(order[low.bit_length() - 1])
+        result.append(DNF._from_kernel(
+            [project_mask(mask, table) for mask in group],
+            tuple(component_order), normalized=True,
+            support=(1 << len(component_order)) - 1))
+    return result
 
 
 def factor_common_variables(function: DNF) -> Tuple[FrozenSet[int], DNF]:
@@ -128,17 +178,44 @@ def factor_common_variables(function: DNF) -> Tuple[FrozenSet[int], DNF]:
     common variables the residual is the constant 1; this is signalled with
     :class:`ConstantTrue` carrying the residual domain.
     """
-    common = function.common_variables()
-    if not common:
+    if not kernel_enabled():
+        common = function.common_variables()
+        if not common:
+            return frozenset(), function
+        residual_domain = function.domain - common
+        residual_clauses = []
+        for clause in function.clauses:
+            reduced = clause - common
+            if not reduced:
+                raise ConstantTrue(frozenset(residual_domain))
+            residual_clauses.append(reduced)
+        return common, DNF(residual_clauses, domain=residual_domain)
+    kernel = function._bitset()
+    common_mask = kernel.common_mask()
+    if not common_mask:
         return frozenset(), function
-    residual_domain = function.domain - common
-    residual_clauses = []
-    for clause in function.clauses:
-        reduced = clause - common
+    order = kernel.order
+    keep_mask = ((1 << len(order)) - 1) ^ common_mask
+    residual_order = []
+    remaining = keep_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        residual_order.append(order[low.bit_length() - 1])
+    residual_order = tuple(residual_order)
+    table = projection_table(keep_mask, len(order))
+    residual_masks = []
+    for mask in kernel.masks:
+        reduced = mask & keep_mask
         if not reduced:
-            raise ConstantTrue(frozenset(residual_domain))
-        residual_clauses.append(reduced)
-    return common, DNF(residual_clauses, domain=residual_domain)
+            raise ConstantTrue(frozenset(residual_order))
+        residual_masks.append(project_mask(reduced, table))
+    common = kernel.variables_of_mask(common_mask)
+    # Every mask carried the full common set, so projecting it away is
+    # order- and distinctness-preserving.
+    return common, DNF._from_kernel(
+        residual_masks, residual_order, normalized=True,
+        support=project_mask(kernel.support & keep_mask, table))
 
 
 def shannon_expansion(function: DNF, variable: int) -> Tuple[DNF, DNF]:

@@ -17,7 +17,6 @@ the concrete constructions so the reduction can be exercised end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import combinations
 from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.boolean.dnf import DNF
@@ -57,16 +56,21 @@ class BipartiteGraph:
         """Brute-force #BIS: the number of independent subsets of the nodes.
 
         Exponential in the number of nodes; intended for small instances in
-        tests and for validating the parsimonious reduction.
+        tests and for validating the parsimonious reduction.  Enumeration
+        runs on bitmasks (one submask test per edge) rather than per-node
+        set membership.
         """
         nodes = sorted(self.nodes())
-        edges = set(self.edges)
+        index = {node: position for position, node in enumerate(nodes)}
+        edge_masks = [(1 << index[u]) | (1 << index[w])
+                      for u, w in self.edges]
         count = 0
-        for size in range(len(nodes) + 1):
-            for subset in combinations(nodes, size):
-                chosen = set(subset)
-                if not any(u in chosen and w in chosen for u, w in edges):
-                    count += 1
+        for chosen in range(1 << len(nodes)):
+            for edge_mask in edge_masks:
+                if chosen & edge_mask == edge_mask:
+                    break
+            else:
+                count += 1
         return count
 
 
@@ -118,12 +122,22 @@ class PP2DNF:
         return DNF([[a, b] for a, b in self._clauses], domain=self.domain())
 
     def count_non_satisfying(self) -> int:
-        """Brute-force #NSat over the full domain (for small instances)."""
+        """Brute-force #NSat over the full domain (for small instances).
+
+        Assignments and clauses are bitmasks over the sorted domain, so the
+        inner test is one submask comparison per clause.
+        """
         variables = sorted(self.domain())
+        index = {variable: position
+                 for position, variable in enumerate(variables)}
+        clause_masks = [(1 << index[a]) | (1 << index[b])
+                        for a, b in self._clauses]
         non_sat = 0
-        for mask in range(1 << len(variables)):
-            chosen = {variables[i] for i in range(len(variables)) if mask >> i & 1}
-            if not any(a in chosen and b in chosen for a, b in self._clauses):
+        for assignment in range(1 << len(variables)):
+            for clause_mask in clause_masks:
+                if assignment & clause_mask == clause_mask:
+                    break
+            else:
                 non_sat += 1
         return non_sat
 

@@ -11,12 +11,16 @@ negatively-occurring terms give a lower bound, and vice versa.
 Bounds are cached on the nodes (the paper's optimization (2)): the
 incremental compiler invalidates exactly the path from an expanded leaf to
 the root, so re-evaluating the bounds after an expansion touches only that
-path.
+path.  All three evaluations are **iterative** (explicit-stack postorder
+that stops descending at cached subtrees), matching the counting passes in
+:mod:`repro.core.exaban`: deep Shannon chains in a partial tree never hit
+the interpreter recursion limit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 from repro.boolean.dnf import ConstantTrue, DNF
 from repro.boolean.idnf import idnf_model_count, lower_idnf, upper_idnf
@@ -58,47 +62,110 @@ class BanzhafBounds:
                 and self.count_lower == self.count_upper)
 
 
+def _count_bounds_node(node: DTreeNode) -> tuple[int, int]:
+    """Count bounds of one node; inner nodes read their children's cache."""
+    if isinstance(node, TrueLeaf):
+        return (1 << len(node.domain),) * 2
+    if isinstance(node, FalseLeaf):
+        return (0, 0)
+    if isinstance(node, LiteralLeaf):
+        return (1, 1)
+    if isinstance(node, DNFLeaf):
+        lower = idnf_model_count(lower_idnf(node.function))
+        upper = idnf_model_count(upper_idnf(node.function))
+        return (lower, upper)
+    if isinstance(node, DecompAnd):
+        lower, upper = 1, 1
+        for child in node.children():
+            child_lower, child_upper = child.cache_get(_COUNT_KEY)
+            lower *= child_lower
+            upper *= child_upper
+        return (lower, upper)
+    if isinstance(node, DecompOr):
+        non_lower, non_upper = 1, 1
+        for child in node.children():
+            child_lower, child_upper = child.cache_get(_COUNT_KEY)
+            space = 1 << len(child.domain)
+            non_lower *= space - child_upper
+            non_upper *= space - child_lower
+        space = 1 << len(node.domain)
+        return (space - non_upper, space - non_lower)
+    if isinstance(node, ExclusiveOr):
+        lower = sum(child.cache_get(_COUNT_KEY)[0]
+                    for child in node.children())
+        upper = sum(child.cache_get(_COUNT_KEY)[1]
+                    for child in node.children())
+        return (lower, upper)
+    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+
+
 def count_bounds(node: DTreeNode) -> tuple[int, int]:
     """Lower and upper bounds on the model count of ``node`` (cached)."""
     cached = node.cache_get(_COUNT_KEY)
     if cached is not None:
         return cached  # type: ignore[return-value]
+    pending: List[DTreeNode] = [node]
+    postorder: List[DTreeNode] = []
+    while pending:
+        current = pending.pop()
+        if current.cache_get(_COUNT_KEY) is not None:
+            continue
+        postorder.append(current)
+        pending.extend(current.children())
+    for current in reversed(postorder):
+        if current.cache_get(_COUNT_KEY) is None:
+            current.cache_set(_COUNT_KEY, _count_bounds_node(current))
+    return node.cache_get(_COUNT_KEY)  # type: ignore[return-value]
 
+
+def _cofactor_count_bounds_node(node: DTreeNode, variable: int,
+                                key: object) -> tuple[int, int]:
+    """Cofactor count bounds of one node (children's values pre-cached)."""
     if isinstance(node, TrueLeaf):
-        result = (1 << len(node.domain),) * 2
-    elif isinstance(node, FalseLeaf):
-        result = (0, 0)
-    elif isinstance(node, LiteralLeaf):
-        result = (1, 1)
-    elif isinstance(node, DNFLeaf):
-        lower = idnf_model_count(lower_idnf(node.function))
-        upper = idnf_model_count(upper_idnf(node.function))
-        result = (lower, upper)
-    elif isinstance(node, DecompAnd):
+        return (1 << (len(node.domain) - 1),) * 2
+    if isinstance(node, FalseLeaf):
+        return (0, 0)
+    if isinstance(node, LiteralLeaf):
+        if node.variable == variable:
+            value = 1 if node.negated else 0
+        else:
+            value = 1
+        return (value, value)
+    if isinstance(node, DNFLeaf):
+        # cofactor(x, False) drops the clauses containing x (none, when x
+        # is silent) and removes x from the domain either way -- one code
+        # path for both cases, served by the bitset kernel's mask surgery.
+        cofactor = node.function.cofactor(variable, False)
+        return (idnf_model_count(lower_idnf(cofactor)),
+                idnf_model_count(upper_idnf(cofactor)))
+    if isinstance(node, DecompAnd):
         lower, upper = 1, 1
         for child in node.children():
-            child_lower, child_upper = count_bounds(child)
+            if variable in child.domain:
+                child_lower, child_upper = child.cache_get(key)
+            else:
+                child_lower, child_upper = count_bounds(child)
             lower *= child_lower
             upper *= child_upper
-        result = (lower, upper)
-    elif isinstance(node, DecompOr):
+        return (lower, upper)
+    if isinstance(node, DecompOr):
         non_lower, non_upper = 1, 1
         for child in node.children():
-            child_lower, child_upper = count_bounds(child)
-            space = 1 << len(child.domain)
+            if variable in child.domain:
+                child_lower, child_upper = child.cache_get(key)
+                space = 1 << (len(child.domain) - 1)
+            else:
+                child_lower, child_upper = count_bounds(child)
+                space = 1 << len(child.domain)
             non_lower *= space - child_upper
             non_upper *= space - child_lower
-        space = 1 << len(node.domain)
-        result = (space - non_upper, space - non_lower)
-    elif isinstance(node, ExclusiveOr):
-        lower = sum(count_bounds(child)[0] for child in node.children())
-        upper = sum(count_bounds(child)[1] for child in node.children())
-        result = (lower, upper)
-    else:
-        raise TypeError(f"unknown d-tree node type {type(node).__name__}")
-
-    node.cache_set(_COUNT_KEY, result)
-    return result
+        space = 1 << (len(node.domain) - 1)
+        return (space - non_upper, space - non_lower)
+    if isinstance(node, ExclusiveOr):
+        lower = sum(child.cache_get(key)[0] for child in node.children())
+        upper = sum(child.cache_get(key)[1] for child in node.children())
+        return (lower, upper)
+    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
 
 
 def cofactor_count_bounds(node: DTreeNode, variable: int) -> tuple[int, int]:
@@ -114,59 +181,21 @@ def cofactor_count_bounds(node: DTreeNode, variable: int) -> tuple[int, int]:
     cached = node.cache_get(key)
     if cached is not None:
         return cached  # type: ignore[return-value]
-
-    if isinstance(node, TrueLeaf):
-        result = (1 << (len(node.domain) - 1),) * 2
-    elif isinstance(node, FalseLeaf):
-        result = (0, 0)
-    elif isinstance(node, LiteralLeaf):
-        if node.variable == variable:
-            value = 1 if node.negated else 0
-        else:
-            value = 1
-        result = (value, value)
-    elif isinstance(node, DNFLeaf):
-        if node.function.contains_variable(variable):
-            cofactor = node.function.cofactor(variable, False)
-        else:
-            cofactor = DNF(node.function.clauses,
-                           domain=node.function.domain - {variable})
-        result = (idnf_model_count(lower_idnf(cofactor)),
-                  idnf_model_count(upper_idnf(cofactor)))
-    elif isinstance(node, DecompAnd):
-        lower, upper = 1, 1
-        for child in node.children():
+    pending: List[DTreeNode] = [node]
+    postorder: List[DTreeNode] = []
+    while pending:
+        current = pending.pop()
+        if current.cache_get(key) is not None:
+            continue
+        postorder.append(current)
+        for child in current.children():
             if variable in child.domain:
-                child_lower, child_upper = cofactor_count_bounds(child, variable)
-            else:
-                child_lower, child_upper = count_bounds(child)
-            lower *= child_lower
-            upper *= child_upper
-        result = (lower, upper)
-    elif isinstance(node, DecompOr):
-        non_lower, non_upper = 1, 1
-        for child in node.children():
-            if variable in child.domain:
-                child_lower, child_upper = cofactor_count_bounds(child, variable)
-                space = 1 << (len(child.domain) - 1)
-            else:
-                child_lower, child_upper = count_bounds(child)
-                space = 1 << len(child.domain)
-            non_lower *= space - child_upper
-            non_upper *= space - child_lower
-        space = 1 << (len(node.domain) - 1)
-        result = (space - non_upper, space - non_lower)
-    elif isinstance(node, ExclusiveOr):
-        lower = sum(cofactor_count_bounds(child, variable)[0]
-                    for child in node.children())
-        upper = sum(cofactor_count_bounds(child, variable)[1]
-                    for child in node.children())
-        result = (lower, upper)
-    else:
-        raise TypeError(f"unknown d-tree node type {type(node).__name__}")
-
-    node.cache_set(key, result)
-    return result
+                pending.append(child)
+    for current in reversed(postorder):
+        if current.cache_get(key) is None:
+            current.cache_set(
+                key, _cofactor_count_bounds_node(current, variable, key))
+    return node.cache_get(key)  # type: ignore[return-value]
 
 
 def _leaf_banzhaf_bounds(function: DNF, variable: int) -> tuple[int, int]:
@@ -191,13 +220,8 @@ def _leaf_banzhaf_bounds(function: DNF, variable: int) -> tuple[int, int]:
     return lower, max(lower, upper)
 
 
-def bounds_for_variable(node: DTreeNode, variable: int) -> BanzhafBounds:
-    """The ``bounds`` procedure of Fig. 2 for one variable (cached per node)."""
-    key = ("banzhaf_bounds", variable)
-    cached = node.cache_get(key)
-    if cached is not None:
-        return cached  # type: ignore[return-value]
-
+def _bounds_node(node: DTreeNode, variable: int, key: object) -> BanzhafBounds:
+    """Fig. 2 bounds of one node (descended children's bounds pre-cached)."""
     count_lower, count_upper = count_bounds(node)
 
     if isinstance(node, (TrueLeaf, FalseLeaf)):
@@ -212,12 +236,13 @@ def bounds_for_variable(node: DTreeNode, variable: int) -> BanzhafBounds:
         lower, upper = _leaf_banzhaf_bounds(node.function, variable)
         result = BanzhafBounds(lower, count_lower, upper, count_upper)
     elif isinstance(node, (DecompAnd, DecompOr)):
-        result = _decomposable_bounds(node, variable, count_lower, count_upper)
+        result = _decomposable_bounds(node, variable, key,
+                                      count_lower, count_upper)
     elif isinstance(node, ExclusiveOr):
         lower = 0
         upper = 0
         for child in node.children():
-            child_bounds = bounds_for_variable(child, variable)
+            child_bounds = child.cache_get(key)
             lower += child_bounds.banzhaf_lower
             upper += child_bounds.banzhaf_upper
         result = BanzhafBounds(lower, count_lower, upper, count_upper)
@@ -234,11 +259,35 @@ def bounds_for_variable(node: DTreeNode, variable: int) -> BanzhafBounds:
         upper = min(result.banzhaf_upper, alt_upper)
         result = BanzhafBounds(lower, count_lower, upper, count_upper)
 
-    node.cache_set(key, result)
     return result
 
 
-def _decomposable_bounds(node: DTreeNode, variable: int,
+def bounds_for_variable(node: DTreeNode, variable: int) -> BanzhafBounds:
+    """The ``bounds`` procedure of Fig. 2 for one variable (cached per node)."""
+    key = ("banzhaf_bounds", variable)
+    cached = node.cache_get(key)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    pending: List[DTreeNode] = [node]
+    postorder: List[DTreeNode] = []
+    while pending:
+        current = pending.pop()
+        if current.cache_get(key) is not None:
+            continue
+        postorder.append(current)
+        # Only subtrees containing the variable contribute Banzhaf bounds
+        # (a decomposable node scales exactly one child's bounds; exclusive
+        # children all share the parent domain).
+        for child in current.children():
+            if variable in child.domain:
+                pending.append(child)
+    for current in reversed(postorder):
+        if current.cache_get(key) is None:
+            current.cache_set(key, _bounds_node(current, variable, key))
+    return node.cache_get(key)  # type: ignore[return-value]
+
+
+def _decomposable_bounds(node: DTreeNode, variable: int, key: object,
                          count_lower: int, count_upper: int) -> BanzhafBounds:
     """Combine children bounds at an independent AND/OR node.
 
@@ -256,7 +305,7 @@ def _decomposable_bounds(node: DTreeNode, variable: int,
     if target_index is None:
         return BanzhafBounds(0, count_lower, 0, count_upper)
 
-    target_bounds = bounds_for_variable(children[target_index], variable)
+    target_bounds = children[target_index].cache_get(key)
     lower_factor = 1
     upper_factor = 1
     for index, child in enumerate(children):

@@ -14,11 +14,21 @@ represented by the subtree, combining children with Eq. (4)-(9):
 ``exaban_all`` computes the Banzhaf values of *all* variables in two linear
 passes (one bottom-up for counts, one top-down for per-leaf multipliers),
 which is how the paper's prototype shares work across variables.
+
+Both passes are **iterative** (explicit stacks): arbitrarily deep Shannon
+chains never hit the interpreter recursion limit.  The bottom-up count pass
+takes an optional ``counts`` memo keyed by node id -- pass the same dict
+across calls (the engine shares it through
+:class:`repro.engine.artifact.CompiledLineage`) and already-counted
+subtrees are skipped entirely, so ranking / top-k / Shapley / repeat
+attribution over one compiled artifact never recount a subtree.  Sibling
+products in the top-down pass use prefix/suffix products, so wide
+decomposable nodes cost O(children), not O(children^2).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dtree.nodes import (
     DecompAnd,
@@ -36,101 +46,166 @@ class IncompleteDTreeError(Exception):
     """Raised when an exact computation is attempted on a partial d-tree."""
 
 
-def model_count(node: DTreeNode) -> int:
+#: Node-id -> exact model count of the subtree.  Valid only while the tree
+#: object is alive and unmutated; complete compiled artifacts guarantee both.
+CountMemo = Dict[int, int]
+
+
+def _count_subtree(root: DTreeNode, counts: CountMemo) -> None:
+    """Fill ``counts`` with the model count of every node under ``root``.
+
+    Iterative postorder; subtrees whose root is already in the memo are
+    skipped without descending into them.
+    """
+    pending: List[DTreeNode] = [root]
+    postorder: List[DTreeNode] = []
+    while pending:
+        node = pending.pop()
+        if id(node) in counts:
+            continue
+        postorder.append(node)
+        pending.extend(node.children())
+    for node in reversed(postorder):
+        key = id(node)
+        if key in counts:
+            continue
+        if isinstance(node, TrueLeaf):
+            value = 1 << len(node.domain)
+        elif isinstance(node, FalseLeaf):
+            value = 0
+        elif isinstance(node, LiteralLeaf):
+            value = 1
+        elif isinstance(node, DNFLeaf):
+            raise IncompleteDTreeError(
+                "exact counting requires a complete d-tree; found an "
+                "undecomposed leaf"
+            )
+        elif isinstance(node, DecompAnd):
+            value = 1
+            for child in node.children():
+                value *= counts[id(child)]
+        elif isinstance(node, DecompOr):
+            non_models = 1
+            for child in node.children():
+                non_models *= (1 << len(child.domain)) - counts[id(child)]
+            value = (1 << len(node.domain)) - non_models
+        elif isinstance(node, ExclusiveOr):
+            value = sum(counts[id(child)] for child in node.children())
+        else:
+            raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+        counts[key] = value
+
+
+def model_count(node: DTreeNode, counts: Optional[CountMemo] = None) -> int:
     """Exact model count ``#phi`` of the function represented by ``node``.
 
-    Requires a complete d-tree (no :class:`DNFLeaf` leaves).
+    Requires a complete d-tree (no :class:`DNFLeaf` leaves).  ``counts``
+    is an optional shared memo (node id -> count): subtrees counted by an
+    earlier call through the same memo are not revisited.
     """
-    if isinstance(node, TrueLeaf):
-        return 1 << len(node.domain)
-    if isinstance(node, FalseLeaf):
-        return 0
-    if isinstance(node, LiteralLeaf):
-        return 1
-    if isinstance(node, DNFLeaf):
-        raise IncompleteDTreeError(
-            "model_count requires a complete d-tree; found an undecomposed leaf"
-        )
-    child_counts = [model_count(child) for child in node.children()]
-    if isinstance(node, DecompAnd):
-        product = 1
-        for count in child_counts:
-            product *= count
-        return product
-    if isinstance(node, DecompOr):
-        non_models = 1
-        for child, count in zip(node.children(), child_counts):
-            non_models *= (1 << len(child.domain)) - count
-        return (1 << len(node.domain)) - non_models
-    if isinstance(node, ExclusiveOr):
-        return sum(child_counts)
-    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+    memo: CountMemo = counts if counts is not None else {}
+    _count_subtree(node, memo)
+    return memo[id(node)]
 
 
-def exaban(node: DTreeNode, variable: int) -> Tuple[int, int]:
+def _sibling_products(values: List[int]) -> List[int]:
+    """For each index, the product of all *other* entries (prefix/suffix)."""
+    size = len(values)
+    prefix = [1] * (size + 1)
+    for index, value in enumerate(values):
+        prefix[index + 1] = prefix[index] * value
+    others = [0] * size
+    suffix = 1
+    for index in range(size - 1, -1, -1):
+        others[index] = prefix[index] * suffix
+        suffix *= values[index]
+    return others
+
+
+def _push_multipliers(root: DTreeNode, counts: CountMemo,
+                      banzhaf: Dict[int, int]) -> None:
+    """Top-down multiplier pass accumulating signed multipliers per literal."""
+    stack: List[Tuple[DTreeNode, int]] = [(root, 1)]
+    while stack:
+        node, multiplier = stack.pop()
+        if multiplier == 0:
+            continue
+        if isinstance(node, LiteralLeaf):
+            sign = -1 if node.negated else 1
+            banzhaf[node.variable] += sign * multiplier
+            continue
+        if isinstance(node, (TrueLeaf, FalseLeaf)):
+            continue
+        children = node.children()
+        if isinstance(node, DecompAnd):
+            child_counts = [counts[id(child)] for child in children]
+            for child, others in zip(children,
+                                     _sibling_products(child_counts)):
+                stack.append((child, multiplier * others))
+        elif isinstance(node, DecompOr):
+            non_models = [
+                (1 << len(child.domain)) - counts[id(child)]
+                for child in children
+            ]
+            for child, others in zip(children, _sibling_products(non_models)):
+                stack.append((child, multiplier * others))
+        elif isinstance(node, ExclusiveOr):
+            for child in children:
+                stack.append((child, multiplier))
+        else:
+            raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+
+
+def exaban(node: DTreeNode, variable: int,
+           counts: Optional[CountMemo] = None) -> Tuple[int, int]:
     """Exact ``(Banzhaf(phi, x), #phi)`` for one variable (Fig. 1).
 
     ``variable`` need not occur in the function; its Banzhaf value is then 0.
-    Raises :class:`IncompleteDTreeError` on partial d-trees.
+    Raises :class:`IncompleteDTreeError` on partial d-trees.  ``counts`` is
+    the optional shared subtree-count memo (see :func:`model_count`).
     """
-    if isinstance(node, LiteralLeaf):
-        if node.variable == variable:
-            return (-1 if node.negated else 1), 1
-        return 0, 1
-    if isinstance(node, TrueLeaf):
-        return 0, 1 << len(node.domain)
-    if isinstance(node, FalseLeaf):
-        return 0, 0
-    if isinstance(node, DNFLeaf):
-        raise IncompleteDTreeError(
-            "exaban requires a complete d-tree; found an undecomposed leaf"
-        )
+    memo: CountMemo = counts if counts is not None else {}
+    _count_subtree(node, memo)
+    banzhaf: Dict[int, int] = {variable: 0}
 
-    results = [exaban(child, variable) for child in node.children()]
-    counts = [count for _, count in results]
-
-    if isinstance(node, DecompAnd):
-        total = 1
-        for count in counts:
-            total *= count
-        banzhaf = 0
-        for index, (child_banzhaf, _) in enumerate(results):
-            if child_banzhaf:
-                others = 1
-                for j, count in enumerate(counts):
-                    if j != index:
-                        others *= count
-                banzhaf += child_banzhaf * others
-        return banzhaf, total
-
-    if isinstance(node, DecompOr):
-        non_models = [
-            (1 << len(child.domain)) - count
-            for child, count in zip(node.children(), counts)
-        ]
-        total_non = 1
-        for value in non_models:
-            total_non *= value
-        total = (1 << len(node.domain)) - total_non
-        banzhaf = 0
-        for index, (child_banzhaf, _) in enumerate(results):
-            if child_banzhaf:
-                others = 1
-                for j, value in enumerate(non_models):
-                    if j != index:
-                        others *= value
-                banzhaf += child_banzhaf * others
-        return banzhaf, total
-
-    if isinstance(node, ExclusiveOr):
-        banzhaf = sum(child_banzhaf for child_banzhaf, _ in results)
-        total = sum(counts)
-        return banzhaf, total
-
-    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+    # Restricted top-down pass: only the target variable's literal leaves
+    # contribute, but the multiplier flow is the same as exaban_all's.
+    stack: List[Tuple[DTreeNode, int]] = [(node, 1)]
+    while stack:
+        current, multiplier = stack.pop()
+        if multiplier == 0 or variable not in current.domain:
+            continue
+        if isinstance(current, LiteralLeaf):
+            if current.variable == variable:
+                sign = -1 if current.negated else 1
+                banzhaf[variable] += sign * multiplier
+            continue
+        if isinstance(current, (TrueLeaf, FalseLeaf)):
+            continue
+        children = current.children()
+        if isinstance(current, DecompAnd):
+            child_counts = [memo[id(child)] for child in children]
+            for child, others in zip(children,
+                                     _sibling_products(child_counts)):
+                stack.append((child, multiplier * others))
+        elif isinstance(current, DecompOr):
+            non_models = [
+                (1 << len(child.domain)) - memo[id(child)]
+                for child in children
+            ]
+            for child, others in zip(children, _sibling_products(non_models)):
+                stack.append((child, multiplier * others))
+        elif isinstance(current, ExclusiveOr):
+            for child in children:
+                stack.append((child, multiplier))
+        else:
+            raise TypeError(
+                f"unknown d-tree node type {type(current).__name__}")
+    return banzhaf[variable], memo[id(node)]
 
 
-def exaban_all(node: DTreeNode) -> Dict[int, int]:
+def exaban_all(node: DTreeNode,
+               counts: Optional[CountMemo] = None) -> Dict[int, int]:
     """Exact Banzhaf values of *all* domain variables in two passes.
 
     The bottom-up pass computes model counts; the top-down pass pushes a
@@ -138,79 +213,14 @@ def exaban_all(node: DTreeNode) -> Dict[int, int]:
     counts along the path), so that the Banzhaf value of a variable is the
     signed sum of the multipliers of its literal leaves.  Variables in the
     domain that never occur as literals get the Banzhaf value 0.
+
+    ``counts`` is the optional shared subtree-count memo: when the engine
+    evaluates several methods over one compiled artifact, the first pass
+    fills it and every later pass (including :func:`model_count` and
+    per-variable :func:`exaban` calls) reuses it.
     """
-    counts: Dict[int, int] = {}
-
-    def count_pass(current: DTreeNode) -> int:
-        value = _node_count(current, counts)
-        counts[id(current)] = value
-        return value
-
-    def _node_count(current: DTreeNode, memo: Dict[int, int]) -> int:
-        if isinstance(current, TrueLeaf):
-            return 1 << len(current.domain)
-        if isinstance(current, FalseLeaf):
-            return 0
-        if isinstance(current, LiteralLeaf):
-            return 1
-        if isinstance(current, DNFLeaf):
-            raise IncompleteDTreeError(
-                "exaban_all requires a complete d-tree; found an undecomposed leaf"
-            )
-        child_counts = [count_pass(child) for child in current.children()]
-        if isinstance(current, DecompAnd):
-            product = 1
-            for count in child_counts:
-                product *= count
-            return product
-        if isinstance(current, DecompOr):
-            non_models = 1
-            for child, count in zip(current.children(), child_counts):
-                non_models *= (1 << len(child.domain)) - count
-            return (1 << len(current.domain)) - non_models
-        if isinstance(current, ExclusiveOr):
-            return sum(child_counts)
-        raise TypeError(f"unknown d-tree node type {type(current).__name__}")
-
-    count_pass(node)
-
+    memo: CountMemo = counts if counts is not None else {}
+    _count_subtree(node, memo)
     banzhaf: Dict[int, int] = {var: 0 for var in node.domain}
-
-    def push(current: DTreeNode, multiplier: int) -> None:
-        if multiplier == 0:
-            return
-        if isinstance(current, LiteralLeaf):
-            sign = -1 if current.negated else 1
-            banzhaf[current.variable] += sign * multiplier
-            return
-        if isinstance(current, (TrueLeaf, FalseLeaf)):
-            return
-        children = current.children()
-        if isinstance(current, DecompAnd):
-            for index, child in enumerate(children):
-                others = 1
-                for j, sibling in enumerate(children):
-                    if j != index:
-                        others *= counts[id(sibling)]
-                push(child, multiplier * others)
-            return
-        if isinstance(current, DecompOr):
-            non_models = [
-                (1 << len(sibling.domain)) - counts[id(sibling)]
-                for sibling in children
-            ]
-            for index, child in enumerate(children):
-                others = 1
-                for j, value in enumerate(non_models):
-                    if j != index:
-                        others *= value
-                push(child, multiplier * others)
-            return
-        if isinstance(current, ExclusiveOr):
-            for child in children:
-                push(child, multiplier)
-            return
-        raise TypeError(f"unknown d-tree node type {type(current).__name__}")
-
-    push(node, 1)
+    _push_multipliers(node, memo, banzhaf)
     return banzhaf

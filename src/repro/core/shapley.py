@@ -14,13 +14,24 @@ for each ``k``, how many models set exactly ``k`` variables of the node's
 domain to true, for the function itself and for its two cofactors on the
 target variable.  The combination rules mirror ExaBan's, lifted from scalars
 to vectors (convolutions at decomposable nodes, sums at exclusive nodes).
+
+The evaluation is split into two **iterative** passes (explicit stacks --
+deep Shannon chains never touch the recursion limit):
+
+1. a variable-independent *models* pass filling a node-id-keyed memo with
+   each subtree's size-indexed model vector -- computed **once per tree**
+   and shared across all variables (``shapley_all`` over one compiled
+   artifact never recounts a subtree);
+2. a per-variable *cofactor* pass confined to the nodes whose domain
+   contains the variable (at a decomposable node only one child does), with
+   every untouched sibling read from the shared memo.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 from math import comb, factorial
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.boolean.assignments import critical_set_counts
 from repro.boolean.dnf import DNF
@@ -36,6 +47,10 @@ from repro.dtree.nodes import (
     LiteralLeaf,
     TrueLeaf,
 )
+
+#: Node-id -> size-indexed model-count vector of the subtree.  Valid while
+#: the tree is alive and unmutated (complete artifacts guarantee both).
+ModelsMemo = Dict[int, List[int]]
 
 
 def _convolve(left: Sequence[int], right: Sequence[int]) -> List[int]:
@@ -60,154 +75,171 @@ def _complement(vector: Sequence[int], n: int) -> List[int]:
     return [comb(n, k) - vector[k] for k in range(n + 1)]
 
 
-class _SizeVectors:
-    """Size-indexed model-count vectors of a node and of its x-cofactors.
+def _fill_models(root: DTreeNode, models: ModelsMemo) -> None:
+    """Fill ``models`` with the size-indexed model vector of every subtree.
 
-    ``models[k]`` counts models with ``k`` true variables over the node's
-    domain.  ``positive``/``negative`` count models of the cofactors
-    ``phi[x:=1]`` / ``phi[x:=0]`` by size over the domain *minus x*; when the
-    node's domain does not contain ``x`` both equal ``models``.
+    Iterative postorder; subtrees already present in the memo are skipped
+    without descending.
     """
-
-    __slots__ = ("models", "positive", "negative", "domain_size", "has_x")
-
-    def __init__(self, models: List[int], positive: List[int],
-                 negative: List[int], domain_size: int, has_x: bool) -> None:
-        self.models = models
-        self.positive = positive
-        self.negative = negative
-        self.domain_size = domain_size
-        self.has_x = has_x
-
-
-def _vectors(node: DTreeNode, variable: int) -> _SizeVectors:
-    domain_size = len(node.domain)
-    has_x = variable in node.domain
-
-    if isinstance(node, TrueLeaf):
-        models = _binomial_vector(domain_size)
-        cof = _binomial_vector(domain_size - 1) if has_x else models
-        return _SizeVectors(models, cof, list(cof), domain_size, has_x)
-
-    if isinstance(node, FalseLeaf):
-        models = [0] * (domain_size + 1)
-        cof = [0] * domain_size if has_x else models
-        return _SizeVectors(models, cof, list(cof), domain_size, has_x)
-
-    if isinstance(node, LiteralLeaf):
-        if node.negated:
-            models = [1, 0]
+    pending: List[DTreeNode] = [root]
+    postorder: List[DTreeNode] = []
+    while pending:
+        node = pending.pop()
+        if id(node) in models:
+            continue
+        postorder.append(node)
+        pending.extend(node.children())
+    for node in reversed(postorder):
+        key = id(node)
+        if key in models:
+            continue
+        domain_size = len(node.domain)
+        if isinstance(node, TrueLeaf):
+            vector = _binomial_vector(domain_size)
+        elif isinstance(node, FalseLeaf):
+            vector = [0] * (domain_size + 1)
+        elif isinstance(node, LiteralLeaf):
+            vector = [1, 0] if node.negated else [0, 1]
+        elif isinstance(node, DNFLeaf):
+            raise ValueError("Shapley computation requires a complete d-tree")
+        elif isinstance(node, DecompAnd):
+            vector = [1]
+            for child in node.children():
+                vector = _convolve(vector, models[id(child)])
+        elif isinstance(node, DecompOr):
+            non_models = [1]
+            for child in node.children():
+                non_models = _convolve(
+                    non_models,
+                    _complement(models[id(child)], len(child.domain)))
+            vector = [comb(domain_size, k) - non_models[k]
+                      for k in range(domain_size + 1)]
+        elif isinstance(node, ExclusiveOr):
+            vector = [0] * (domain_size + 1)
+            for child in node.children():
+                for k, value in enumerate(models[id(child)]):
+                    vector[k] += value
         else:
-            models = [0, 1]
-        if node.variable == variable:
+            raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+        models[key] = vector
+
+
+def _cofactor_vectors(root: DTreeNode, variable: int, models: ModelsMemo
+                      ) -> Tuple[List[int], List[int]]:
+    """Size vectors of ``phi[x:=1]`` / ``phi[x:=0]`` over ``domain - x``.
+
+    ``root.domain`` must contain ``variable``.  Only nodes containing the
+    variable are visited (one child per decomposable node, every child of
+    an exclusive node); sibling subtrees come from the shared ``models``
+    memo untouched.
+    """
+    pending: List[DTreeNode] = [root]
+    postorder: List[DTreeNode] = []
+    while pending:
+        node = pending.pop()
+        postorder.append(node)
+        for child in node.children():
+            if variable in child.domain:
+                pending.append(child)
+    vectors: Dict[int, Tuple[List[int], List[int]]] = {}
+    for node in reversed(postorder):
+        domain_size = len(node.domain)
+        if isinstance(node, TrueLeaf):
+            cof = _binomial_vector(domain_size - 1)
+            result = (cof, list(cof))
+        elif isinstance(node, FalseLeaf):
+            zeros = [0] * domain_size
+            result = (zeros, list(zeros))
+        elif isinstance(node, LiteralLeaf):
+            # Only x-literals can appear here (a literal's domain is {x}).
             positive = [0] if node.negated else [1]
             negative = [1] if node.negated else [0]
-            return _SizeVectors(models, positive, negative, 1, True)
-        return _SizeVectors(models, list(models), list(models), 1, False)
-
-    if isinstance(node, DNFLeaf):
-        raise ValueError("Shapley computation requires a complete d-tree")
-
-    children = [_vectors(child, variable) for child in node.children()]
-
-    if isinstance(node, DecompAnd):
-        return _combine_product(children, domain_size, has_x, conjunction=True)
-    if isinstance(node, DecompOr):
-        return _combine_product(children, domain_size, has_x, conjunction=False)
-    if isinstance(node, ExclusiveOr):
-        models = [0] * (domain_size + 1)
-        cof_len = domain_size if has_x else domain_size + 1
-        positive = [0] * cof_len
-        negative = [0] * cof_len
-        for child in children:
-            for k, value in enumerate(child.models):
-                models[k] += value
-            for k, value in enumerate(child.positive):
-                positive[k] += value
-            for k, value in enumerate(child.negative):
-                negative[k] += value
-        return _SizeVectors(models, positive, negative, domain_size, has_x)
-    raise TypeError(f"unknown d-tree node type {type(node).__name__}")
-
-
-def _combine_product(children: List[_SizeVectors], domain_size: int,
-                     has_x: bool, conjunction: bool) -> _SizeVectors:
-    """Combine children of a decomposable node by (non-)model convolution."""
-
-    def product(select) -> List[int]:
-        result = [1]
-        for child in children:
-            result = _convolve(result, select(child))
-        return result
-
-    if conjunction:
-        models = product(lambda c: c.models)
-        positive = product(lambda c: c.positive if c.has_x else c.models)
-        negative = product(lambda c: c.negative if c.has_x else c.models)
-        return _SizeVectors(models, positive, negative, domain_size, has_x)
-
-    # Disjunction of independent children: non-models convolve.
-    non_models = product(lambda c: _complement(c.models, c.domain_size))
-    models = [comb(domain_size, k) - non_models[k]
-              for k in range(domain_size + 1)]
-    cof_size = domain_size - 1 if has_x else domain_size
-
-    def cof_non_models(select) -> List[int]:
-        result = [1]
-        for child in children:
-            if child.has_x:
-                vec = select(child)
-                result = _convolve(result, _complement_raw(vec, child.domain_size - 1))
-            else:
-                result = _convolve(
-                    result, _complement(child.models, child.domain_size))
-        return result
-
-    positive_non = cof_non_models(lambda c: c.positive)
-    negative_non = cof_non_models(lambda c: c.negative)
-    positive = [comb(cof_size, k) - positive_non[k] for k in range(cof_size + 1)]
-    negative = [comb(cof_size, k) - negative_non[k] for k in range(cof_size + 1)]
-    return _SizeVectors(models, positive, negative, domain_size, has_x)
-
-
-def _complement_raw(vector: Sequence[int], n: int) -> List[int]:
-    """Complement a vector known to be over ``n`` variables."""
-    return [comb(n, k) - vector[k] for k in range(n + 1)]
+            result = (positive, negative)
+        elif isinstance(node, DNFLeaf):
+            raise ValueError("Shapley computation requires a complete d-tree")
+        elif isinstance(node, (DecompAnd, DecompOr)):
+            conjunction = isinstance(node, DecompAnd)
+            positive = [1]
+            negative = [1]
+            for child in node.children():
+                has_x = variable in child.domain
+                if has_x:
+                    child_positive, child_negative = vectors[id(child)]
+                    child_n = len(child.domain) - 1
+                else:
+                    child_positive = child_negative = models[id(child)]
+                    child_n = len(child.domain)
+                if conjunction:
+                    positive = _convolve(positive, child_positive)
+                    negative = _convolve(negative, child_negative)
+                else:
+                    positive = _convolve(
+                        positive, _complement(child_positive, child_n))
+                    negative = _convolve(
+                        negative, _complement(child_negative, child_n))
+            if not conjunction:
+                cof_size = domain_size - 1
+                positive = [comb(cof_size, k) - positive[k]
+                            for k in range(cof_size + 1)]
+                negative = [comb(cof_size, k) - negative[k]
+                            for k in range(cof_size + 1)]
+            result = (positive, negative)
+        elif isinstance(node, ExclusiveOr):
+            cof_size = domain_size - 1
+            positive = [0] * (cof_size + 1)
+            negative = [0] * (cof_size + 1)
+            for child in node.children():
+                child_positive, child_negative = vectors[id(child)]
+                for k, value in enumerate(child_positive):
+                    positive[k] += value
+                for k, value in enumerate(child_negative):
+                    negative[k] += value
+            result = (positive, negative)
+        else:
+            raise TypeError(f"unknown d-tree node type {type(node).__name__}")
+        vectors[id(node)] = result
+    return vectors[id(root)]
 
 
 def critical_counts_exact(function: DNF, variable: int,
                           heuristic: Heuristic = select_most_frequent,
                           budget: CompilationBudget | None = None,
-                          tree: DTreeNode | None = None) -> List[int]:
+                          tree: DTreeNode | None = None,
+                          models: Optional[ModelsMemo] = None) -> List[int]:
     """Exact critical-set counts ``#kC`` of ``variable`` via the d-tree.
 
     Entry ``k`` counts the critical sets of size ``k``; the list has
     ``n`` entries for a function over ``n`` variables (sizes 0..n-1).
     ``tree`` supplies an already compiled *complete* d-tree of the same
     function, skipping compilation entirely (the engine's shared-artifact
-    path); otherwise one is compiled under ``budget``.
+    path); otherwise one is compiled under ``budget``.  ``models`` is the
+    optional shared size-vector memo (filled on first use, reused across
+    variables of the same tree).
     """
     if variable not in function.domain:
         raise ValueError(f"variable {variable} not in the function's domain")
     if tree is None:
         tree = compile_dnf(function, heuristic=heuristic, budget=budget)
-    vectors = _vectors(tree, variable)
+    memo: ModelsMemo = models if models is not None else {}
+    _fill_models(tree, memo)
+    positive, negative = _cofactor_vectors(tree, variable, memo)
     n = function.num_variables()
     counts = []
     for k in range(n):
-        positive = vectors.positive[k] if k < len(vectors.positive) else 0
-        negative = vectors.negative[k] if k < len(vectors.negative) else 0
-        counts.append(positive - negative)
+        pos = positive[k] if k < len(positive) else 0
+        neg = negative[k] if k < len(negative) else 0
+        counts.append(pos - neg)
     return counts
 
 
 def shapley_exact(function: DNF, variable: int,
                   heuristic: Heuristic = select_most_frequent,
                   budget: CompilationBudget | None = None,
-                  tree: DTreeNode | None = None) -> Fraction:
+                  tree: DTreeNode | None = None,
+                  models: Optional[ModelsMemo] = None) -> Fraction:
     """Exact Shapley value of ``variable`` in a positive DNF function."""
     counts = critical_counts_exact(function, variable, heuristic=heuristic,
-                                   budget=budget, tree=tree)
+                                   budget=budget, tree=tree, models=models)
     n = function.num_variables()
     total = Fraction(0)
     n_factorial = factorial(n)
@@ -228,13 +260,16 @@ def shapley_all(function: DNF,
     The d-tree is compiled **once** and shared across variables (it is a
     function of the lineage alone); pass ``tree`` to reuse a complete
     d-tree compiled by another method — the compiled-lineage artifact
-    tier — and skip compilation here entirely.
+    tier — and skip compilation here entirely.  The variable-independent
+    models pass over the tree likewise runs once, shared by every
+    variable's cofactor pass.
     """
     if tree is None:
         tree = compile_dnf(function, heuristic=heuristic, budget=budget)
+    models: ModelsMemo = {}
     return {
         variable: shapley_exact(function, variable, heuristic=heuristic,
-                                budget=budget, tree=tree)
+                                budget=budget, tree=tree, models=models)
         for variable in sorted(function.variables)
     }
 

@@ -82,6 +82,12 @@ def compile_dnf(function: DNF,
                 budget: CompilationBudget | None = None) -> DTreeNode:
     """Compile a positive DNF into a complete d-tree.
 
+    The compilation is **iterative** (an explicit work stack replaces the
+    call stack), so deep Shannon chains -- one expansion per level -- never
+    hit the interpreter recursion limit.  Decomposition decisions, their
+    order, and the budget charging are exactly those of the recursive
+    formulation.
+
     Parameters
     ----------
     function:
@@ -94,68 +100,115 @@ def compile_dnf(function: DNF,
     """
     if budget is None:
         budget = CompilationBudget()
-    return _compile(function, heuristic, budget)
 
+    # Work frames: ("open", function) analyzes one sub-function depth-first;
+    # the other tags combine already-built children (kept on ``results``)
+    # into an inner node once their subtrees are complete.
+    work: list[tuple] = [("open", function)]
+    results: list[DTreeNode] = []
+    while work:
+        frame = work.pop()
+        tag = frame[0]
 
-def _compile(function: DNF, heuristic: Heuristic,
-             budget: CompilationBudget) -> DTreeNode:
-    budget.check_time()
+        if tag == "open":
+            current: DNF = frame[1]
+            budget.check_time()
 
-    if function.is_false():
-        return FalseLeaf(function.domain)
+            if current.is_false():
+                results.append(FalseLeaf(current.domain))
+                continue
 
-    # Absorption first: it can silence variables (e.g. (x) absorbs (x & y)),
-    # and silent variables must be split off before independence partitioning.
-    function = function.absorb()
+            # Absorption first: it can silence variables (e.g. (x) absorbs
+            # (x & y)), and silent variables must be split off before
+            # independence partitioning.
+            current = current.absorb()
 
-    # Separate silent domain variables: phi over D equals (phi over vars) ⊙ 1
-    # over the silent variables, and the TrueLeaf accounts for their 2^k
-    # assignments.
-    occurring = function.variables
-    silent = function.domain - occurring
-    if silent:
-        core = _compile(function.restricted_domain(), heuristic, budget)
-        return DecompAnd([core, TrueLeaf(silent)])
+            # Separate silent domain variables: phi over D equals (phi over
+            # vars) ⊙ 1 over the silent variables, and the TrueLeaf accounts
+            # for their 2^k assignments.
+            silent = current.silent_variables()
+            if silent:
+                work.append(("silent", silent, current.domain))
+                work.append(("open", current.restricted_domain()))
+                continue
 
-    if function.is_single_literal():
-        return LiteralLeaf(function.single_literal())
+            if current.is_single_literal():
+                results.append(LiteralLeaf(current.single_literal()))
+                continue
 
-    # Factor out variables common to all clauses: phi = x1 & ... & xk & rest.
-    try:
-        common, residual = factor_common_variables(function)
-    except ConstantTrue as constant:
-        # Some clause consists solely of the common variables, so the whole
-        # function is the conjunction of those literals (times the constant 1
-        # over any leftover domain variables).
-        common = function.common_variables()
-        literals: list[DTreeNode] = [LiteralLeaf(v) for v in sorted(common)]
-        if constant.domain:
-            literals.append(TrueLeaf(constant.domain))
-        return DecompAnd(literals) if len(literals) > 1 else literals[0]
-    if common:
-        literals = [LiteralLeaf(v) for v in sorted(common)]
-        residual_node = _compile(residual, heuristic, budget)
-        return DecompAnd(literals + [residual_node])
+            # Factor out common variables: phi = x1 & ... & xk & rest.
+            try:
+                common, residual = factor_common_variables(current)
+            except ConstantTrue as constant:
+                # Some clause consists solely of the common variables, so the
+                # whole function is the conjunction of those literals (times
+                # the constant 1 over any leftover domain variables).
+                common = current.common_variables()
+                literals: list[DTreeNode] = [
+                    LiteralLeaf(v) for v in sorted(common)
+                ]
+                if constant.domain:
+                    literals.append(TrueLeaf(constant.domain))
+                results.append(
+                    DecompAnd(literals, domain=current.domain)
+                    if len(literals) > 1 else literals[0])
+                continue
+            if common:
+                work.append(("factored", sorted(common), current.domain))
+                work.append(("open", residual))
+                continue
 
-    # Independence partitioning: split into variable-disjoint components.
-    components = independent_components(function)
-    if len(components) > 1:
-        children = [_compile(component, heuristic, budget)
-                    for component in components]
-        return DecompOr(children)
+            # Independence partitioning: variable-disjoint components.
+            components = independent_components(current)
+            if len(components) > 1:
+                work.append(("or", len(components), current.domain))
+                for component in reversed(components):
+                    work.append(("open", component))
+                continue
 
-    # Shannon expansion on a heuristically selected variable.
-    variable = heuristic(function)
-    budget.charge_shannon()
-    negative_cofactor = function.cofactor(variable, False)
-    try:
-        positive_cofactor = function.cofactor(variable, True)
-        positive_node: DTreeNode = _compile(positive_cofactor, heuristic, budget)
-    except ConstantTrue as constant:
-        positive_node = TrueLeaf(constant.domain)
-    positive_branch = DecompAnd([LiteralLeaf(variable), positive_node])
-    negative_branch = DecompAnd([
-        LiteralLeaf(variable, negated=True),
-        _compile(negative_cofactor, heuristic, budget),
-    ])
-    return ExclusiveOr([positive_branch, negative_branch])
+            # Shannon expansion on a heuristically selected variable.
+            variable = heuristic(current)
+            budget.charge_shannon()
+            negative_cofactor = current.cofactor(variable, False)
+            try:
+                positive_cofactor = current.cofactor(variable, True)
+            except ConstantTrue as constant:
+                work.append(("shannon", variable, constant.domain,
+                             current.domain))
+                work.append(("open", negative_cofactor))
+            else:
+                work.append(("shannon", variable, None, current.domain))
+                work.append(("open", negative_cofactor))
+                work.append(("open", positive_cofactor))
+            continue
+
+        if tag == "silent":
+            core = results.pop()
+            results.append(DecompAnd([core, TrueLeaf(frame[1])],
+                                     domain=frame[2]))
+        elif tag == "factored":
+            residual_node = results.pop()
+            literals = [LiteralLeaf(v) for v in frame[1]]
+            results.append(DecompAnd(literals + [residual_node],
+                                     domain=frame[2]))
+        elif tag == "or":
+            count = frame[1]
+            children = results[-count:]
+            del results[-count:]
+            results.append(DecompOr(children, domain=frame[2]))
+        else:  # "shannon"
+            variable, constant_domain, domain = frame[1], frame[2], frame[3]
+            if constant_domain is None:
+                positive_node, negative_node = results[-2], results[-1]
+                del results[-2:]
+            else:
+                negative_node = results.pop()
+                positive_node = TrueLeaf(constant_domain)
+            results.append(ExclusiveOr([
+                DecompAnd([LiteralLeaf(variable), positive_node],
+                          domain=domain),
+                DecompAnd([LiteralLeaf(variable, negated=True),
+                           negative_node], domain=domain),
+            ], domain=domain))
+
+    return results[0]

@@ -49,7 +49,8 @@ def node_for(function: DNF) -> DTreeNode:
         literal = LiteralLeaf(variable)
         silent = absorbed.domain - {variable}
         if silent:
-            return DecompAnd([literal, TrueLeaf(silent)])
+            return DecompAnd([literal, TrueLeaf(silent)],
+                             domain=absorbed.domain)
         return literal
     return DNFLeaf(absorbed)
 
@@ -155,14 +156,13 @@ class IncrementalCompiler:
     def _expand_leaf(self, leaf: DNFLeaf) -> bool:
         """Decompose one leaf in place.  Returns ``True`` on Shannon expansion."""
         function = leaf.function
-        occurring = function.variables
-        silent = function.domain - occurring
+        silent = function.silent_variables()
 
         if silent:
             replacement = DecompAnd([
                 node_for(function.restricted_domain()),
                 TrueLeaf(silent),
-            ])
+            ], domain=function.domain)
             self._replace(leaf, replacement)
             return False
 
@@ -174,19 +174,20 @@ class IncrementalCompiler:
             ]
             if constant.domain:
                 literals.append(TrueLeaf(constant.domain))
-            replacement = (DecompAnd(literals) if len(literals) > 1
-                           else literals[0])
+            replacement = (DecompAnd(literals, domain=function.domain)
+                           if len(literals) > 1 else literals[0])
             self._replace(leaf, replacement)
             return False
         if common:
             children = [LiteralLeaf(v) for v in sorted(common)]
             children.append(node_for(residual))
-            self._replace(leaf, DecompAnd(children))
+            self._replace(leaf, DecompAnd(children, domain=function.domain))
             return False
 
         components = independent_components(function)
         if len(components) > 1:
-            self._replace(leaf, DecompOr([node_for(c) for c in components]))
+            self._replace(leaf, DecompOr([node_for(c) for c in components],
+                                         domain=function.domain))
             return False
 
         # Shannon expansion.
@@ -196,12 +197,15 @@ class IncrementalCompiler:
             positive_node = node_for(function.cofactor(variable, True))
         except ConstantTrue as constant:
             positive_node = TrueLeaf(constant.domain)
-        positive_branch = DecompAnd([LiteralLeaf(variable), positive_node])
+        domain = function.domain
+        positive_branch = DecompAnd([LiteralLeaf(variable), positive_node],
+                                    domain=domain)
         negative_branch = DecompAnd([
             LiteralLeaf(variable, negated=True),
             node_for(negative),
-        ])
-        self._replace(leaf, ExclusiveOr([positive_branch, negative_branch]))
+        ], domain=domain)
+        self._replace(leaf, ExclusiveOr([positive_branch, negative_branch],
+                                        domain=domain))
         return True
 
     def _replace(self, old: DTreeNode, new: DTreeNode) -> None:

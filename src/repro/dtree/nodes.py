@@ -181,16 +181,19 @@ class LiteralLeaf(DTreeNode):
     positive.
     """
 
-    __slots__ = ("variable", "negated")
+    __slots__ = ("variable", "negated", "_domain")
 
     def __init__(self, variable: int, negated: bool = False) -> None:
         super().__init__()
         self.variable = int(variable)
         self.negated = bool(negated)
+        # The one-variable domain is read on every evaluation pass; build
+        # the frozenset once instead of per property access.
+        self._domain = frozenset((self.variable,))
 
     @property
     def domain(self) -> FrozenSet[int]:
-        return frozenset({self.variable})
+        return self._domain
 
     def evaluate(self, true_variables: FrozenSet[int]) -> bool:
         value = self.variable in true_variables
@@ -249,7 +252,8 @@ class _InnerNode(DTreeNode):
     #: Human-readable operator symbol; overridden by subclasses.
     symbol = "?"
 
-    def __init__(self, children: Iterable[DTreeNode]) -> None:
+    def __init__(self, children: Iterable[DTreeNode],
+                 domain: Optional[FrozenSet[int]] = None) -> None:
         super().__init__()
         child_list = list(children)
         if len(child_list) < 1:
@@ -257,7 +261,12 @@ class _InnerNode(DTreeNode):
         self._children = child_list
         for child in child_list:
             child.parent = self
-        self._domain = frozenset().union(*(c.domain for c in child_list))
+        if domain is None:
+            domain = frozenset().union(*(c.domain for c in child_list))
+        # A caller-supplied domain is trusted (the compilers already hold
+        # the exact domain of the function being decomposed); validate()
+        # still checks the structural invariants.
+        self._domain = domain
 
     @property
     def domain(self) -> FrozenSet[int]:

@@ -74,10 +74,14 @@ def encode_tree(root: DTreeNode) -> list:
         elif isinstance(node, LiteralLeaf):
             encoded[id(node)] = ["L", node.variable, bool(node.negated)]
         elif isinstance(node, DNFLeaf):
+            # sorted_clauses() reads straight off the bitset kernel's masks
+            # (sorted tuples over the sorted domain), so a mask-only DNF
+            # round-trips without materializing its frozenset view; the
+            # emitted list-of-lists wire shape is unchanged.
             encoded[id(node)] = [
                 "D",
                 sorted(node.function.domain),
-                sorted(sorted(clause) for clause in node.function.clauses),
+                [list(clause) for clause in node.function.sorted_clauses()],
             ]
         elif type(node) in _INNER_TAGS:
             stack.append((node, True))
@@ -173,8 +177,33 @@ def clone_tree(root: DTreeNode) -> DTreeNode:
 
 
 def trees_equal(left: DTreeNode, right: DTreeNode) -> bool:
-    """Structural equality of two d-trees (same shapes, domains, leaves)."""
-    return encode_tree(left) == encode_tree(right)
+    """Structural equality of two d-trees (same shapes, domains, leaves).
+
+    Paired iterative walk: comparing the encoded nested lists instead
+    would recurse inside the C-level list comparison and hit the
+    interpreter recursion limit on deep Shannon chains.
+    """
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, (TrueLeaf, FalseLeaf)):
+            if a.domain != b.domain:
+                return False
+        elif isinstance(a, LiteralLeaf):
+            if a.variable != b.variable or a.negated != b.negated:
+                return False
+        elif isinstance(a, DNFLeaf):
+            if a.function != b.function:
+                return False
+        else:
+            left_children = a.children()
+            right_children = b.children()
+            if len(left_children) != len(right_children):
+                return False
+            stack.extend(zip(left_children, right_children))
+    return True
 
 
 __all__ = [

@@ -29,7 +29,7 @@ d-tree memo).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.dtree.compile import CompilationBudget
@@ -63,12 +63,24 @@ class CompiledLineage:
         Cumulative compilation work already paid for this lineage —
         carried across processes so resumed compilations keep honest
         totals.
+    counts:
+        Node-id-keyed subtree model-count memo shared by every exact
+        evaluation pass over this artifact's tree
+        (:mod:`repro.core.exaban` fills and reuses it), so repeat
+        attribution / ranking / top-k over one compiled lineage never
+        recount a subtree.  Derived data: never serialized (node ids are
+        process-local), rebuilt on first evaluation after a load, and
+        only ever populated for *complete* trees (partial trees are
+        resumed via a clone, whose fresh node ids leave a stale memo
+        unreachable).
     """
 
     root: DTreeNode
     complete: bool
     shannon_steps: int = 0
     expansion_steps: int = 0
+    counts: Dict[int, int] = field(default_factory=dict, compare=False,
+                                   repr=False)
 
     @classmethod
     def from_complete_tree(cls, root: DTreeNode,

@@ -348,7 +348,7 @@ def _compute_canonical(function: DNF, method: EngineMethod,
             # without cloning or re-persisting the tree.  As under
             # ``auto``, ``method_used`` records what actually ran.
             occurring = function.variables
-            raw = exaban_all(artifact.root)
+            raw = exaban_all(artifact.root, counts=artifact.counts)
             return CachedAttribution(
                 method_used="exact",
                 values={v: Fraction(value) for v, value in raw.items()
@@ -377,7 +377,7 @@ def _compute_canonical(function: DNF, method: EngineMethod,
             return (CachedAttribution(method_used="shapley",
                                       values=dict(values)),
                     False, artifact_out, 0)
-        raw = exaban_all(artifact_out.root)
+        raw = exaban_all(artifact_out.root, counts=artifact_out.counts)
     except (CompilationLimitReached, RecursionError):
         compiler = partial_slot[0] if partial_slot else None
         if method != "auto":
@@ -800,6 +800,10 @@ class Engine:
             self.stats.tree_compilations += 1
         elif not artifact.complete:
             self.stats.artifact_resumes += 1
+        elif artifact.counts:
+            # A complete artifact whose subtree-count memo is already warm:
+            # the evaluation below will not recount a single subtree.
+            self.stats.count_memo_hits += 1
         ensure_recursion_head_room()
 
         def sink(partial: CompiledLineage) -> None:

@@ -96,7 +96,9 @@ def _exact_ranking(function: DNF,
     (silent domain variables have Banzhaf value 0 and never rank).
     """
     occurring = function.variables
-    values = {v: value for v, value in exaban_all(artifact.root).items()
+    values = {v: value
+              for v, value in exaban_all(artifact.root,
+                                         counts=artifact.counts).items()
               if v in occurring}
     return RankingComputation(outcome=CachedAttribution(
         method_used="exact",

@@ -54,6 +54,11 @@ class EngineStats:
     artifact_resumes:
         Reused artifacts that were *partial*: refinement resumed from
         the persisted/cached frontier instead of restarting.
+    count_memo_hits:
+        Computations that reused a complete artifact whose subtree
+        model-count memo was already populated by an earlier evaluation
+        (ranking / top-k / repeat attribution over one compiled lineage
+        recount no subtree at all).
     fallbacks:
         ``auto``-method computations where exact compilation exhausted its
         budget and the engine fell back to AdaBan.
@@ -80,6 +85,7 @@ class EngineStats:
     artifact_hits: int = 0
     artifact_store_hits: int = 0
     artifact_resumes: int = 0
+    count_memo_hits: int = 0
     fallbacks: int = 0
     refinement_rounds: int = 0
     partial_results: int = 0
@@ -157,6 +163,7 @@ class EngineStats:
                 "memory_hits": self.artifact_hits,
                 "store_hits": self.artifact_store_hits,
                 "resumes": self.artifact_resumes,
+                "count_memo_hits": self.count_memo_hits,
                 "hit_rate": round(self.artifact_hit_rate(), 4),
             },
             "fallbacks": self.fallbacks,
@@ -180,6 +187,7 @@ class EngineStats:
         self.artifact_hits = 0
         self.artifact_store_hits = 0
         self.artifact_resumes = 0
+        self.count_memo_hits = 0
         self.fallbacks = 0
         self.refinement_rounds = 0
         self.partial_results = 0

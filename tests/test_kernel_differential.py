@@ -1,0 +1,294 @@
+"""Differential tests: bitset kernel vs the frozenset reference.
+
+Every hot DNF operation has two implementations selected by
+:func:`repro.boolean.dnf.set_kernel_enabled`: the bitset-kernel fast path
+and the original frozenset code kept alive as the reference.  These tests
+run both on the same inputs -- Hypothesis-generated random DNFs -- and
+require identical results, plus an end-to-end check that every engine
+method produces bit-identical Banzhaf/Shapley values under either kernel.
+
+Each side gets its own freshly built DNF so no lazily cached view leaks
+across the mode switch.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from dnf_strategies import small_dnfs
+from repro.boolean.dnf import (
+    DNF,
+    ConstantTrue,
+    frozenset_reference,
+    kernel_enabled,
+    set_kernel_enabled,
+)
+from repro.boolean.idnf import idnf_model_count, is_idnf, lower_idnf, upper_idnf
+from repro.boolean.operations import (
+    factor_common_variables,
+    independent_components,
+    shannon_expansion,
+)
+from repro.core.exaban import exaban_all
+from repro.dtree.compile import compile_dnf
+from repro.dtree.heuristics import select_max_depth_reduction, select_most_frequent
+from repro.engine import Engine, EngineConfig
+from repro.engine.canonical import canonicalize
+from repro.workloads.generators import random_positive_dnf
+
+
+def _clone(function: DNF) -> DNF:
+    """A fresh DNF with the same clauses/domain and no cached views."""
+    return DNF(function.sorted_clauses(), domain=function.domain)
+
+
+def _both_modes(function: DNF, operation):
+    """Run ``operation`` on private clones under both kernels.
+
+    Returns ``(kernel_result, reference_result)``; a raised
+    :class:`ConstantTrue` is captured as ``("TRUE", domain)`` so the
+    exception parity (including the carried domain) is compared too.
+    """
+
+    def run(clone: DNF):
+        try:
+            return operation(clone)
+        except ConstantTrue as constant:
+            return ("TRUE", constant.domain)
+
+    assert kernel_enabled()
+    with_kernel = run(_clone(function))
+    with frozenset_reference():
+        without_kernel = run(_clone(function))
+    return with_kernel, without_kernel
+
+
+def _component_key(components):
+    return sorted((tuple(sorted(c.domain)), c.sorted_clauses())
+                  for c in components)
+
+
+class TestOperationDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_absorb(self, function):
+        kernel, reference = _both_modes(function, lambda f: f.absorb())
+        assert kernel == reference
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_cofactor_both_values(self, function):
+        for variable in sorted(function.domain):
+            for value in (False, True):
+                kernel, reference = _both_modes(
+                    function, lambda f: f.cofactor(variable, value))
+                assert kernel == reference, (variable, value)
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_factor_common_variables(self, function):
+        kernel, reference = _both_modes(
+            function, lambda f: factor_common_variables(f))
+        assert kernel == reference
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_independent_components(self, function):
+        kernel, reference = _both_modes(
+            function, lambda f: _component_key(independent_components(f)))
+        assert kernel == reference
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_kernel_built_dnfs_equal_rebuilt(self, function):
+        """Every kernel surgery's output upholds the sorted-mask invariant.
+
+        Mask-tuple equality over equal orders must be clause-set equality,
+        so each derived DNF must compare equal (both directions, and as a
+        dict key) to a fresh DNF built from its clause view.
+        """
+        derived = list(independent_components(function))
+        derived.append(function.absorb())
+        derived.append(function.restricted_domain())
+        try:
+            derived.append(factor_common_variables(function)[1])
+        except ConstantTrue:
+            pass
+        for variable in sorted(function.domain):
+            try:
+                derived.append(function.cofactor(variable, True))
+            except ConstantTrue:
+                pass
+            derived.append(function.cofactor(variable, False))
+        for result in derived:
+            rebuilt = DNF(result.sorted_clauses(), domain=result.domain)
+            assert result == rebuilt and rebuilt == result
+            assert hash(result) == hash(rebuilt)
+            assert {result: 1}.get(rebuilt) == 1
+
+    def test_bridge_merge_components_stay_normalized(self):
+        # Clause {0, 2} bridges the earlier {0} and {2} components: the
+        # folded group's masks must come back sorted, or the component's
+        # kernel breaks the ascending-mask invariant and equality with an
+        # independently built equal DNF fails.
+        function = DNF([[0], [2], [0, 2], [3]], domain=[0, 1, 2, 3])
+        components = independent_components(function)
+        bridged = next(c for c in components if 0 in c.variables)
+        rebuilt = DNF(bridged.sorted_clauses(), domain=bridged.domain)
+        assert bridged == rebuilt and rebuilt == bridged
+        assert {bridged: 1}.get(rebuilt) == 1
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_shannon_expansion(self, function):
+        variable = min(function.domain)
+        kernel, reference = _both_modes(
+            function, lambda f: shannon_expansion(f, variable))
+        assert kernel == reference
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_accessors(self, function):
+        probes = sorted(function.domain) + [max(function.domain) + 7]
+
+        def snapshot(f: DNF):
+            return (
+                f.variables,
+                f.common_variables(),
+                f.variable_frequencies(),
+                f.sorted_clauses(),
+                f.size(),
+                f.num_clauses(),
+                f.is_single_literal(),
+                [f.contains_variable(v) for v in probes],
+            )
+
+        kernel, reference = _both_modes(function, snapshot)
+        assert kernel == reference
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_idnf_syntheses(self, function):
+        def synth(f: DNF):
+            lower = lower_idnf(f)
+            upper = upper_idnf(f)
+            return (lower, upper, idnf_model_count(lower),
+                    idnf_model_count(upper), is_idnf(f))
+
+        kernel, reference = _both_modes(function, synth)
+        assert kernel == reference
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_dnfs())
+    def test_heuristics(self, function):
+        def pick(f: DNF):
+            return (select_most_frequent(f), select_max_depth_reduction(f))
+
+        kernel, reference = _both_modes(function, pick)
+        assert kernel == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dnfs())
+    def test_exact_banzhaf_end_to_end(self, function):
+        def banzhaf(f: DNF):
+            return exaban_all(compile_dnf(f))
+
+        kernel, reference = _both_modes(function, banzhaf)
+        assert kernel == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dnfs())
+    def test_iterative_passes_match_seed_recursive(self, function):
+        """Fused iterative passes == the seed recursive reference passes."""
+        from repro.core import reference as seed
+        from repro.core.exaban import exaban, model_count
+        from repro.core.shapley import shapley_all
+
+        tree = compile_dnf(function)
+        counts: dict = {}
+        assert model_count(tree, counts) == seed.model_count_recursive(tree)
+        assert exaban_all(tree, counts) == seed.exaban_all_recursive(tree)
+        for variable in sorted(function.domain):
+            assert exaban(tree, variable, counts) == \
+                seed.exaban_recursive(tree, variable)
+        assert shapley_all(function, tree=tree) == \
+            seed.shapley_all_recursive(function, tree)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dnfs())
+    def test_canonical_key_stable_across_kernels(self, function):
+        def canonical(f: DNF):
+            lineage = canonicalize(f)
+            return (lineage.key, lineage.dnf, lineage.to_canonical)
+
+        kernel, reference = _both_modes(function, canonical)
+        assert kernel == reference
+
+
+class TestLazyViews:
+    def test_kernel_built_dnf_materializes_clauses(self):
+        lineage = canonicalize(DNF([[3, 5], [5, 9]], domain=[1, 3, 5, 9]))
+        canonical_dnf = lineage.dnf
+        # Built mask-first by canonicalize: the frozenset view must agree.
+        assert canonical_dnf.clauses == frozenset(
+            frozenset(clause) for clause in lineage.key[1])
+        assert canonical_dnf == DNF(lineage.key[1],
+                                    domain=range(len(lineage.to_canonical)))
+        assert hash(canonical_dnf) == hash(
+            DNF(lineage.key[1], domain=range(len(lineage.to_canonical))))
+
+    def test_mode_switch_mid_object_is_safe(self):
+        function = DNF([[0, 1], [1, 2]], domain=[0, 1, 2, 3])
+        reduced = function.cofactor(1, True)  # kernel-built, masks only
+        previous = set_kernel_enabled(False)
+        try:
+            # Reference-mode accessors materialize the frozenset view.
+            assert reduced.variables == frozenset({0, 2})
+            assert reduced.clauses == frozenset({frozenset({0}),
+                                                 frozenset({2})})
+            assert reduced.domain == frozenset({0, 2, 3})
+        finally:
+            set_kernel_enabled(previous)
+
+
+@pytest.fixture(scope="module")
+def method_lineages():
+    import random
+
+    rng = random.Random(42)
+    return [random_positive_dnf(rng, num_variables=7, num_clauses=5,
+                                clause_width=(1, 3))
+            for _ in range(6)]
+
+
+class TestEngineMethodsDifferential:
+    """End-to-end Banzhaf equality across all engine methods, both kernels."""
+
+    @pytest.mark.parametrize("method,epsilon,k", [
+        ("exact", 0.1, None),
+        ("auto", 0.1, None),
+        ("approximate", 0.1, None),
+        ("shapley", 0.1, None),
+        ("rank", 0.1, None),
+        ("topk", 0.1, 3),
+    ])
+    def test_methods_agree_across_kernels(self, method_lineages, method,
+                                          epsilon, k):
+        def run(lineages):
+            engine = Engine(EngineConfig(method=method, epsilon=epsilon, k=k))
+            outcomes = engine.attribute_lineages(lineages)
+            return [
+                (outcome.method_used,
+                 {v: Fraction(value) for v, value in outcome.values.items()},
+                 dict(outcome.bounds))
+                for outcome in outcomes
+            ]
+
+        assert kernel_enabled()
+        with_kernel = run([_clone(f) for f in method_lineages])
+        with frozenset_reference():
+            without_kernel = run([_clone(f) for f in method_lineages])
+        assert with_kernel == without_kernel
