@@ -35,7 +35,13 @@ Two subcommands expose the persistent cache tier and the serving loop
 JSON Lines request file (one ``{"op": "attribute"|"rank"|"topk", "query":
 ...}`` object per line; ``-`` reads stdin), printing one JSON response
 per line; ``--store DIR`` adds the on-disk cache tier and ``--warm-start``
-preloads it into memory.  ``cache save`` computes the given queries and
+preloads it into memory.  ``--workers N`` (N >= 2) serves through the
+concurrent front-end (:mod:`repro.engine.frontend`) -- worker threads,
+in-flight coalescing of isomorphic computations (``--no-coalesce``
+disables), micro-batching (``--batch-max``), a bounded admission queue
+(``--max-queue``), and a default per-request deadline (``--deadline-ms``)
+under which late requests degrade to best-effort partials -- while
+keeping responses in input order.  ``cache save`` computes the given queries and
 persists the resulting cache entries -- results *and* compiled-lineage
 artifacts, so a later process skips recompilation too -- for warm
 starts; ``cache load`` verifies a store by loading it into a fresh
@@ -54,6 +60,7 @@ from typing import Iterable, List, Sequence, Tuple
 from repro.db.database import Database
 from repro.db.datalog import parse_query
 from repro.engine import Engine, EngineConfig
+from repro.engine.frontend import FrontendConfig, serve_jsonl_concurrent
 from repro.engine.serve import AttributionService, serve_jsonl
 from repro.engine.store import DiskStore
 
@@ -325,11 +332,41 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="print the service's tier hit rates and "
                              "engine counters after the stream")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker threads; 2 or more serve through the "
+                             "concurrent front-end with in-flight "
+                             "coalescing and micro-batching (default: 1, "
+                             "the plain serial loop)")
+    parser.add_argument("--max-queue", type=int, default=64, metavar="N",
+                        help="admission-queue bound of the concurrent "
+                             "front-end (default: 64; needs --workers >= 2)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="default per-request deadline: requests "
+                             "missing it degrade to best-effort partial "
+                             "answers (needs --workers >= 2; a request's "
+                             "own deadline_ms field overrides it)")
+    parser.add_argument("--batch-max", type=int, default=8, metavar="N",
+                        help="micro-batch bound of the concurrent "
+                             "front-end; 1 disables batching (default: 8; "
+                             "needs --workers >= 2)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable in-flight coalescing of isomorphic "
+                             "computations (needs --workers >= 2)")
     arguments = parser.parse_args(list(argv))
     if not arguments.facts:
         parser.error("at least one --facts NAME=PATH is required")
     if arguments.warm_start and arguments.store is None:
         parser.error("--warm-start needs --store")
+    if arguments.workers < 1:
+        parser.error("--workers must be at least 1")
+    if arguments.workers == 1:
+        for flag, given in (("--deadline-ms",
+                             arguments.deadline_ms is not None),
+                            ("--no-coalesce", arguments.no_coalesce)):
+            if given:
+                parser.error(f"{flag} needs the concurrent front-end: "
+                             "pass --workers 2 or more")
 
     database = _build_database(arguments.facts, arguments.exogenous, log)
     store = _open_store(arguments) if arguments.store is not None else None
@@ -343,11 +380,27 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
         print(f"warm start: {service.warm_loaded} entries loaded into "
               "memory", file=log)
 
+    if arguments.workers > 1:
+        frontend_config = FrontendConfig(
+            workers=arguments.workers,
+            max_queue=arguments.max_queue,
+            batch_max=arguments.batch_max,
+            coalesce=not arguments.no_coalesce,
+            deadline_ms=arguments.deadline_ms,
+        )
+
+        def _serve(lines):
+            return serve_jsonl_concurrent(service, lines, stream,
+                                          frontend_config)
+    else:
+        def _serve(lines):
+            return serve_jsonl(service, lines, stream)
+
     if arguments.requests == "-":
-        all_ok = serve_jsonl(service, sys.stdin, stream)
+        all_ok = _serve(sys.stdin)
     else:
         with open(arguments.requests, "r", encoding="utf-8") as handle:
-            all_ok = serve_jsonl(service, handle, stream)
+            all_ok = _serve(handle)
 
     if arguments.stats:
         print("\nservice stats:", file=log)

@@ -37,8 +37,19 @@ from repro.engine.engine import (
     engine_for,
     ensure_recursion_head_room,
 )
+from repro.engine.frontend import (
+    FrontendConfig,
+    ServingFrontend,
+    Ticket,
+    serve_jsonl_concurrent,
+)
 from repro.engine.ranking import RankingComputation, compute_ranking
-from repro.engine.serve import AttributionService, RequestError, serve_jsonl
+from repro.engine.serve import (
+    AttributionService,
+    ParsedRequest,
+    RequestError,
+    serve_jsonl,
+)
 from repro.engine.stats import EngineStats
 from repro.engine.store import (
     STORE_FORMAT_VERSION,
@@ -64,15 +75,19 @@ __all__ = [
     "EngineConfig",
     "EngineMethod",
     "EngineStats",
+    "FrontendConfig",
     "LineageAttribution",
     "LineageCache",
     "LRUCache",
     "MemoryStore",
+    "ParsedRequest",
     "RankedAnswer",
     "RankingComputation",
     "RequestError",
     "ResultKey",
     "STORE_FORMAT_VERSION",
+    "ServingFrontend",
+    "Ticket",
     "canonical_epsilon",
     "canonicalize",
     "complete_compilation",
@@ -86,4 +101,5 @@ __all__ = [
     "save_artifacts",
     "save_results",
     "serve_jsonl",
+    "serve_jsonl_concurrent",
 ]

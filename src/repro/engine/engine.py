@@ -433,8 +433,10 @@ class Engine:
     One engine instance owns one cache and one stats object; reuse the
     instance across queries to benefit from cross-query memoization.  Cache
     operations are individually lock-protected, so threads sharing an
-    engine can at worst duplicate a computation (never corrupt state);
-    stats counters are best-effort under concurrency.  The process pool is
+    engine can at worst duplicate a computation (never corrupt state), and
+    stats counters go through :meth:`EngineStats.bump`, so concurrent
+    increments are never dropped either (the concurrent front-end in
+    :mod:`repro.engine.frontend` relies on both).  The process pool is
     created per compute batch and always torn down before the batch
     returns.
     """
@@ -489,7 +491,7 @@ class Engine:
         from repro.core.attribution import AttributionResult
 
         for query in queries:
-            self.stats.queries += 1
+            self.stats.bump(queries=1)
             with self.stats.timed("evaluate"):
                 answers = lineage_of_answers(query, database,
                                              domain=self.config.domain)
@@ -520,7 +522,7 @@ class Engine:
                 f"method='rank' or 'topk', not {self.config.method!r}"
             )
         for query in queries:
-            self.stats.queries += 1
+            self.stats.bump(queries=1)
             with self.stats.timed("evaluate"):
                 answers = lineage_of_answers(query, database,
                                              domain=self.config.domain)
@@ -642,7 +644,7 @@ class Engine:
                 "method 'topk' needs k: set EngineConfig.k or pass k "
                 "per call"
             )
-        self.stats.answers += len(lineages)
+        self.stats.bump(answers=len(lineages))
 
         with self.stats.timed("canonicalize"):
             canonicals = [canonicalize(lineage) for lineage in lineages]
@@ -655,13 +657,13 @@ class Engine:
                 hit = self.cache.results.get(key)
                 if hit is not None:
                     cached[index] = hit
-                    self.stats.cache_hits += 1
+                    self.stats.bump(cache_hits=1)
                     continue
                 if key in pending:
                     # An isomorphic lineage earlier in this batch is already
                     # scheduled; share its computation.
                     pending[key].append(index)
-                    self.stats.cache_hits += 1
+                    self.stats.bump(cache_hits=1)
                     continue
                 if self.store is not None:
                     stored = self.store.get(key)
@@ -670,10 +672,10 @@ class Engine:
                         # the rest of this process serves it for free.
                         self.cache.results.put(key, stored)
                         cached[index] = stored
-                        self.stats.store_hits += 1
+                        self.stats.bump(store_hits=1)
                         continue
                 pending[key] = [index]
-                self.stats.cache_misses += 1
+                self.stats.bump(cache_misses=1)
 
         with self.stats.timed("compute"):
             tasks = [(key, indices[0]) for key, indices in pending.items()]
@@ -733,7 +735,7 @@ class Engine:
                 and len(tasks) >= config.parallel_min_tasks):
             try:
                 for position, outcome in self._compute_parallel(tasks, k):
-                    self.stats.compilations += 1
+                    self.stats.bump(compilations=1)
                     done.add(position)
                     yield position, outcome
                 return
@@ -747,7 +749,7 @@ class Engine:
             if position in done:
                 continue
             outcome = self._compute_serial(canonical, k)
-            self.stats.compilations += 1
+            self.stats.bump(compilations=1)
             yield position, outcome
 
     def _artifact_for(self, key: CanonicalKey) -> Optional[CompiledLineage]:
@@ -759,13 +761,13 @@ class Engine:
         """
         artifact = self.cache.artifacts.get(key)
         if artifact is not None:
-            self.stats.artifact_hits += 1
+            self.stats.bump(artifact_hits=1)
             return artifact
         store = self.store
         if store is not None and hasattr(store, "get_artifact"):
             artifact = store.get_artifact(key)
             if artifact is not None:
-                self.stats.artifact_store_hits += 1
+                self.stats.bump(artifact_store_hits=1)
                 self.cache.artifacts.put(key, artifact)
                 return artifact
         return None
@@ -797,13 +799,13 @@ class Engine:
         config = self.config
         artifact = self._artifact_for(canonical.key)
         if artifact is None:
-            self.stats.tree_compilations += 1
+            self.stats.bump(tree_compilations=1)
         elif not artifact.complete:
-            self.stats.artifact_resumes += 1
+            self.stats.bump(artifact_resumes=1)
         elif artifact.counts:
             # A complete artifact whose subtree-count memo is already warm:
             # the evaluation below will not recount a single subtree.
-            self.stats.count_memo_hits += 1
+            self.stats.bump(count_memo_hits=1)
         ensure_recursion_head_room()
 
         def sink(partial: CompiledLineage) -> None:
@@ -822,10 +824,10 @@ class Engine:
     def _record_outcome(self, outcome: CachedAttribution, fell_back: bool,
                         rounds: int) -> None:
         if fell_back:
-            self.stats.fallbacks += 1
-        self.stats.refinement_rounds += rounds
+            self.stats.bump(fallbacks=1)
+        self.stats.bump(refinement_rounds=rounds)
         if not outcome.converged:
-            self.stats.partial_results += 1
+            self.stats.bump(partial_results=1)
 
     def _compute_parallel(self, tasks: Sequence[CanonicalLineage],
                           k: Optional[int]
@@ -861,9 +863,9 @@ class Engine:
                     self._record_outcome(outcome, fell_back, rounds)
                     # Artifacts never cross the pool boundary: every
                     # worker computation compiles from scratch.
-                    self.stats.tree_compilations += 1
+                    self.stats.bump(tree_compilations=1)
                     yield position, outcome
-        self.stats.parallel_batches += 1
+        self.stats.bump(parallel_batches=1)
 
     # ----------------------------------------------------------------- #
     # Assembly helpers

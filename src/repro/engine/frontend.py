@@ -1,0 +1,588 @@
+"""The concurrent SLO-aware serving front-end.
+
+:class:`ServingFrontend` puts a thread pool, an admission-controlled
+queue, and two work-sharing mechanisms in front of one (thread-safe)
+:class:`~repro.engine.serve.AttributionService`, turning the
+single-threaded serving loop into the concurrent front-end the ROADMAP's
+"heavy traffic" north star asks for.  Any number of client threads call
+:meth:`ServingFrontend.submit` concurrently; each gets exactly one
+response dict -- a result, a structured rejection, or a structured error
+-- never an exception and never silence.
+
+The request lifecycle::
+
+    client -> [admission] -> bounded queue -> [worker] -> response
+                 |                               |
+                 |- invalid ........ error       |- deadline expired .. shed
+                 |- queue full ..... shed        |- single-flight
+                 |- client budget .. shed        |     follower ....... wait,
+                 |- deadline <= 0 .. shed        |     then cache hit
+                                                 |- leader: micro-batch
+                                                 |     compatible queued
+                                                 |     requests
+                                                 |- deadline scoped:
+                                                       degrade to partial
+
+**Admission control** happens on the *client's* thread, before a queue
+slot is taken: malformed requests are answered immediately (they must
+not occupy capacity), and a full queue, an exhausted per-client budget,
+or an already-expired deadline yields a structured rejection
+(``{"ok": false, "rejected": "<reason>", ...}``) -- counted as
+``shed_requests`` in the shared engine stats, never silently dropped.
+
+**In-flight coalescing (single-flight).**  Concurrent requests whose
+computations are identical -- same op and method parameters over
+WL-*isomorphic* answer lineages, per
+:meth:`AttributionService.coalesce_key` -- share one computation.  The
+first worker to take a key becomes its *leader* and computes through the
+service (populating the shared result cache); *followers* wait on the
+leader's event and then serve themselves from the now-warm cache.  The
+leader always pops the key and sets the event in a ``finally``, so a
+failing computation can never poison the map or strand a follower, and
+each follower still produces its own fact-space response (isomorphic
+lineages over *different* facts coalesce compute, not answers).
+
+**Micro-batching.**  A worker that picks up an ``attribute`` request
+drains up to ``batch_max - 1`` further compatible requests (same method,
+no deadline) from the queue and runs them through one
+:meth:`AttributionService.submit_batch` call -- one engine batch, one
+store flush, and in-batch isomorph deduplication for free.
+
+**Deadlines.**  A request's ``deadline_ms`` (or the configured default)
+is measured from admission.  Expiry while queued sheds the request; a
+request picked up in time runs with its *remaining* budget on a
+deadline-scoped engine and degrades to a best-effort partial instead of
+erroring when the budget runs out mid-compute (see
+:meth:`AttributionService.submit`).  Deadline-carrying requests skip
+coalescing and batching: their partial results are never cached, so
+there is nothing for a follower to reuse.
+
+Typical use::
+
+    service = AttributionService(db, store=DiskStore(path))
+    with ServingFrontend(service, FrontendConfig(workers=8)) as frontend:
+        response = frontend.submit({"op": "attribute", "query": "..."})
+
+``repro serve --workers N`` drives :func:`serve_jsonl_concurrent`, the
+JSON-Lines loop over this front-end (input-order responses, backpressure
+instead of shedding -- a file is a patient client).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.engine.serve import (
+    AttributionService,
+    ParsedRequest,
+    RequestError,
+)
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Tuning knobs of the concurrent front-end.
+
+    Attributes
+    ----------
+    workers:
+        Worker threads serving the queue (>= 1).
+    max_queue:
+        Bound of the admission queue; a full queue sheds (non-blocking
+        admission) or backpressures (blocking admission) new requests.
+    batch_max:
+        Upper bound of one micro-batch, including the request that
+        started it; ``1`` disables batching.
+    coalesce:
+        Enable in-flight coalescing of isomorphic computations.
+        Disabling it (``repro serve --no-coalesce``; the load benchmark's
+        baseline) makes every request compute independently.
+    deadline_ms:
+        Default per-request deadline applied when a request carries no
+        ``deadline_ms`` of its own; ``None`` = no default (requests are
+        unbounded unless they say otherwise).
+    max_inflight_per_client:
+        Per-``client`` admission budget: a client tag may have at most
+        this many requests admitted-but-unanswered at once; further ones
+        are shed with ``rejected: "client_budget"``.  ``None`` disables
+        the budget; requests without a ``client`` tag are never budgeted.
+    """
+
+    workers: int = 4
+    max_queue: int = 64
+    batch_max: int = 8
+    coalesce: bool = True
+    deadline_ms: Optional[float] = None
+    max_inflight_per_client: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if (self.max_inflight_per_client is not None
+                and self.max_inflight_per_client < 1):
+            raise ValueError("max_inflight_per_client must be at least 1")
+
+
+class Ticket:
+    """One admitted request's future response.
+
+    Returned by :meth:`ServingFrontend.submit_nowait`; :meth:`result`
+    blocks until a worker finished the request.  Every admitted ticket is
+    finished exactly once -- workers wrap serving in a catch-all, so even
+    a request that makes the engine raise produces a structured error
+    response here.
+    """
+
+    __slots__ = ("request", "parsed", "deadline_at", "enqueued_at",
+                 "_done", "_response")
+
+    def __init__(self, request: Dict[str, object], parsed: ParsedRequest,
+                 deadline_at: Optional[float]) -> None:
+        self.request = request
+        self.parsed = parsed
+        self.deadline_at = deadline_at
+        self.enqueued_at = time.monotonic()
+        self._done = threading.Event()
+        self._response: Optional[Dict[str, object]] = None
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """Block until the response is ready and return it."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("ticket not finished within timeout")
+        assert self._response is not None
+        return self._response
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def _finish(self, response: Dict[str, object]) -> None:
+        self._response = response
+        self._done.set()
+
+
+#: Sentinel a worker interprets as "drain nothing more; exit".
+_SHUTDOWN = object()
+
+
+class ServingFrontend:
+    """Concurrent request front-end over one :class:`AttributionService`.
+
+    See the module docstring for the mechanism; thread-safety of the
+    underlying tiers is the service's contract (shared LRU caches, the
+    store, and :class:`~repro.engine.stats.EngineStats` all lock
+    internally).  Close the front-end (or use it as a context manager) to
+    drain the queue, stop the workers, and flush the store.
+    """
+
+    def __init__(self, service: AttributionService,
+                 config: Optional[FrontendConfig] = None) -> None:
+        self.service = service
+        self.config = config or FrontendConfig()
+        self._queue: "queue.Queue[object]" = queue.Queue(
+            maxsize=self.config.max_queue)
+        self._inflight: Dict[Tuple[object, ...], threading.Event] = {}
+        self._inflight_lock = threading.Lock()
+        self._client_inflight: Dict[str, int] = {}
+        self._client_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0, "completed": 0, "coalesced": 0,
+            "rejected_invalid": 0, "shed_queue_full": 0,
+            "shed_client_budget": 0, "shed_deadline": 0,
+            "batches": 0, "batched_requests": 0, "degraded": 0,
+        }
+        self._counters_lock = threading.Lock()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-serve-{index}", daemon=True)
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ----------------------------------------------------------------- #
+    # Client side: admission
+    # ----------------------------------------------------------------- #
+
+    def submit(self, request: Dict[str, object],
+               block: bool = False) -> Dict[str, object]:
+        """Serve one request, blocking the caller until its response.
+
+        The client-facing call: admission (validation, budgets, queue
+        capacity) happens on the calling thread, then the caller blocks
+        until a worker finished the request.  ``block=True`` turns a full
+        queue into backpressure (wait for a slot) instead of shedding.
+        """
+        outcome = self.submit_nowait(request, block=block)
+        if isinstance(outcome, dict):
+            return outcome
+        return outcome.result()
+
+    def submit_nowait(self, request: Dict[str, object], block: bool = False
+                      ) -> Union[Ticket, Dict[str, object]]:
+        """Admit one request without waiting for its computation.
+
+        Returns a :class:`Ticket` on admission, or the immediate response
+        dict when admission already settled the request (validation
+        error, shed).  Either way the caller ends up with exactly one
+        response per request.
+        """
+        if self._closed:
+            raise RuntimeError("the front-end is closed")
+        try:
+            parsed = self.service.validate_request(request)
+        except RequestError as error:
+            self._count("rejected_invalid")
+            self.service.record_rejection()
+            return self._attach_id({"ok": False, "error": str(error)},
+                                   request)
+
+        deadline_seconds = parsed.deadline_seconds
+        if deadline_seconds is None and self.config.deadline_ms is not None:
+            deadline_seconds = self.config.deadline_ms / 1000.0
+        deadline_at = (time.monotonic() + deadline_seconds
+                       if deadline_seconds is not None else None)
+
+        if not self._admit_client(parsed.client):
+            return self._shed(request, "client_budget",
+                              f"client {parsed.client!r} has too many "
+                              "requests in flight")
+        ticket = Ticket(request, parsed, deadline_at)
+        try:
+            self._queue.put(ticket, block=block)
+        except queue.Full:
+            self._release_client(parsed.client)
+            return self._shed(request, "queue_full",
+                              "the admission queue is full")
+        self._count("submitted")
+        return ticket
+
+    def _admit_client(self, client: Optional[str]) -> bool:
+        budget = self.config.max_inflight_per_client
+        if client is None or budget is None:
+            return True
+        with self._client_lock:
+            inflight = self._client_inflight.get(client, 0)
+            if inflight >= budget:
+                return False
+            self._client_inflight[client] = inflight + 1
+            return True
+
+    def _release_client(self, client: Optional[str]) -> None:
+        if client is None or self.config.max_inflight_per_client is None:
+            return
+        with self._client_lock:
+            remaining = self._client_inflight.get(client, 1) - 1
+            if remaining <= 0:
+                self._client_inflight.pop(client, None)
+            else:
+                self._client_inflight[client] = remaining
+
+    def _shed(self, request: Dict[str, object], reason: str,
+              detail: str) -> Dict[str, object]:
+        """A structured rejection: the admission-control answer is still
+        an answer."""
+        self._count(f"shed_{reason}")
+        self.service.stats_counters.bump(shed_requests=1)
+        self.service.record_rejection()
+        return self._attach_id(
+            {"ok": False, "rejected": reason, "error": detail}, request)
+
+    @staticmethod
+    def _attach_id(response: Dict[str, object],
+                   request: object) -> Dict[str, object]:
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] += delta
+
+    # ----------------------------------------------------------------- #
+    # Worker side
+    # ----------------------------------------------------------------- #
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                assert isinstance(item, Ticket)
+                self._serve_safely(item, allow_batch=True)
+            finally:
+                self._queue.task_done()
+
+    def _serve_safely(self, ticket: Ticket, allow_batch: bool) -> None:
+        try:
+            self._serve_ticket(ticket, allow_batch)
+        except Exception as error:
+            # The loop must survive anything a request does.
+            if not ticket.done():
+                self._finish(ticket, self._attach_id(
+                    {"ok": False,
+                     "error": f"{type(error).__name__}: {error}"},
+                    ticket.request))
+
+    def _finish(self, ticket: Ticket,
+                response: Dict[str, object]) -> None:
+        self._release_client(ticket.parsed.client)
+        if response.get("degraded"):
+            self._count("degraded")
+        self._count("completed")
+        ticket._finish(response)
+
+    def _remaining(self, ticket: Ticket) -> Optional[float]:
+        if ticket.deadline_at is None:
+            return None
+        return ticket.deadline_at - time.monotonic()
+
+    def _serve_ticket(self, ticket: Ticket, allow_batch: bool) -> None:
+        remaining = self._remaining(ticket)
+        if remaining is not None:
+            if remaining <= 0:
+                # Expired while queued: shedding now is cheaper for
+                # everyone than computing an answer nobody awaits.
+                self._count("shed_deadline")
+                self.service.stats_counters.bump(shed_requests=1)
+                self.service.record_rejection()
+                self._finish(ticket, self._attach_id(
+                    {"ok": False, "rejected": "deadline",
+                     "error": "deadline expired while queued"},
+                    ticket.request))
+                return
+            # Deadline requests run alone: their best-effort partials are
+            # never cached, so coalescing/batching would share nothing.
+            self._finish(ticket, self.service.submit(
+                ticket.request, deadline_seconds=remaining))
+            return
+
+        if self.config.coalesce:
+            self._serve_coalesced(ticket, allow_batch)
+        else:
+            self._serve_leader(ticket, allow_batch)
+
+    def _serve_coalesced(self, ticket: Ticket, allow_batch: bool) -> None:
+        key = self.service.coalesce_key(ticket.parsed)
+        with self._inflight_lock:
+            leader_done = self._inflight.get(key)
+            if leader_done is None:
+                self._inflight[key] = threading.Event()
+        if leader_done is not None:
+            # Follower: ride on the leader's computation, then serve this
+            # request's own fact-space response off the warm cache.
+            leader_done.wait()
+            self._count("coalesced")
+            self.service.stats_counters.bump(coalesced_requests=1)
+            self._finish(ticket, self.service.submit(ticket.request))
+            return
+        try:
+            self._serve_leader(ticket, allow_batch)
+        finally:
+            # Always un-register and wake the followers -- even when the
+            # computation failed, so an error can never poison the map.
+            with self._inflight_lock:
+                event = self._inflight.pop(key)
+            event.set()
+
+    def _serve_leader(self, ticket: Ticket, allow_batch: bool) -> None:
+        batchmates: List[Ticket] = []
+        leftover: Optional[Ticket] = None
+        if allow_batch:
+            batchmates, leftover = self._drain_batchmates(ticket)
+        try:
+            if not batchmates:
+                self._finish(ticket, self.service.submit(ticket.request))
+            else:
+                self._serve_batch([ticket] + batchmates)
+        finally:
+            if leftover is not None:
+                # The incompatible request drained along the way is
+                # served right here (coalescing still applies; batching
+                # does not, bounding the recursion to one level).
+                self._serve_safely(leftover, allow_batch=False)
+
+    def _serve_batch(self, group: List[Ticket]) -> None:
+        self._count("batches")
+        self._count("batched_requests", len(group))
+        if self.config.coalesce:
+            # In-batch isomorph dedup is coalescing too: members beyond
+            # the first of each computation identity share its work.
+            keys = [self.service.coalesce_key(member.parsed)
+                    for member in group]
+            duplicates = len(keys) - len(set(keys))
+            if duplicates:
+                self._count("coalesced", duplicates)
+                self.service.stats_counters.bump(
+                    coalesced_requests=duplicates)
+        try:
+            responses = self.service.submit_batch(
+                [member.request for member in group])
+            for member, response in zip(group, responses):
+                self._finish(member, response)
+        except Exception as error:
+            # submit_batch itself degrades per-request failures to error
+            # responses; this catches bugs above that layer.  Whatever
+            # happened, every member still gets a response.
+            for member in group:
+                if not member.done():
+                    self._finish(member, self._attach_id(
+                        {"ok": False,
+                         "error": f"{type(error).__name__}: {error}"},
+                        member.request))
+
+    def _drain_batchmates(self, ticket: Ticket
+                          ) -> Tuple[List[Ticket], Optional[Ticket]]:
+        """Pull queued requests that can join this ticket's engine batch.
+
+        Only ``attribute`` requests of the same method without deadlines
+        are compatible (matching :meth:`AttributionService.submit_batch`'s
+        contract).  Draining stops at the first incompatible request,
+        which is returned as the ``leftover`` for the caller to serve
+        individually -- handing it back to the queue could block on a
+        full queue, and dropping it is out of the question.
+        """
+        limit = self.config.batch_max - 1
+        if limit <= 0 or ticket.parsed.op != "attribute":
+            return [], None
+        batchmates: List[Ticket] = []
+        leftover: Optional[Ticket] = None
+        while len(batchmates) < limit:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._queue.task_done()
+            if item is _SHUTDOWN:
+                # Never consume a shutdown signal as a batchmate; repost
+                # it for the worker loop (close() has already stopped new
+                # submissions, so the queue cannot be full for long).
+                self._queue.put(item)
+                break
+            assert isinstance(item, Ticket)
+            if (item.parsed.op == "attribute"
+                    and item.deadline_at is None
+                    and item.parsed.method == ticket.parsed.method):
+                batchmates.append(item)
+            else:
+                leftover = item
+                break
+        return batchmates, leftover
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle and reporting
+    # ----------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Drain the queue, stop the workers, flush the store.
+
+        Every request admitted before ``close`` is still served (the
+        shutdown signals queue *behind* them); new submissions raise.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join()
+        # A submission racing close() may have slipped in behind the
+        # shutdown signals; reject it rather than strand its caller.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._queue.task_done()
+            if isinstance(item, Ticket) and not item.done():
+                self._count("shed_queue_full")
+                self.service.stats_counters.bump(shed_requests=1)
+                self._finish(item, self._attach_id(
+                    {"ok": False, "rejected": "shutdown",
+                     "error": "the front-end closed before serving this "
+                              "request"}, item.request))
+        self.service.flush()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, object]:
+        """Front-end counters (admission, sharing, degradation) plus the
+        live queue depth; the engine-side counters live in
+        :meth:`AttributionService.stats`."""
+        with self._counters_lock:
+            counters = dict(self._counters)
+        shed = {reason: counters.pop(f"shed_{reason}")
+                for reason in ("queue_full", "client_budget", "deadline")}
+        report: Dict[str, object] = dict(counters)
+        report["shed"] = shed
+        report["workers"] = self.config.workers
+        report["queue_depth"] = self._queue.qsize()
+        report["max_queue"] = self.config.max_queue
+        report["coalesce"] = self.config.coalesce
+        report["batch_max"] = self.config.batch_max
+        return report
+
+
+def serve_jsonl_concurrent(service: AttributionService,
+                           lines: Iterable[str], output: TextIO,
+                           config: Optional[FrontendConfig] = None) -> bool:
+    """Drive a front-end from JSON Lines, responses in input order.
+
+    The concurrent sibling of :func:`repro.engine.serve.serve_jsonl`:
+    requests fan out over the front-end's workers, but responses are
+    written in input order (clients of the file protocol correlate by
+    line, not by id).  A full queue backpressures the reader instead of
+    shedding -- a file is a patient client; admission *validation* and
+    deadline semantics still apply.  Blank lines and ``#`` comments are
+    skipped; an unparseable line yields an error response.  Returns
+    ``True`` when every served request succeeded.
+    """
+    frontend = ServingFrontend(service, config)
+    outcomes: List[Union[Ticket, Dict[str, object]]] = []
+    try:
+        for line in lines:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                request = json.loads(text)
+            except json.JSONDecodeError as error:
+                service.record_malformed_line()
+                outcomes.append({
+                    "ok": False,
+                    "error": f"unparseable request line: {error}"})
+                continue
+            outcomes.append(frontend.submit_nowait(request, block=True))
+    finally:
+        frontend.close()
+    all_ok = True
+    for outcome in outcomes:
+        response = outcome if isinstance(outcome, dict) else outcome.result()
+        all_ok = all_ok and bool(response.get("ok"))
+        print(json.dumps(response), file=output)
+    return all_ok
+
+
+__all__ = [
+    "FrontendConfig",
+    "ServingFrontend",
+    "Ticket",
+    "serve_jsonl_concurrent",
+]

@@ -5,14 +5,48 @@ how often the lineage cache hit, how many d-trees were actually compiled,
 how often the exact method fell back to the anytime approximation, and how
 much wall-clock time each pipeline stage consumed.  Benchmarks and the CLI
 ``--stats`` flag print these numbers; tests assert on them.
+
+The counters are **thread-safe**: one :class:`EngineStats` is shared by
+every engine of an :class:`~repro.engine.serve.AttributionService`, and the
+concurrent front-end (:mod:`repro.engine.frontend`) drives those engines
+from many worker threads at once.  All mutation goes through :meth:`bump`,
+:meth:`timed` and :meth:`merge_from`, which hold an internal lock, so
+concurrent increments are never dropped.  Plain attribute *reads* are
+deliberately lock-free (ints are replaced atomically in CPython; a report
+racing a computation is at worst one increment stale, never corrupt).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+#: Every integer counter of :class:`EngineStats`, in declaration order.
+#: :meth:`EngineStats.bump` validates against it and
+#: :meth:`EngineStats.merge_from` iterates it, so a new counter only needs
+#: to be added to the dataclass and to this tuple.
+COUNTER_FIELDS = (
+    "queries",
+    "answers",
+    "cache_hits",
+    "store_hits",
+    "cache_misses",
+    "compilations",
+    "tree_compilations",
+    "artifact_hits",
+    "artifact_store_hits",
+    "artifact_resumes",
+    "count_memo_hits",
+    "fallbacks",
+    "refinement_rounds",
+    "partial_results",
+    "parallel_batches",
+    "coalesced_requests",
+    "shed_requests",
+)
 
 
 @dataclass
@@ -70,6 +104,17 @@ class EngineStats:
         best-so-far intervals instead of a certified result.
     parallel_batches:
         Batches dispatched to the process pool (0 when running serially).
+    coalesced_requests:
+        Serving-layer counter (bumped by the concurrent front-end,
+        :mod:`repro.engine.frontend`): requests that shared another
+        in-flight request's computation instead of running their own --
+        single-flight followers plus micro-batch members deduplicated
+        against an isomorphic batchmate.  Always 0 outside the front-end.
+    shed_requests:
+        Serving-layer counter: requests the front-end's admission control
+        rejected (bounded queue full, per-client budget exhausted, or
+        deadline already missed) without reaching an engine.  Every shed
+        request still received a structured rejection response.
     stage_seconds:
         Wall-clock seconds per pipeline stage (``evaluate``,
         ``canonicalize``, ``compute``, ``assemble``).
@@ -90,7 +135,43 @@ class EngineStats:
     refinement_rounds: int = 0
     partial_results: int = 0
     parallel_batches: int = 0
+    coalesced_requests: int = 0
+    shed_requests: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add the given deltas to the named counters.
+
+        ``stats.bump(cache_hits=1)`` is the thread-safe spelling of
+        ``stats.cache_hits += 1`` (a read-modify-write that drops
+        increments under concurrency).  Unknown counter names raise
+        ``AttributeError`` so typos cannot silently create dead counters.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in COUNTER_FIELDS:
+                    raise AttributeError(
+                        f"EngineStats has no counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def merge_from(self, other: "EngineStats") -> None:
+        """Fold another stats object's counters and timings into this one.
+
+        Used by deadline-scoped engines (:mod:`repro.engine.serve`): a
+        per-request engine accumulates into a private ``EngineStats`` --
+        so the caller can inspect what *that request* did -- and the
+        service merges it into the shared counters afterwards.  ``other``
+        must not be mutated concurrently during the merge.
+        """
+        with self._lock:
+            for name in COUNTER_FIELDS:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            for stage, seconds in other.stage_seconds.items():
+                self.stage_seconds[stage] = (
+                    self.stage_seconds.get(stage, 0.0) + seconds
+                )
 
     @contextmanager
     def timed(self, stage: str) -> Iterator[None]:
@@ -100,9 +181,10 @@ class EngineStats:
             yield
         finally:
             elapsed = time.monotonic() - started
-            self.stage_seconds[stage] = (
-                self.stage_seconds.get(stage, 0.0) + elapsed
-            )
+            with self._lock:
+                self.stage_seconds[stage] = (
+                    self.stage_seconds.get(stage, 0.0) + elapsed
+                )
 
     @property
     def total_seconds(self) -> float:
@@ -170,6 +252,8 @@ class EngineStats:
             "refinement_rounds": self.refinement_rounds,
             "partial_results": self.partial_results,
             "parallel_batches": self.parallel_batches,
+            "coalesced_requests": self.coalesced_requests,
+            "shed_requests": self.shed_requests,
             "stage_seconds": {stage: round(seconds, 6)
                               for stage, seconds in self.stage_seconds.items()},
             "total_seconds": round(self.total_seconds, 6),
@@ -177,22 +261,10 @@ class EngineStats:
 
     def reset(self) -> None:
         """Zero all counters and timers."""
-        self.queries = 0
-        self.answers = 0
-        self.cache_hits = 0
-        self.store_hits = 0
-        self.cache_misses = 0
-        self.compilations = 0
-        self.tree_compilations = 0
-        self.artifact_hits = 0
-        self.artifact_store_hits = 0
-        self.artifact_resumes = 0
-        self.count_memo_hits = 0
-        self.fallbacks = 0
-        self.refinement_rounds = 0
-        self.partial_results = 0
-        self.parallel_batches = 0
-        self.stage_seconds = {}
+        with self._lock:
+            for name in COUNTER_FIELDS:
+                setattr(self, name, 0)
+            self.stage_seconds = {}
 
     def __repr__(self) -> str:
         return (f"EngineStats(answers={self.answers}, "

@@ -225,6 +225,65 @@ class TestServeCommand:
         assert "warm start:" in diagnostics
         assert '"cache_misses": 0' in diagnostics
 
+    def test_serve_concurrent_workers(self, csv_relations, tmp_path, capsys):
+        r_path, s_path = csv_relations
+        requests = self._requests_file(tmp_path, [
+            json.dumps({"op": "attribute", "query": "Q(X) :- R(X), S(X, Y)",
+                        "id": index})
+            for index in range(6)
+        ] + [
+            json.dumps({"op": "rank", "query": "Q(X) :- R(X), S(X, Y)",
+                        "id": 6}),
+        ])
+        output = io.StringIO()
+        code = run(["serve", "--facts", f"R={r_path}",
+                    "--facts", f"S={s_path}", "--requests", requests,
+                    "--workers", "4", "--stats"], output=output)
+        assert code == 0
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        # Responses come back in input order despite the worker fan-out.
+        assert [r["id"] for r in responses] == list(range(7))
+        assert all(r["ok"] for r in responses)
+        assert "coalesced_requests" in capsys.readouterr().err
+
+    def test_serve_no_coalesce_flag(self, csv_relations, tmp_path):
+        r_path, s_path = csv_relations
+        requests = self._requests_file(tmp_path, [
+            json.dumps({"op": "attribute", "query": "Q(X) :- R(X), S(X, Y)"}),
+        ] * 3)
+        output = io.StringIO()
+        code = run(["serve", "--facts", f"R={r_path}",
+                    "--facts", f"S={s_path}", "--requests", requests,
+                    "--workers", "2", "--no-coalesce", "--batch-max", "1",
+                    "--max-queue", "8"], output=output)
+        assert code == 0
+        assert len(output.getvalue().splitlines()) == 3
+
+    def test_serve_deadline_ms_flag(self, csv_relations, tmp_path):
+        r_path, s_path = csv_relations
+        requests = self._requests_file(tmp_path, [
+            json.dumps({"op": "attribute", "query": "Q(X) :- R(X), S(X, Y)"}),
+        ])
+        output = io.StringIO()
+        code = run(["serve", "--facts", f"R={r_path}",
+                    "--facts", f"S={s_path}", "--requests", requests,
+                    "--workers", "2", "--deadline-ms", "60000"],
+                   output=output)
+        assert code == 0
+        (response,) = [json.loads(line)
+                       for line in output.getvalue().splitlines()]
+        assert response["ok"] is True
+
+    def test_concurrency_flags_need_workers(self, csv_relations, tmp_path):
+        r_path, _ = csv_relations
+        requests = self._requests_file(tmp_path, [])
+        for extra in (["--no-coalesce"], ["--deadline-ms", "100"]):
+            with pytest.raises(SystemExit):
+                run(["serve", "--facts", f"R={r_path}",
+                     "--requests", requests] + extra,
+                    output=io.StringIO())
+
     def test_serve_requires_facts(self, tmp_path):
         requests = self._requests_file(tmp_path, [])
         with pytest.raises(SystemExit):
