@@ -64,8 +64,9 @@ Typical use::
         response = frontend.submit({"op": "attribute", "query": "..."})
 
 ``repro serve --workers N`` drives :func:`serve_jsonl_concurrent`, the
-JSON-Lines loop over this front-end (input-order responses, backpressure
-instead of shedding -- a file is a patient client).
+JSON-Lines loop over this front-end (responses streamed in input order
+as they finish, backpressure instead of shedding -- a file is a patient
+client).
 """
 
 from __future__ import annotations
@@ -145,7 +146,7 @@ class Ticket:
     """
 
     __slots__ = ("request", "parsed", "deadline_at", "enqueued_at",
-                 "_done", "_response")
+                 "_done", "_response", "_claim_lock")
 
     def __init__(self, request: Dict[str, object], parsed: ParsedRequest,
                  deadline_at: Optional[float]) -> None:
@@ -155,6 +156,7 @@ class Ticket:
         self.enqueued_at = time.monotonic()
         self._done = threading.Event()
         self._response: Optional[Dict[str, object]] = None
+        self._claim_lock = threading.Lock()
 
     def result(self, timeout: Optional[float] = None) -> Dict[str, object]:
         """Block until the response is ready and return it."""
@@ -166,13 +168,19 @@ class Ticket:
     def done(self) -> bool:
         return self._done.is_set()
 
+    def _claim(self) -> bool:
+        """Atomically claim the right to finish this ticket.
+
+        Returns ``True`` exactly once.  Several actors may legitimately
+        race to answer one ticket (a worker, the ``close()`` drain, and a
+        submitter that detects it raced ``close()``); whoever claims
+        produces the single response, everyone else backs off.
+        """
+        return self._claim_lock.acquire(blocking=False)
+
     def _finish(self, response: Dict[str, object]) -> None:
         self._response = response
         self._done.set()
-
-
-#: Sentinel a worker interprets as "drain nothing more; exit".
-_SHUTDOWN = object()
 
 
 class ServingFrontend:
@@ -203,6 +211,8 @@ class ServingFrontend:
         }
         self._counters_lock = threading.Lock()
         self._closed = False
+        self._close_lock = threading.Lock()
+        self._stop = threading.Event()
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"repro-serve-{index}", daemon=True)
@@ -266,6 +276,12 @@ class ServingFrontend:
             return self._shed(request, "queue_full",
                               "the admission queue is full")
         self._count("submitted")
+        if self._closed:
+            # We raced close(): its final drain may already have run, in
+            # which case nobody would ever serve this ticket.  Settle it
+            # with the shutdown rejection ourselves -- the ticket's claim
+            # makes this a no-op if a worker or the drain got there first.
+            self._finish_shutdown(ticket)
         return ticket
 
     def _admit_client(self, client: Optional[str]) -> bool:
@@ -315,41 +331,73 @@ class ServingFrontend:
     # ----------------------------------------------------------------- #
 
     def _worker_loop(self) -> None:
+        # The poll timeout is the shutdown latency bound: workers exit as
+        # soon as the queue stays empty with the stop flag set.  There is
+        # deliberately no in-queue shutdown sentinel -- a sentinel that
+        # micro-batch draining consumes would have to be re-posted into a
+        # queue that blocked submitters may keep full.
         while True:
-            item = self._queue.get()
             try:
-                if item is _SHUTDOWN:
+                item = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
                     return
-                assert isinstance(item, Ticket)
-                self._serve_safely(item, allow_batch=True)
-            finally:
-                self._queue.task_done()
+                continue
+            assert isinstance(item, Ticket)
+            self._serve_safely(item, allow_batch=True)
 
     def _serve_safely(self, ticket: Ticket, allow_batch: bool) -> None:
-        try:
-            self._serve_ticket(ticket, allow_batch)
-        except Exception as error:
-            # The loop must survive anything a request does.
-            if not ticket.done():
-                self._finish(ticket, self._attach_id(
+        # Serving an "attribute" ticket may drain one incompatible
+        # request from the queue (see _drain_batchmates); it is served
+        # here after the original ticket fully settled -- in particular
+        # after _serve_coalesced released its single-flight key, so a
+        # leftover that becomes a follower can never wait on a key this
+        # worker still holds (that cross-worker wait cycle is a deadlock).
+        pending: Optional[Ticket] = ticket
+        while pending is not None:
+            current, pending = pending, None
+            try:
+                pending = self._serve_ticket(current, allow_batch)
+            except Exception as error:
+                # The loop must survive anything a request does.
+                self._finish(current, self._attach_id(
                     {"ok": False,
                      "error": f"{type(error).__name__}: {error}"},
-                    ticket.request))
+                    current.request))
+            allow_batch = False
 
     def _finish(self, ticket: Ticket,
-                response: Dict[str, object]) -> None:
+                response: Dict[str, object]) -> bool:
+        """Answer a ticket; exactly one racing call wins, the rest no-op."""
+        if not ticket._claim():
+            return False
         self._release_client(ticket.parsed.client)
         if response.get("degraded"):
             self._count("degraded")
         self._count("completed")
         ticket._finish(response)
+        return True
+
+    def _finish_shutdown(self, ticket: Ticket) -> None:
+        response = self._attach_id(
+            {"ok": False, "rejected": "shutdown",
+             "error": "the front-end closed before serving this request"},
+            ticket.request)
+        if self._finish(ticket, response):
+            self._count("shed_queue_full")
+            self.service.stats_counters.bump(shed_requests=1)
 
     def _remaining(self, ticket: Ticket) -> Optional[float]:
         if ticket.deadline_at is None:
             return None
         return ticket.deadline_at - time.monotonic()
 
-    def _serve_ticket(self, ticket: Ticket, allow_batch: bool) -> None:
+    def _serve_ticket(self, ticket: Ticket,
+                      allow_batch: bool) -> Optional[Ticket]:
+        """Serve one ticket; returns the drained-but-incompatible
+        "leftover" ticket, if any, for the caller to serve *after* every
+        resource of this ticket (notably its single-flight key) is
+        released."""
         remaining = self._remaining(ticket)
         if remaining is not None:
             if remaining <= 0:
@@ -362,19 +410,19 @@ class ServingFrontend:
                     {"ok": False, "rejected": "deadline",
                      "error": "deadline expired while queued"},
                     ticket.request))
-                return
+                return None
             # Deadline requests run alone: their best-effort partials are
             # never cached, so coalescing/batching would share nothing.
             self._finish(ticket, self.service.submit(
                 ticket.request, deadline_seconds=remaining))
-            return
+            return None
 
         if self.config.coalesce:
-            self._serve_coalesced(ticket, allow_batch)
-        else:
-            self._serve_leader(ticket, allow_batch)
+            return self._serve_coalesced(ticket, allow_batch)
+        return self._serve_leader(ticket, allow_batch)
 
-    def _serve_coalesced(self, ticket: Ticket, allow_batch: bool) -> None:
+    def _serve_coalesced(self, ticket: Ticket,
+                         allow_batch: bool) -> Optional[Ticket]:
         key = self.service.coalesce_key(ticket.parsed)
         with self._inflight_lock:
             leader_done = self._inflight.get(key)
@@ -387,17 +435,22 @@ class ServingFrontend:
             self._count("coalesced")
             self.service.stats_counters.bump(coalesced_requests=1)
             self._finish(ticket, self.service.submit(ticket.request))
-            return
+            return None
         try:
-            self._serve_leader(ticket, allow_batch)
+            return self._serve_leader(ticket, allow_batch)
         finally:
             # Always un-register and wake the followers -- even when the
             # computation failed, so an error can never poison the map.
+            # This runs before the returned leftover is served: a leftover
+            # waiting on another worker's key while this worker still held
+            # its own would deadlock the moment two workers do it to each
+            # other.
             with self._inflight_lock:
                 event = self._inflight.pop(key)
             event.set()
 
-    def _serve_leader(self, ticket: Ticket, allow_batch: bool) -> None:
+    def _serve_leader(self, ticket: Ticket,
+                      allow_batch: bool) -> Optional[Ticket]:
         batchmates: List[Ticket] = []
         leftover: Optional[Ticket] = None
         if allow_batch:
@@ -407,22 +460,32 @@ class ServingFrontend:
                 self._finish(ticket, self.service.submit(ticket.request))
             else:
                 self._serve_batch([ticket] + batchmates)
-        finally:
-            if leftover is not None:
-                # The incompatible request drained along the way is
-                # served right here (coalescing still applies; batching
-                # does not, bounding the recursion to one level).
-                self._serve_safely(leftover, allow_batch=False)
+        except Exception as error:
+            # service.submit/_serve_batch answer failures themselves; this
+            # catch-all keeps a bug above that layer from losing both the
+            # group's responses and the leftover waiting to be served.
+            for member in [ticket] + batchmates:
+                self._finish(member, self._attach_id(
+                    {"ok": False,
+                     "error": f"{type(error).__name__}: {error}"},
+                    member.request))
+        return leftover
 
     def _serve_batch(self, group: List[Ticket]) -> None:
         self._count("batches")
         self._count("batched_requests", len(group))
         if self.config.coalesce:
-            # In-batch isomorph dedup is coalescing too: members beyond
-            # the first of each computation identity share its work.
-            keys = [self.service.coalesce_key(member.parsed)
-                    for member in group]
-            duplicates = len(keys) - len(set(keys))
+            # In-batch dedup is coalescing too: members beyond the first
+            # of each computation identity share its work.  Count textual
+            # duplicates only -- that is free, whereas computing coalesce
+            # keys here would re-evaluate every member's query just for
+            # accounting (attribute_many evaluates them again right
+            # after).  Isomorphic-but-differently-spelled batchmates still
+            # share compute through the canonical cache tiers; they just
+            # surface as cache hits rather than coalesced requests.
+            identities = {(member.parsed.method, member.parsed.query_text)
+                          for member in group}
+            duplicates = len(group) - len(identities)
             if duplicates:
                 self._count("coalesced", duplicates)
                 self.service.stats_counters.bump(
@@ -464,13 +527,6 @@ class ServingFrontend:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            self._queue.task_done()
-            if item is _SHUTDOWN:
-                # Never consume a shutdown signal as a batchmate; repost
-                # it for the worker loop (close() has already stopped new
-                # submissions, so the queue cannot be full for long).
-                self._queue.put(item)
-                break
             assert isinstance(item, Ticket)
             if (item.parsed.op == "attribute"
                     and item.deadline_at is None
@@ -488,32 +544,29 @@ class ServingFrontend:
     def close(self) -> None:
         """Drain the queue, stop the workers, flush the store.
 
-        Every request admitted before ``close`` is still served (the
-        shutdown signals queue *behind* them); new submissions raise.
-        Idempotent.
+        Every request in the queue when ``close`` starts is still served
+        (workers keep draining until the queue is empty before honoring
+        the stop flag); new submissions raise, and a submission that
+        raced past the closed-check is settled with a ``"shutdown"``
+        rejection rather than stranding its caller.  Idempotent.
         """
-        if self._closed:
-            return
-        self._closed = True
-        for _ in self._workers:
-            self._queue.put(_SHUTDOWN)
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
         for worker in self._workers:
             worker.join()
-        # A submission racing close() may have slipped in behind the
-        # shutdown signals; reject it rather than strand its caller.
+        # A submission racing close() may have landed after the workers
+        # exited; reject it rather than strand its caller (its submitter
+        # may settle it concurrently -- the ticket claim arbitrates).
         while True:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            self._queue.task_done()
-            if isinstance(item, Ticket) and not item.done():
-                self._count("shed_queue_full")
-                self.service.stats_counters.bump(shed_requests=1)
-                self._finish(item, self._attach_id(
-                    {"ok": False, "rejected": "shutdown",
-                     "error": "the front-end closed before serving this "
-                              "request"}, item.request))
+            assert isinstance(item, Ticket)
+            self._finish_shutdown(item)
         self.service.flush()
 
     def __enter__(self) -> "ServingFrontend":
@@ -543,21 +596,54 @@ class ServingFrontend:
 def serve_jsonl_concurrent(service: AttributionService,
                            lines: Iterable[str], output: TextIO,
                            config: Optional[FrontendConfig] = None) -> bool:
-    """Drive a front-end from JSON Lines, responses in input order.
+    """Drive a front-end from JSON Lines, streaming responses in input
+    order.
 
     The concurrent sibling of :func:`repro.engine.serve.serve_jsonl`:
     requests fan out over the front-end's workers, but responses are
     written in input order (clients of the file protocol correlate by
-    line, not by id).  A full queue backpressures the reader instead of
-    shedding -- a file is a patient client; admission *validation* and
-    deadline semantics still apply.  Blank lines and ``#`` comments are
-    skipped; an unparseable line yields an error response.  Returns
-    ``True`` when every served request succeeded.
+    line, not by id) -- and *incrementally*: a dedicated writer thread
+    emits each response as soon as it and everything before it finished,
+    so a pipe or an interactive client sees answers while later lines
+    are still being read, and memory stays bounded by the hand-off
+    buffer instead of growing with input length.  A full queue
+    backpressures the reader instead of shedding -- a file is a patient
+    client; admission *validation* and deadline semantics still apply.
+    Blank lines and ``#`` comments are skipped; an unparseable line
+    yields an error response.  Returns ``True`` when every served
+    request succeeded.
     """
     frontend = ServingFrontend(service, config)
-    outcomes: List[Union[Ticket, Dict[str, object]]] = []
+    # The reader -> writer hand-off carries outcomes in input order; its
+    # bound is the writer's backpressure (a stalled output pauses the
+    # reader once admission capacity plus this buffer are full).
+    pending: "queue.Queue[object]" = queue.Queue(
+        maxsize=2 * frontend.config.max_queue)
+    state = {"all_ok": True, "error": None}
+
+    def write_responses() -> None:
+        while True:
+            outcome = pending.get()
+            if outcome is None:
+                return
+            if state["error"] is not None:
+                continue  # keep draining so the reader never blocks
+            try:
+                response = (outcome if isinstance(outcome, dict)
+                            else outcome.result())
+                state["all_ok"] = (state["all_ok"]
+                                   and bool(response.get("ok")))
+                print(json.dumps(response), file=output, flush=True)
+            except BaseException as error:  # surfaced after join
+                state["error"] = error
+
+    writer = threading.Thread(target=write_responses,
+                              name="repro-serve-writer", daemon=True)
+    writer.start()
     try:
         for line in lines:
+            if state["error"] is not None:
+                break  # a dead writer cannot deliver; stop reading
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
@@ -565,19 +651,20 @@ def serve_jsonl_concurrent(service: AttributionService,
                 request = json.loads(text)
             except json.JSONDecodeError as error:
                 service.record_malformed_line()
-                outcomes.append({
+                pending.put({
                     "ok": False,
                     "error": f"unparseable request line: {error}"})
                 continue
-            outcomes.append(frontend.submit_nowait(request, block=True))
+            pending.put(frontend.submit_nowait(request, block=True))
     finally:
+        # Closing first guarantees every admitted ticket is finished, so
+        # the writer's result() calls can never block indefinitely.
         frontend.close()
-    all_ok = True
-    for outcome in outcomes:
-        response = outcome if isinstance(outcome, dict) else outcome.result()
-        all_ok = all_ok and bool(response.get("ok"))
-        print(json.dumps(response), file=output)
-    return all_ok
+        pending.put(None)
+        writer.join()
+    if state["error"] is not None:
+        raise state["error"]
+    return state["all_ok"]
 
 
 __all__ = [

@@ -17,13 +17,18 @@ The workloads mix *textually different but WL-isomorphic* queries
 coalescing key is canonical, not textual.
 """
 
+import io
+import itertools
 import json
 import threading
+import time
 from fractions import Fraction
 
 import pytest
 
+import repro.engine.serve as serve_module
 from repro import Database
+from repro.engine.engine import Engine
 from repro.engine.frontend import (
     FrontendConfig,
     ServingFrontend,
@@ -251,6 +256,30 @@ class TestResponseDelivery:
         assert len(responses) == 10
         assert frontend.stats()["batches"] == 0
 
+    def test_jsonl_streams_responses_before_eof(self, database):
+        """Responses must be emitted as they finish, not buffered until
+        the input is exhausted -- an interactive client sends its next
+        line only after seeing the previous answer."""
+        service = AttributionService(database)
+        output = io.StringIO()
+
+        def interactive_lines():
+            yield json.dumps({"op": "attribute", "query": QUERY_A,
+                              "id": 0}) + "\n"
+            deadline = time.monotonic() + 20
+            while "\n" not in output.getvalue():
+                assert time.monotonic() < deadline, (
+                    "no response streamed before the next input line")
+                time.sleep(0.01)
+            yield json.dumps({"op": "attribute", "query": QUERY_B,
+                              "id": 1}) + "\n"
+
+        assert serve_jsonl_concurrent(service, interactive_lines(), output,
+                                      FrontendConfig(workers=2)) is True
+        rows = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert [row["id"] for row in rows] == [0, 1]
+        assert all(row["ok"] for row in rows)
+
     def test_close_is_idempotent_and_flushes(self, database):
         service = AttributionService(database)
         frontend = ServingFrontend(service, FrontendConfig(workers=2))
@@ -259,3 +288,141 @@ class TestResponseDelivery:
         frontend.close()
         with pytest.raises(RuntimeError):
             frontend.submit({"op": "attribute", "query": QUERY_A})
+
+
+class TestLeftoverServing:
+    def test_crossed_leftovers_do_not_deadlock(self, database, monkeypatch):
+        """Two leaders whose batch-drained leftovers follow *each other's*
+        coalesce keys must both complete.
+
+        Regression: leftovers used to be served before the leader's
+        single-flight key was released, so two workers whose leftovers
+        waited on each other's still-held keys hung forever.  The
+        orchestration pins exactly that interleaving: both leaders are
+        held at a barrier inside their computations, guaranteeing both
+        keys are registered before either leftover is served.
+        """
+        service = AttributionService(database)
+        original_rank = Engine.rank
+        original_attribute = Engine.attribute
+        rank_count = itertools.count()
+        rank_started = [threading.Event(), threading.Event()]
+        rank_release = [threading.Event(), threading.Event()]
+        attribute_started = threading.Semaphore(0)
+        compute_barrier = threading.Barrier(2, timeout=30)
+
+        def gated_rank(engine, query, db, **kwargs):
+            index = next(rank_count)
+            rank_started[index].set()
+            assert rank_release[index].wait(timeout=30)
+            return original_rank(engine, query, db, **kwargs)
+
+        def synced_attribute(engine, query, db, **kwargs):
+            attribute_started.release()
+            compute_barrier.wait()
+            return original_attribute(engine, query, db, **kwargs)
+
+        monkeypatch.setattr(Engine, "rank", gated_rank)
+        monkeypatch.setattr(Engine, "attribute", synced_attribute)
+        frontend = ServingFrontend(
+            service, FrontendConfig(workers=2, max_queue=8, coalesce=True,
+                                    batch_max=8))
+        try:
+            # Occupy both workers with gated rank computations so the
+            # four attribute tickets below are queued, not picked up.
+            warmup_a = frontend.submit_nowait({"op": "rank",
+                                               "query": QUERY_A})
+            assert rank_started[0].wait(timeout=30)
+            warmup_b = frontend.submit_nowait({"op": "rank",
+                                               "query": QUERY_B})
+            assert rank_started[1].wait(timeout=30)
+
+            # Queue order: leader 1 (exact A) drains leftover (approx B);
+            # leader 2 (approx B) drains leftover (exact A).  Each
+            # leftover coalesces with the *other* worker's leader key.
+            tickets = [frontend.submit_nowait(request) for request in (
+                {"op": "attribute", "query": QUERY_A, "method": "exact",
+                 "id": "leader-1"},
+                {"op": "attribute", "query": QUERY_B,
+                 "method": "approximate", "id": "leftover-1"},
+                {"op": "attribute", "query": QUERY_B,
+                 "method": "approximate", "id": "leader-2"},
+                {"op": "attribute", "query": QUERY_A, "method": "exact",
+                 "id": "leftover-2"},
+            )]
+
+            # Release worker 1 alone: it takes leader-1 and drains
+            # leftover-1 before worker 2 can steal it, then blocks at the
+            # barrier inside its computation (key registered, held).
+            rank_release[0].set()
+            assert warmup_a.result(timeout=30)["ok"] is True
+            assert attribute_started.acquire(timeout=30)
+            # Release worker 2: it takes leader-2, drains leftover-2, and
+            # joins the barrier -- both keys held, both leftovers pending.
+            rank_release[1].set()
+            assert warmup_b.result(timeout=30)["ok"] is True
+
+            responses = [ticket.result(timeout=30) for ticket in tickets]
+            assert all(response["ok"] is True for response in responses)
+            assert sorted(response["id"] for response in responses) == [
+                "leader-1", "leader-2", "leftover-1", "leftover-2"]
+        finally:
+            rank_release[0].set()
+            rank_release[1].set()
+            frontend.close()
+
+
+class TestBatchEvaluationSharing:
+    def test_batch_accounting_does_not_reevaluate_queries(
+            self, database, monkeypatch):
+        """Micro-batch coalesce accounting must not run query evaluation
+        per member: the engine evaluates each batched query exactly once
+        in attribute_many, and the front-end's duplicate counting rides
+        on request identity instead of a second ``lineage_of_answers``
+        pass per batchmate."""
+        service = AttributionService(database)
+        evaluations = []
+        original_evaluate = serve_module.lineage_of_answers
+
+        def counting_evaluate(query, db, **kwargs):
+            evaluations.append(query)
+            return original_evaluate(query, db, **kwargs)
+
+        monkeypatch.setattr(serve_module, "lineage_of_answers",
+                            counting_evaluate)
+
+        release = threading.Event()
+        started = threading.Event()
+        original_attribute = Engine.attribute
+
+        def gated_attribute(engine, query, db, **kwargs):
+            started.set()
+            assert release.wait(timeout=30)
+            return original_attribute(engine, query, db, **kwargs)
+
+        monkeypatch.setattr(Engine, "attribute", gated_attribute)
+        frontend = ServingFrontend(
+            service, FrontendConfig(workers=1, max_queue=8, coalesce=True,
+                                    batch_max=8))
+        try:
+            blocker = frontend.submit_nowait({"op": "attribute",
+                                              "query": QUERY_B})
+            assert started.wait(timeout=30)
+            batched = [frontend.submit_nowait(
+                {"op": "attribute", "query": QUERY_A, "id": i})
+                for i in range(3)]
+            release.set()
+            assert blocker.result(timeout=30)["ok"] is True
+            responses = [ticket.result(timeout=30) for ticket in batched]
+            assert all(response["ok"] is True for response in responses)
+            report = frontend.stats()
+            assert report["batches"] == 1
+            assert report["batched_requests"] == 3
+            # Textually identical batchmates are counted as coalesced.
+            assert report["coalesced"] == 2
+            # Exactly two front-end evaluations happened: the blocker's
+            # coalesce key and the batch leader's -- none for accounting.
+            assert len(evaluations) == 2
+        finally:
+            release.set()
+            frontend.close()

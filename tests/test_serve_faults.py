@@ -18,6 +18,7 @@ worker-side computation happens.
 import io
 import json
 import threading
+import time
 
 import pytest
 
@@ -277,6 +278,97 @@ class TestAdmissionControl:
             assert frontend.stats()["shed"]["deadline"] == 1
         finally:
             frontend.close()
+
+
+class TestShutdownRaces:
+    def test_submit_racing_close_is_settled_not_stranded(
+            self, database, monkeypatch):
+        """A submission that passes the closed-check but enqueues after
+        close() drained the queue must still get a response.
+
+        Regression: the ticket used to sit in the dead queue forever
+        while its caller blocked in ``Ticket.result()``.  The window is
+        validation (query parsing) between the closed-check and the
+        enqueue; holding the submission there while close() runs to
+        completion makes the race deterministic.
+        """
+        service = AttributionService(database)
+        frontend = ServingFrontend(service, FrontendConfig(workers=2))
+        in_validate = threading.Event()
+        proceed = threading.Event()
+        original = AttributionService.validate_request
+
+        def slow_validate(self, request):
+            in_validate.set()
+            assert proceed.wait(timeout=30)
+            return original(self, request)
+
+        monkeypatch.setattr(AttributionService, "validate_request",
+                            slow_validate)
+        outcome = {}
+
+        def late_client():
+            outcome["response"] = frontend.submit(
+                {"op": "attribute", "query": QUERY, "id": "late"})
+
+        thread = threading.Thread(target=late_client)
+        thread.start()
+        assert in_validate.wait(timeout=30)
+        frontend.close()  # completes while the submission is mid-validation
+        proceed.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "late submission stranded its caller"
+        response = outcome["response"]
+        assert response["ok"] is False
+        assert response["rejected"] == "shutdown"
+        assert response["id"] == "late"
+
+    def test_blocking_submitters_racing_close_never_hang(
+            self, database, monkeypatch):
+        """close() under a single worker and a full queue of blocking
+        submitters must terminate, and every submitter must get an
+        answer.
+
+        Regression: the worker's micro-batch drain could consume the
+        in-queue shutdown sentinel and block re-posting it into a queue
+        that blocked submitters kept full -- the sole worker then never
+        exited and close() hung in join().
+        """
+        service = AttributionService(database)
+        gate = _Gate(monkeypatch)
+        frontend = ServingFrontend(
+            service, FrontendConfig(workers=1, max_queue=1, coalesce=False,
+                                    batch_max=4))
+        results = []
+        lock = threading.Lock()
+
+        def client(index):
+            try:
+                response = frontend.submit(
+                    {"op": "attribute", "query": QUERY, "id": index},
+                    block=True)
+            except RuntimeError:
+                response = {"ok": False, "rejected": "closed"}
+            with lock:
+                results.append(response)
+
+        first = frontend.submit_nowait({"op": "attribute", "query": QUERY2})
+        assert gate.started.wait(timeout=30)  # the only worker is busy
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # let the submitters saturate the 1-slot queue
+        closer = threading.Thread(target=frontend.close)
+        closer.start()
+        gate.release.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive(), "close() hung"
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "a blocking submitter hung"
+        assert first.result(timeout=30)["ok"] is True
+        assert len(results) == 4  # every submitter got exactly one answer
 
 
 class TestDeadlineDegradation:
