@@ -15,21 +15,38 @@ represented by the subtree, combining children with Eq. (4)-(9):
 passes (one bottom-up for counts, one top-down for per-leaf multipliers),
 which is how the paper's prototype shares work across variables.
 
-Both passes are **iterative** (explicit stacks): arbitrarily deep Shannon
-chains never hit the interpreter recursion limit.  The bottom-up count pass
-takes an optional ``counts`` memo keyed by node id -- pass the same dict
-across calls (the engine shares it through
-:class:`repro.engine.artifact.CompiledLineage`) and already-counted
-subtrees are skipped entirely, so ranking / top-k / Shapley / repeat
-attribution over one compiled artifact never recount a subtree.  Sibling
-products in the top-down pass use prefix/suffix products, so wide
-decomposable nodes cost O(children), not O(children^2).
+The public entry points (:func:`model_count`, :func:`exaban`,
+:func:`exaban_all`) run over the **arena** backend
+(:mod:`repro.dtree.arena`): the tree is flattened once into
+postorder-contiguous struct-of-arrays columns (cached in the root's
+node cache, invalidated with it on mutation) and the passes become tight
+index loops.  The original object-tree walks are kept verbatim as
+:func:`model_count_objects` / :func:`exaban_all_objects` — they are the
+PR 5 baseline that ``bench_arena.py`` measures against and that the
+differential test suite cross-checks, and they remain fully supported
+(arbitrarily deep Shannon chains never hit the recursion limit in either
+backend).
+
+The optional ``counts`` memo (node id -> subtree count) is still
+honoured: the arena keeps counts in its ``"counts"`` payload column and
+mirrors them into the caller's memo, so engine code that shares a memo
+through :class:`repro.engine.artifact.CompiledLineage` keeps its
+skip-recount behaviour and its cache-hit accounting.  Sibling products
+in the top-down passes use prefix/suffix products, so wide decomposable
+nodes cost O(children), not O(children^2).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.dtree.arena import (
+    DTreeArena,
+    IncompleteArenaError,
+    arena_banzhaf,
+    arena_counts,
+    arena_of,
+)
 from repro.dtree.nodes import (
     DecompAnd,
     DecompOr,
@@ -96,16 +113,49 @@ def _count_subtree(root: DTreeNode, counts: CountMemo) -> None:
         counts[key] = value
 
 
-def model_count(node: DTreeNode, counts: Optional[CountMemo] = None) -> int:
-    """Exact model count ``#phi`` of the function represented by ``node``.
+def model_count_objects(node: DTreeNode,
+                        counts: Optional[CountMemo] = None) -> int:
+    """Object-tree model count: the PR 5 baseline walk.
 
-    Requires a complete d-tree (no :class:`DNFLeaf` leaves).  ``counts``
-    is an optional shared memo (node id -> count): subtrees counted by an
-    earlier call through the same memo are not revisited.
+    Same contract as :func:`model_count`, but walks the linked
+    :class:`DTreeNode` graph with an explicit stack instead of the arena
+    columns.  Kept as the differential baseline and benchmark reference.
     """
     memo: CountMemo = counts if counts is not None else {}
     _count_subtree(node, memo)
     return memo[id(node)]
+
+
+def _arena_for_exact(node: DTreeNode) -> Tuple[DTreeArena, List[int]]:
+    """Flatten ``node`` and run the exact count pass, translating errors."""
+    arena = arena_of(node)
+    try:
+        column = arena_counts(arena)
+    except IncompleteArenaError as error:
+        raise IncompleteDTreeError(str(error)) from None
+    return arena, column
+
+
+def _mirror_counts(arena: DTreeArena, column: List[int],
+                   counts: Optional[CountMemo]) -> None:
+    """Copy the arena count column into a caller-supplied node-id memo."""
+    if counts is None or id(arena.nodes[-1]) in counts:
+        return
+    for row, node in enumerate(arena.nodes):
+        counts[id(node)] = column[row]
+
+
+def model_count(node: DTreeNode, counts: Optional[CountMemo] = None) -> int:
+    """Exact model count ``#phi`` of the function represented by ``node``.
+
+    Requires a complete d-tree (no :class:`DNFLeaf` leaves).  Runs over
+    the cached arena; ``counts`` is an optional shared memo (node id ->
+    count) kept in sync with the arena's count column so legacy callers
+    (and the engine's memo-hit accounting) keep working.
+    """
+    arena, column = _arena_for_exact(node)
+    _mirror_counts(arena, column, counts)
+    return column[arena.root]
 
 
 def _sibling_products(values: List[int]) -> List[int]:
@@ -163,7 +213,19 @@ def exaban(node: DTreeNode, variable: int,
     ``variable`` need not occur in the function; its Banzhaf value is then 0.
     Raises :class:`IncompleteDTreeError` on partial d-trees.  ``counts`` is
     the optional shared subtree-count memo (see :func:`model_count`).
+
+    Runs over the cached arena: the fused all-variables pass is computed
+    once and memoized on the arena, so repeated single-variable queries
+    against one tree cost a dict lookup after the first.
     """
+    arena, column = _arena_for_exact(node)
+    _mirror_counts(arena, column, counts)
+    return arena_banzhaf(arena).get(variable, 0), column[arena.root]
+
+
+def exaban_objects(node: DTreeNode, variable: int,
+                   counts: Optional[CountMemo] = None) -> Tuple[int, int]:
+    """Object-tree single-variable ExaBan: the PR 5 restricted walk."""
     memo: CountMemo = counts if counts is not None else {}
     _count_subtree(node, memo)
     banzhaf: Dict[int, int] = {variable: 0}
@@ -214,10 +276,25 @@ def exaban_all(node: DTreeNode,
     signed sum of the multipliers of its literal leaves.  Variables in the
     domain that never occur as literals get the Banzhaf value 0.
 
-    ``counts`` is the optional shared subtree-count memo: when the engine
-    evaluates several methods over one compiled artifact, the first pass
-    fills it and every later pass (including :func:`model_count` and
-    per-variable :func:`exaban` calls) reuses it.
+    Runs over the cached arena (see :func:`repro.dtree.arena.arena_banzhaf`)
+    and memoizes the full result on it, so a second call against the same
+    unmutated tree is a cache hit.  ``counts`` is the optional shared
+    subtree-count memo: the arena's count column is mirrored into it, so
+    later :func:`model_count` / :func:`exaban` calls through the same memo
+    (or the object-tree baselines) never recount a subtree.
+    """
+    arena, column = _arena_for_exact(node)
+    _mirror_counts(arena, column, counts)
+    return dict(arena_banzhaf(arena))
+
+
+def exaban_all_objects(node: DTreeNode,
+                       counts: Optional[CountMemo] = None) -> Dict[int, int]:
+    """Object-tree fused all-variables pass: the PR 5 baseline.
+
+    Identical contract and bit-identical results to :func:`exaban_all`;
+    kept as the measured baseline for ``bench_arena.py`` and the
+    differential suite.
     """
     memo: CountMemo = counts if counts is not None else {}
     _count_subtree(node, memo)

@@ -25,6 +25,12 @@ deep Shannon chains never touch the recursion limit):
 2. a per-variable *cofactor* pass confined to the nodes whose domain
    contains the variable (at a decomposable node only one child does), with
    every untouched sibling read from the shared memo.
+
+:func:`critical_counts_exact` runs both passes over the **arena** backend
+(:mod:`repro.dtree.arena`): the models column lives on the flattened tree
+(shared through the root cache) and the cofactor pass is a pair of plain
+index loops.  The object-tree walks ``_fill_models`` /
+``_cofactor_vectors`` are kept as the differential baseline.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.boolean.assignments import critical_set_counts
 from repro.boolean.dnf import DNF
+from repro.dtree.arena import arena_cofactor_vectors, arena_models, arena_of
 from repro.dtree.compile import CompilationBudget, compile_dnf
 from repro.dtree.heuristics import Heuristic, select_most_frequent
 from repro.dtree.nodes import (
@@ -220,9 +227,17 @@ def critical_counts_exact(function: DNF, variable: int,
         raise ValueError(f"variable {variable} not in the function's domain")
     if tree is None:
         tree = compile_dnf(function, heuristic=heuristic, budget=budget)
-    memo: ModelsMemo = models if models is not None else {}
-    _fill_models(tree, memo)
-    positive, negative = _cofactor_vectors(tree, variable, memo)
+    # Arena path: the variable-independent models pass lives in the
+    # arena's ``models`` payload column (computed once per tree, shared
+    # across variables and across calls through the root cache); the
+    # caller's node-id memo is kept as a mirror for the object-tree
+    # baselines below.
+    arena = arena_of(tree)
+    column = arena_models(arena)
+    if models is not None and id(tree) not in models:
+        for row, node in enumerate(arena.nodes):
+            models[id(node)] = column[row]
+    positive, negative = arena_cofactor_vectors(arena, variable)
     n = function.num_variables()
     counts = []
     for k in range(n):

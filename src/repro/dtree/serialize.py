@@ -7,25 +7,46 @@ including a *partial* tree whose :class:`~repro.dtree.nodes.DNFLeaf`
 frontier the anytime compilers can resume — and a warm-started process
 can pick up exactly where a previous one stopped.
 
-The encoding is a nested-list structure (no floats anywhere, so the
-round-trip is exact by construction):
+**Version 2 (current)** encodes the tree's arena
+(:mod:`repro.dtree.arena`) directly — one dict of parallel columns in
+postorder (children before parents, root last), integers only, so the
+round-trip is exact by construction:
+
+* ``"v"``: literal ``2`` (the dict shape is the version marker);
+* ``"kinds"``: per-row node kind (``repro.dtree.arena.KIND_*``);
+* ``"arity"``: per-row child count — spans are contiguous, so the flat
+  ``"children"`` row-index list is recovered cumulatively;
+* ``"lits"``: ``[variable, negated]`` per literal row, in row order;
+* ``"doms"``: sorted domain per constant/DNF row, in row order;
+* ``"dnfs"``: sorted clause lists per DNF row, in row order (the
+  resumable frontier of a partial tree).
+
+**Version 1 (legacy, decode only)** is the nested-list object-tree
+structure:
 
 * ``["T", [domain...]]`` / ``["F", [domain...]]`` — constants;
 * ``["L", variable, negated]`` — a literal leaf;
-* ``["D", [domain...], [[clause...]...]]`` — an undecomposed DNF leaf
-  (the resumable frontier of a partial tree);
+* ``["D", [domain...], [[clause...]...]]`` — an undecomposed DNF leaf;
 * ``["&", [children...]]`` / ``["|", [children...]]`` /
   ``["^", [children...]]`` — ``DecompAnd`` / ``DecompOr`` /
   ``ExclusiveOr``.
 
-Both directions are **iterative** (explicit stacks), so arbitrarily deep
-Shannon chains never depend on the interpreter recursion limit.
-:func:`decode_tree` validates as it builds — unknown tags, malformed
-payloads, or structurally invalid nodes raise ``ValueError``, which the
-store tier treats as corruption (recompute, never crash).
+:func:`decode_tree` dispatches on the shape (dict → v2, list → v1), so
+stores holding shards written by both versions decode transparently —
+both forms build the same object trees, and :func:`clone_tree` /
+:func:`trees_equal` operate on decoded objects, never on encodings, so
+they are version-oblivious by construction.
+
+Both directions are **iterative**, so arbitrarily deep Shannon chains
+never depend on the interpreter recursion limit.  :func:`decode_tree`
+validates as it builds — unknown tags, malformed payloads, or
+structurally invalid nodes raise ``ValueError``, which the store tier
+treats as corruption (recompute, never crash).
 
 ``TREE_FORMAT_VERSION`` is bumped on any incompatible change; persisted
-artifacts recording a different version are discarded by their readers.
+artifacts recording an *unknown* version are discarded by their readers
+(known-compatible older versions are listed in
+:data:`repro.engine.artifact.ARTIFACT_COMPAT_VERSIONS`).
 """
 
 from __future__ import annotations
@@ -33,6 +54,16 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.boolean.dnf import DNF
+from repro.dtree.arena import (
+    KIND_AND,
+    KIND_DNF,
+    KIND_FALSE,
+    KIND_LITERAL,
+    KIND_OR,
+    KIND_TRUE,
+    KIND_XOR,
+    arena_of,
+)
 from repro.dtree.nodes import (
     DecompAnd,
     DecompOr,
@@ -45,17 +76,52 @@ from repro.dtree.nodes import (
 )
 
 #: Wire-format version of the tree encoding below (see module docstring).
-TREE_FORMAT_VERSION = 1
+TREE_FORMAT_VERSION = 2
 
 _INNER_TAGS = {DecompAnd: "&", DecompOr: "|", ExclusiveOr: "^"}
 _TAG_NODES = {"&": DecompAnd, "|": DecompOr, "^": ExclusiveOr}
 
 
-def encode_tree(root: DTreeNode) -> list:
-    """JSON-serializable form of a (complete or partial) d-tree.
+def encode_tree(root: DTreeNode) -> dict:
+    """JSON-serializable (v2, arena-columnar) form of a d-tree.
 
-    Deterministic: domains and clauses are emitted sorted, so equal trees
-    encode to equal structures (useful as a structural-equality check).
+    Deterministic: the arena row order is a pure function of the tree
+    structure and domains/clauses are emitted sorted, so equal trees
+    encode to equal dicts (useful as a structural-equality check).
+    Encoding goes through :func:`repro.dtree.arena.arena_of`, so a tree
+    serialized right after evaluation reuses the already-built arena.
+    """
+    arena = arena_of(root)
+    kinds = list(arena.kinds)
+    arity: List[int] = []
+    lits: List[list] = []
+    doms: List[list] = []
+    dnfs: List[list] = []
+    for row, kind in enumerate(kinds):
+        arity.append(arena.child_last[row] - arena.child_first[row])
+        if kind == KIND_LITERAL:
+            lits.append([arena.variables[row], bool(arena.negated[row])])
+        elif kind == KIND_TRUE or kind == KIND_FALSE:
+            doms.append(sorted(arena.domains[row]))
+        elif kind == KIND_DNF:
+            function = arena.leaf_functions[row]
+            doms.append(sorted(function.domain))
+            dnfs.append([list(clause)
+                         for clause in function.sorted_clauses()])
+    return {
+        "v": 2,
+        "kinds": kinds,
+        "arity": arity,
+        "lits": lits,
+        "doms": doms,
+        "dnfs": dnfs,
+    }
+
+
+def encode_tree_v1(root: DTreeNode) -> list:
+    """Legacy (v1) nested-list encoding — kept so tests can produce the
+    shards an older process would have written and prove
+    :func:`decode_tree` still reads them losslessly.
     """
     encoded: Dict[int, list] = {}
     stack = [(root, False)]
@@ -113,14 +179,84 @@ def _decode_leaf(tag: str, payload: list) -> DTreeNode:
     raise ValueError(f"unknown d-tree node tag {tag!r}")
 
 
+_KIND_INNER = {KIND_AND: DecompAnd, KIND_OR: DecompOr, KIND_XOR: ExclusiveOr}
+
+
+def _decode_tree_v2(encoded: dict) -> DTreeNode:
+    """Rebuild the object tree from v2 arena columns (forward loop)."""
+    kinds = encoded["kinds"]
+    arity = encoded["arity"]
+    if not isinstance(kinds, (list, tuple)) or not kinds:
+        raise ValueError("malformed arena encoding: empty kinds column")
+    if len(arity) != len(kinds):
+        raise ValueError("malformed arena encoding: column length mismatch")
+    lits = iter(encoded["lits"])
+    doms = iter(encoded["doms"])
+    dnfs = iter(encoded["dnfs"])
+    nodes: List[DTreeNode] = []
+    for row, kind in enumerate(kinds):
+        children_count = int(arity[row])
+        if children_count:
+            if children_count > len(nodes):
+                raise ValueError(
+                    "malformed arena encoding: child span out of range")
+            children = nodes[len(nodes) - children_count:]
+            del nodes[len(nodes) - children_count:]
+        else:
+            children = []
+        if kind == KIND_TRUE:
+            node = TrueLeaf(int(v) for v in next(doms))
+        elif kind == KIND_FALSE:
+            node = FalseLeaf(int(v) for v in next(doms))
+        elif kind == KIND_LITERAL:
+            variable, negated = next(lits)
+            if not isinstance(negated, bool):
+                raise ValueError(f"malformed literal negation {negated!r}")
+            node = LiteralLeaf(int(variable), negated)
+        elif kind == KIND_DNF:
+            domain = [int(v) for v in next(doms)]
+            clauses = [tuple(int(v) for v in clause)
+                       for clause in next(dnfs)]
+            node = DNFLeaf(DNF(clauses, domain=domain))
+        elif kind in _KIND_INNER:
+            if not children:
+                raise ValueError("malformed arena encoding: childless "
+                                 "inner node")
+            node = _KIND_INNER[kind](children)
+        else:
+            raise ValueError(f"unknown arena node kind {kind!r}")
+        if children and kind not in _KIND_INNER:
+            raise ValueError("malformed arena encoding: leaf with children")
+        nodes.append(node)
+    if len(nodes) != 1:
+        raise ValueError("malformed arena encoding: disconnected rows")
+    return nodes[0]
+
+
 def decode_tree(encoded: object) -> DTreeNode:
     """Inverse of :func:`encode_tree`; raises ``ValueError`` on bad input.
 
-    The decoded tree satisfies the structural d-tree invariants
+    Dispatches on the encoded shape: a dict is the v2 arena-columnar
+    form, a list/tuple the legacy v1 nested-list form — so one store can
+    hold shards written by both codec versions.  The decoded tree
+    satisfies the structural d-tree invariants
     (:meth:`~repro.dtree.nodes.DTreeNode.validate` is run on the result),
     so downstream evaluators never crash on a tampered or truncated
     artifact — the error surfaces here, where callers expect it.
     """
+    if isinstance(encoded, dict):
+        if encoded.get("v") != 2:
+            raise ValueError(
+                f"unknown d-tree encoding version {encoded.get('v')!r}")
+        try:
+            root = _decode_tree_v2(encoded)
+            root.validate()
+            return root
+        except ValueError:
+            raise
+        except Exception as error:
+            raise ValueError(
+                f"malformed d-tree encoding: {error}") from error
     try:
         built: Dict[int, DTreeNode] = {}
         stack = [(encoded, False)]
@@ -211,5 +347,6 @@ __all__ = [
     "clone_tree",
     "decode_tree",
     "encode_tree",
+    "encode_tree_v1",
     "trees_equal",
 ]

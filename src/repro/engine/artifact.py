@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.dtree.arena import DTreeArena, arena_of
 from repro.dtree.compile import CompilationBudget
 from repro.dtree.heuristics import Heuristic, select_most_frequent
 from repro.dtree.incremental import IncrementalCompiler
@@ -46,6 +47,15 @@ from repro.dtree.serialize import (
 #: Wire-format version of encoded artifacts; readers discard (and
 #: recompute) anything recording a different version.
 ARTIFACT_FORMAT_VERSION = TREE_FORMAT_VERSION
+
+#: Artifact shard versions the store still decodes.  Version 1 shards
+#: hold the nested-list object-tree codec; version 2 shards hold the
+#: arena (struct-of-arrays) codec.  Both decode to identical trees
+#: (:func:`repro.dtree.serialize.decode_tree` dispatches per entry), so
+#: a store written by an older process stays readable and mixed-version
+#: stores work — writes always use :data:`ARTIFACT_FORMAT_VERSION`, so
+#: legacy shards age out on the next flush of their key range.
+ARTIFACT_COMPAT_VERSIONS = frozenset({1, TREE_FORMAT_VERSION})
 
 
 @dataclass
@@ -65,14 +75,15 @@ class CompiledLineage:
         totals.
     counts:
         Node-id-keyed subtree model-count memo shared by every exact
-        evaluation pass over this artifact's tree
-        (:mod:`repro.core.exaban` fills and reuses it), so repeat
-        attribution / ranking / top-k over one compiled lineage never
-        recount a subtree.  Derived data: never serialized (node ids are
-        process-local), rebuilt on first evaluation after a load, and
-        only ever populated for *complete* trees (partial trees are
-        resumed via a clone, whose fresh node ids leave a stale memo
-        unreachable).
+        evaluation pass over this artifact's tree.  Since the arena
+        refactor this is a **mirror view** of the arena's ``"counts"``
+        payload column: :mod:`repro.core.exaban` computes counts in the
+        arena and copies them here, so legacy callers (and the engine's
+        memo-hit accounting) keep working unchanged.  Derived data:
+        never serialized (node ids are process-local), rebuilt on first
+        evaluation after a load, and only ever populated for *complete*
+        trees (partial trees are resumed via a clone, whose fresh node
+        ids leave a stale memo unreachable).
     """
 
     root: DTreeNode
@@ -95,6 +106,17 @@ class CompiledLineage:
                    complete=compiler.is_complete(),
                    shannon_steps=compiler.shannon_steps,
                    expansion_steps=compiler.expansion_steps)
+
+    def arena(self) -> DTreeArena:
+        """The tree's struct-of-arrays arena (built lazily, cached).
+
+        The arena is memoized in the root node's cache
+        (:func:`repro.dtree.arena.arena_of`), which in-place mutation
+        invalidates — so the handle is always consistent with ``root``.
+        Every exact/float evaluation pass over this artifact shares it
+        (and its payload columns) automatically.
+        """
+        return arena_of(self.root)
 
     def resume_compiler(self, heuristic: Heuristic = select_most_frequent
                         ) -> IncrementalCompiler:
@@ -163,6 +185,7 @@ def decode_artifact(encoded: Dict[str, object]) -> CompiledLineage:
 
 
 __all__ = [
+    "ARTIFACT_COMPAT_VERSIONS",
     "ARTIFACT_FORMAT_VERSION",
     "CompiledLineage",
     "complete_compilation",

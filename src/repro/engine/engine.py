@@ -197,6 +197,22 @@ class EngineConfig:
         converged results are written back, so canonical-space results
         survive process restarts.  ``None`` (the default) keeps the engine
         memory-only.
+    numeric:
+        Evaluation tier for the ranking methods: ``"exact"`` (default)
+        runs IchiBan's exact-``Fraction`` interval refinement;
+        ``"float"`` ranks by log-space float scores off the arena pass
+        (:mod:`repro.dtree.arena`), falling back to exact evaluation
+        only for boundary-straddling variables — and, for lineages whose
+        compilation exhausts its budget, degrades to an order-only
+        surrogate ranking instead of timing out.  Results are cached
+        under a ``-float``-suffixed method, so the tiers never serve
+        each other's entries.  Only meaningful for ``rank``/``topk``;
+        :meth:`Engine.rank`/:meth:`Engine.rank_many` accept a per-call
+        override.
+    float_ulp_margin:
+        Width multiplier (>= 1) applied to the float tier's per-variable
+        relative-error bounds before straddler detection: larger margins
+        fall back to exact arithmetic more eagerly.
     """
 
     method: EngineMethod = "auto"
@@ -211,6 +227,8 @@ class EngineConfig:
     domain: DomainPolicy = "lineage"
     k: Optional[int] = None
     store: Optional[CacheStore] = None
+    numeric: str = "exact"
+    float_ulp_margin: int = 8
 
     def __post_init__(self) -> None:
         if self.method not in ("auto", "exact", "approximate", "shapley",
@@ -233,6 +251,15 @@ class EngineConfig:
                 f"k is only meaningful for method='topk', not "
                 f"{self.method!r}"
             )
+        if self.numeric not in ("exact", "float"):
+            raise ValueError(
+                f"numeric must be 'exact' or 'float', not {self.numeric!r}")
+        if self.numeric == "float" and self.method not in ("rank", "topk"):
+            raise ValueError(
+                "numeric='float' is only meaningful for the ranking "
+                f"methods ('rank'/'topk'), not {self.method!r}")
+        if self.float_ulp_margin < 1:
+            raise ValueError("float_ulp_margin must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -318,7 +345,9 @@ def _compute_canonical(function: DNF, method: EngineMethod,
                        timeout_seconds: Optional[float],
                        artifact: Optional[CompiledLineage] = None,
                        k: Optional[int] = None,
-                       artifact_sink=None
+                       artifact_sink=None,
+                       numeric: str = "exact",
+                       float_ulp_margin: int = 8
                        ) -> Tuple[CachedAttribution, bool,
                                   Optional[CompiledLineage], int]:
     """Attribute one canonical lineage (the evaluate-per-method stage).
@@ -338,7 +367,9 @@ def _compute_canonical(function: DNF, method: EngineMethod,
         # a budgeted engine never runs a ranking unbounded either.
         computation = compute_ranking(function, method, k, epsilon,
                                       timeout_seconds, artifact=artifact,
-                                      max_steps=max_shannon_steps)
+                                      max_steps=max_shannon_steps,
+                                      numeric=numeric,
+                                      float_ulp_margin=float_ulp_margin)
         return (computation.outcome, False, computation.artifact,
                 computation.rounds)
     if method == "approximate":
@@ -415,14 +446,15 @@ def _worker_compute_chunk(payload: Tuple
     The payload is fully picklable: clause tuples plus the scalar method
     configuration.  Exceptions propagate to the parent through the future.
     """
-    chunk, method, epsilon, max_shannon_steps, timeout_seconds, k = payload
+    (chunk, method, epsilon, max_shannon_steps, timeout_seconds, k,
+     numeric, float_ulp_margin) = payload
     ensure_recursion_head_room()
     results = []
     for index, num_variables, clauses in chunk:
         function = DNF(clauses, domain=range(num_variables))
         outcome, fell_back, _, rounds = _compute_canonical(
             function, method, epsilon, max_shannon_steps, timeout_seconds,
-            k=k)
+            k=k, numeric=numeric, float_ulp_margin=float_ulp_margin)
         results.append((index, outcome, fell_back, rounds))
     return results
 
@@ -504,7 +536,8 @@ class Engine:
             yield query, results
 
     def rank_many(self, queries: Iterable[Query], database: Database,
-                  k: Optional[int] = None
+                  k: Optional[int] = None,
+                  numeric: Optional[str] = None
                   ) -> Iterator[Tuple[Query, List[RankedAnswer]]]:
         """Rank the facts of every answer of a query stream (IchiBan).
 
@@ -514,7 +547,10 @@ class Engine:
         ``"topk"``.  ``k`` overrides ``config.k`` per call; because results
         are cached per ``(canonical lineage, epsilon, k)`` and completed
         d-trees are shared across k values, one engine can serve mixed-k
-        traffic.
+        traffic.  ``numeric`` likewise overrides ``config.numeric`` per
+        call (``"float"`` ranks by the log-space float tier; see
+        :class:`EngineConfig`), and the tiers cache separately while
+        still sharing compiled d-trees.
         """
         if self.config.method not in ("rank", "topk"):
             raise ValueError(
@@ -527,7 +563,7 @@ class Engine:
                 answers = lineage_of_answers(query, database,
                                              domain=self.config.domain)
             outcomes = self._attribute_batch([a.lineage for a in answers],
-                                             k=k)
+                                             k=k, numeric=numeric)
             with self.stats.timed("assemble"):
                 rankings = [
                     (answer.values,
@@ -537,9 +573,11 @@ class Engine:
             yield query, rankings
 
     def rank(self, query: Query, database: Database,
-             k: Optional[int] = None) -> List[RankedAnswer]:
+             k: Optional[int] = None,
+             numeric: Optional[str] = None) -> List[RankedAnswer]:
         """Rank every answer of one query (see :meth:`rank_many`)."""
-        _, rankings = next(self.rank_many([query], database, k=k))
+        _, rankings = next(self.rank_many([query], database, k=k,
+                                          numeric=numeric))
         return rankings
 
     def attribute_lineages(self, lineages: Sequence[DNF]
@@ -629,7 +667,8 @@ class Engine:
     # ----------------------------------------------------------------- #
 
     def _attribute_batch(self, lineages: Sequence[DNF],
-                         k: Optional[int] = None
+                         k: Optional[int] = None,
+                         numeric: Optional[str] = None
                          ) -> List[Tuple[CanonicalLineage, CachedAttribution]]:
         """Canonicalize, cache-check, compute and return per-lineage outcomes."""
         config = self.config
@@ -644,11 +683,23 @@ class Engine:
                 "method 'topk' needs k: set EngineConfig.k or pass k "
                 "per call"
             )
+        if numeric is None:
+            numeric = config.numeric
+        elif numeric not in ("exact", "float"):
+            raise ValueError(
+                f"numeric must be 'exact' or 'float', not {numeric!r}")
+        elif config.method not in ("rank", "topk"):
+            raise ValueError("a per-call numeric needs method='rank' or "
+                             "'topk'")
+        # Float-tier results live under a suffixed method key: the tiers
+        # produce different certificates, so they must never alias.
+        key_method = (config.method if numeric == "exact"
+                      else f"{config.method}-float")
         self.stats.bump(answers=len(lineages))
 
         with self.stats.timed("canonicalize"):
             canonicals = [canonicalize(lineage) for lineage in lineages]
-            keys = [self.cache.result_key(c.key, config.method,
+            keys = [self.cache.result_key(c.key, key_method,
                                           config.epsilon, k)
                     for c in canonicals]
             cached: Dict[int, CachedAttribution] = {}
@@ -687,7 +738,8 @@ class Engine:
             # attempt (e.g. against a d-tree cached in the meantime).
             try:
                 for position, outcome in self._compute_tasks(
-                        [canonicals[index] for _, index in tasks], k):
+                        [canonicals[index] for _, index in tasks], k,
+                        numeric):
                     key = tasks[position][0]
                     if outcome.converged:
                         self.cache.results.put(key, outcome)
@@ -719,7 +771,7 @@ class Engine:
         return max(1, min(self.config.max_workers, os.cpu_count() or 1))
 
     def _compute_tasks(self, tasks: Sequence[CanonicalLineage],
-                       k: Optional[int]
+                       k: Optional[int], numeric: str = "exact"
                        ) -> Iterator[Tuple[int, CachedAttribution]]:
         """Run the distinct cache misses, in the pool or serially.
 
@@ -734,7 +786,8 @@ class Engine:
         if (self._effective_workers() > 1
                 and len(tasks) >= config.parallel_min_tasks):
             try:
-                for position, outcome in self._compute_parallel(tasks, k):
+                for position, outcome in self._compute_parallel(tasks, k,
+                                                                numeric):
                     self.stats.bump(compilations=1)
                     done.add(position)
                     yield position, outcome
@@ -748,7 +801,7 @@ class Engine:
         for position, canonical in enumerate(tasks):
             if position in done:
                 continue
-            outcome = self._compute_serial(canonical, k)
+            outcome = self._compute_serial(canonical, k, numeric)
             self.stats.bump(compilations=1)
             yield position, outcome
 
@@ -795,7 +848,8 @@ class Engine:
             store.put_artifact(key, artifact)
 
     def _compute_serial(self, canonical: CanonicalLineage,
-                        k: Optional[int] = None) -> CachedAttribution:
+                        k: Optional[int] = None,
+                        numeric: str = "exact") -> CachedAttribution:
         config = self.config
         artifact = self._artifact_for(canonical.key)
         if artifact is None:
@@ -816,7 +870,8 @@ class Engine:
         outcome, fell_back, artifact_out, rounds = _compute_canonical(
             canonical.dnf, config.method, config.epsilon,
             config.max_shannon_steps, config.timeout_seconds,
-            artifact=artifact, k=k, artifact_sink=sink)
+            artifact=artifact, k=k, artifact_sink=sink, numeric=numeric,
+            float_ulp_margin=config.float_ulp_margin)
         self._record_outcome(outcome, fell_back, rounds)
         self._remember_artifact(canonical.key, artifact_out, known=artifact)
         return outcome
@@ -830,7 +885,7 @@ class Engine:
             self.stats.bump(partial_results=1)
 
     def _compute_parallel(self, tasks: Sequence[CanonicalLineage],
-                          k: Optional[int]
+                          k: Optional[int], numeric: str = "exact"
                           ) -> Iterator[Tuple[int, CachedAttribution]]:
         """Fan the tasks out over a process pool, yielding as chunks finish.
 
@@ -855,7 +910,8 @@ class Engine:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = [
                 (chunk, config.method, config.epsilon,
-                 config.max_shannon_steps, config.timeout_seconds, k)
+                 config.max_shannon_steps, config.timeout_seconds, k,
+                 numeric, config.float_ulp_margin)
                 for chunk in chunks
             ]
             for chunk_results in pool.map(_worker_compute_chunk, payloads):

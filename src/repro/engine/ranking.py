@@ -54,10 +54,20 @@ from repro.core.ichiban import (
     _IchiBanRun,
     _rank_controller,
     _topk_controller,
+    float_straddlers,
 )
 from repro.core.intervals import Interval
+from repro.dtree.arena import (
+    arena_banzhaf,
+    arena_float_banzhaf,
+    arena_float_surrogate,
+    arena_of,
+    pow2_int,
+)
+from repro.dtree.compile import CompilationBudget, CompilationLimitReached
 from repro.dtree.heuristics import Heuristic, select_most_frequent
-from repro.engine.artifact import CompiledLineage
+from repro.dtree.incremental import IncrementalCompiler
+from repro.engine.artifact import CompiledLineage, complete_compilation
 from repro.engine.cache import CachedAttribution
 
 
@@ -107,13 +117,115 @@ def _exact_ranking(function: DNF,
     ), artifact=artifact)
 
 
+def _float_ranking(function: DNF, artifact: CompiledLineage, method: str,
+                   float_ulp_margin: int) -> RankingComputation:
+    """Float-tier ranking off a complete artifact (log2 arena pass).
+
+    Scores come from :func:`~repro.dtree.arena.arena_float_banzhaf` with
+    per-variable relative-error bounds; variables whose widened score
+    intervals overlap another's (``float_straddlers``) fall back to the
+    exact arena pass and get point bounds, the rest get certified
+    integer enclosures ``[floor(2^(log-w)), ceil(2^(log+w))]`` — so the
+    reported bounds always contain the exact Banzhaf value and the
+    order read off them matches the exact order, while the common case
+    never touches bignum arithmetic.
+    """
+    arena = artifact.arena()
+    occurring = function.variables
+    scores = {v: s for v, s in arena_float_banzhaf(arena).items()
+              if v in occurring}
+    straddlers = float_straddlers(scores, float_ulp_margin)
+    exact = arena_banzhaf(arena) if straddlers else {}
+    values: Dict[int, Fraction] = {}
+    bounds: Dict[int, tuple] = {}
+    for variable, (log, err) in scores.items():
+        if variable in straddlers:
+            point = exact[variable]
+            values[variable] = Fraction(point)
+            bounds[variable] = (point, point)
+        else:
+            lower = pow2_int(log, float_ulp_margin * err)
+            upper = pow2_int(log, float_ulp_margin * err, ceil=True)
+            values[variable] = Fraction(lower + upper, 2)
+            bounds[variable] = (lower, upper)
+    return RankingComputation(outcome=CachedAttribution(
+        method_used=f"{method}-float",
+        values=values,
+        bounds=bounds,
+    ), artifact=artifact)
+
+
+def _surrogate_ranking(function: DNF, artifact: CompiledLineage,
+                       method: str) -> RankingComputation:
+    """Order-only surrogate ranking off a partial tree's float pass.
+
+    For instances whose compilation exhausts its budget even in float
+    mode, :func:`~repro.dtree.arena.arena_float_surrogate` estimates
+    every variable's Banzhaf score from the partial tree (undecomposed
+    leaves contribute closed-form independence estimates).  The result
+    carries **order information only**: bounds are the honest
+    ``(0, 2 * estimate)`` — their midpoints reproduce the surrogate
+    order for :func:`~repro.core.ichiban.ranked_from_bounds`, while the
+    interval width states that no value is certified.  Never converged,
+    never cached; the partial artifact comes back resumable.
+    """
+    estimates = {v: e
+                 for v, e in arena_float_surrogate(arena_of(artifact.root)
+                                                   ).items()
+                 if v in function.variables}
+    values: Dict[int, Fraction] = {}
+    bounds: Dict[int, tuple] = {}
+    for variable, log in estimates.items():
+        upper = 2 * pow2_int(log, ceil=True)
+        values[variable] = Fraction(upper, 2)
+        bounds[variable] = (0, upper)
+    return RankingComputation(outcome=CachedAttribution(
+        method_used=f"{method}-float-surrogate",
+        values=values,
+        bounds=bounds,
+        converged=False,
+    ), artifact=artifact)
+
+
+def _float_tier(function: DNF, method: str,
+                timeout_seconds: Optional[float],
+                artifact: Optional[CompiledLineage],
+                max_steps: Optional[int],
+                heuristic: Heuristic,
+                float_ulp_margin: int) -> RankingComputation:
+    """Float-mode dispatch: exact-free ranking with a compile budget.
+
+    A complete artifact ranks by float order immediately.  Otherwise one
+    budgeted compile attempt is made (resuming a partial artifact's
+    frontier); on success the float ranking runs over the finished tree,
+    on budget exhaustion the partial tree yields a surrogate ranking —
+    the float tier never enters the per-variable IchiBan refinement
+    loop, which is what times out on wide instances.
+    """
+    if artifact is not None and artifact.complete:
+        return _float_ranking(function, artifact, method, float_ulp_margin)
+    compiler = (artifact.resume_compiler(heuristic)
+                if artifact is not None
+                else IncrementalCompiler(function, heuristic))
+    budget = CompilationBudget(max_shannon_steps=max_steps,
+                               timeout_seconds=timeout_seconds)
+    try:
+        complete_compilation(compiler, budget)
+    except CompilationLimitReached:
+        return _surrogate_ranking(
+            function, CompiledLineage.from_compiler(compiler), method)
+    return _float_ranking(function, CompiledLineage.from_compiler(compiler),
+                          method, float_ulp_margin)
+
+
 def compute_ranking(function: DNF, method: str, k: Optional[int],
                     epsilon: Optional[float],
                     timeout_seconds: Optional[float],
                     artifact: Optional[CompiledLineage] = None,
                     max_steps: Optional[int] = None,
-                    heuristic: Heuristic = select_most_frequent
-                    ) -> RankingComputation:
+                    heuristic: Heuristic = select_most_frequent,
+                    numeric: str = "exact",
+                    float_ulp_margin: int = 8) -> RankingComputation:
     """Rank one canonical lineage (``method`` is ``"rank"`` or ``"topk"``).
 
     ``epsilon=None`` demands certainty (pairwise separation for ``rank``,
@@ -123,6 +235,16 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
     produces the degraded best-so-far result -- whose partial tree still
     comes back as a resumable artifact.  A complete ``artifact`` bypasses
     the anytime run entirely; a partial one seeds it.
+
+    ``numeric="float"`` selects the log-space float tier: scores are
+    log2-domain floats off the arena pass, top-k membership is decided
+    by float order, and only boundary-straddling variables (float
+    intervals overlapping within ``float_ulp_margin`` error units) fall
+    back to exact arena evaluation.  Instead of anytime interval
+    refinement, incomplete lineages get **one budgeted compile attempt**
+    (``max_steps`` Shannon expansions / ``timeout_seconds``); on
+    exhaustion the partial tree produces an order-only surrogate ranking
+    (``method_used`` suffix ``-float-surrogate``, never converged).
     """
     if method not in ("rank", "topk"):
         raise ValueError(
@@ -131,6 +253,12 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
         )
     if method == "topk" and (k is None or k < 1):
         raise ValueError("method 'topk' needs k >= 1")
+    if numeric not in ("exact", "float"):
+        raise ValueError(f"numeric must be 'exact' or 'float', "
+                         f"not {numeric!r}")
+    if numeric == "float":
+        return _float_tier(function, method, timeout_seconds, artifact,
+                           max_steps, heuristic, float_ulp_margin)
     if artifact is not None and artifact.complete:
         return _exact_ranking(function, artifact)
     if method == "topk":

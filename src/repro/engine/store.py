@@ -53,6 +53,7 @@ from fractions import Fraction
 from typing import Dict, Iterator, List, Optional, Protocol, Tuple
 
 from repro.engine.artifact import (
+    ARTIFACT_COMPAT_VERSIONS,
     ARTIFACT_FORMAT_VERSION,
     CompiledLineage,
     decode_artifact,
@@ -426,15 +427,23 @@ class DiskStore:
                 pass
             raise
 
-    def _read_shard_document(self, path: str, version: int
+    def _read_shard_document(self, path: str, version
                              ) -> Optional[Dict[str, object]]:
-        """Parse one shard file; ``None`` for missing/damaged/old files."""
+        """Parse one shard file; ``None`` for missing/damaged/old files.
+
+        ``version`` is the accepted format version — an ``int`` for an
+        exact match, or a set of ints for readers that keep decoding
+        known-compatible older shards (the artifact tier accepts both
+        the v1 object-tree and v2 arena codecs).
+        """
         if not os.path.exists(path):
             return None
+        accepted = version if isinstance(version, frozenset) else \
+            frozenset({version})
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
-            if document.get("version") != version:
+            if document.get("version") not in accepted:
                 raise ValueError(f"format version {document.get('version')!r}")
             entries = document["entries"]
             if not isinstance(entries, dict):
@@ -486,7 +495,7 @@ class DiskStore:
             return shard
         shard = {}
         document = self._read_shard_document(self._tree_shard_path(index),
-                                             ARTIFACT_FORMAT_VERSION)
+                                             ARTIFACT_COMPAT_VERSIONS)
         if document is not None:
             try:
                 for encoded_key, record in document["entries"].items():

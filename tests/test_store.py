@@ -444,6 +444,53 @@ class TestArtifactTier:
             assert loaded.complete == artifact.complete
             assert trees_equal(loaded.root, artifact.root)
 
+    def test_legacy_v1_tree_shard_reads_losslessly(self, tmp_path):
+        # A shard written by a pre-arena deployment: format version 1,
+        # trees in the legacy nested-list encoding.  The store must read
+        # it losslessly (ARTIFACT_COMPAT_VERSIONS), serve the artifact,
+        # and rewrite the shard in the current format on the next flush.
+        from repro.dtree.compile import compile_dnf
+        from repro.dtree.serialize import encode_tree_v1, trees_equal
+        from repro.engine.store import encode_canonical_key
+
+        function = DNF([(0, 1), (1, 2)], domain=range(3))
+        tree = compile_dnf(function)
+        key = _canonical_key()
+        document = {
+            "version": 1,
+            "entries": {
+                encode_canonical_key(key): {
+                    "stamp": 1,
+                    "entry": {
+                        "complete": True,
+                        "shannon_steps": 0,
+                        "expansion_steps": 0,
+                        "tree": encode_tree_v1(tree),
+                    },
+                },
+            },
+        }
+        os.makedirs(tmp_path, exist_ok=True)
+        (tmp_path / "trees-0000.json").write_text(json.dumps(document),
+                                                  encoding="utf-8")
+
+        reader = DiskStore(str(tmp_path), tree_shards=1)
+        loaded = reader.get_artifact(key)
+        assert loaded is not None and loaded.complete
+        assert trees_equal(loaded.root, tree)
+        assert reader.corrupt_shards == 0
+        # Touch the shard and flush: it is rewritten at the current
+        # version and stays readable (now through the v2 decoder).
+        reader.put_artifact(_canonical_key(clauses=((0,), (1, 2))),
+                            _artifact())
+        reader.flush()
+        from repro.engine.artifact import ARTIFACT_FORMAT_VERSION
+        rewritten = json.loads(
+            (tmp_path / "trees-0000.json").read_text(encoding="utf-8"))
+        assert rewritten["version"] == ARTIFACT_FORMAT_VERSION
+        reloaded = DiskStore(str(tmp_path), tree_shards=1).get_artifact(key)
+        assert reloaded is not None and trees_equal(reloaded.root, tree)
+
     def test_corrupted_tree_shard_is_ignored(self, tmp_path):
         key, artifact = _canonical_key(), _artifact()
         store = DiskStore(str(tmp_path), tree_shards=1)
