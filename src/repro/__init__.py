@@ -57,7 +57,11 @@ from repro.engine import (
     Engine,
     EngineConfig,
     EngineStats,
+    LogStore,
     MemoryStore,
+    ShardedStore,
+    migrate_store,
+    open_store,
 )
 
 __version__ = "1.0.0"
@@ -81,9 +85,11 @@ __all__ = [
     "MemoryStore",
     "FactAttribution",
     "IchiBanTimeout",
+    "LogStore",
     "QueryVariable",
     "RankedVariable",
     "Selection",
+    "ShardedStore",
     "UnionQuery",
     "adaban",
     "adaban_all",
@@ -97,6 +103,8 @@ __all__ = [
     "ichiban_topk_certain",
     "lineage_of_answers",
     "lineage_of_boolean_query",
+    "migrate_store",
+    "open_store",
     "parse_query",
     "rank_facts",
     "ranked_from_bounds",

@@ -26,9 +26,12 @@ Two subcommands expose the persistent cache tier and the serving loop
 (both leave the flag-style attribution interface above untouched)::
 
     python -m repro serve --facts R=r.csv --requests requests.jsonl \\
-        --store /var/cache/repro --stats
+        --store /var/cache/repro --store-backend log --stats
     python -m repro cache save --store DIR --facts ... --query ...
     python -m repro cache load --store DIR
+    python -m repro cache warm --store DIR --store-backend log
+    python -m repro cache compact --store DIR --store-backend log
+    python -m repro cache migrate --store SRC --dest DST --dest-backend log
     python -m repro cache stats --store DIR
 
 ``serve`` drives an :class:`repro.engine.serve.AttributionService` from a
@@ -41,12 +44,21 @@ in-flight coalescing of isomorphic computations (``--no-coalesce``
 disables), micro-batching (``--batch-max``), a bounded admission queue
 (``--max-queue``), and a default per-request deadline (``--deadline-ms``)
 under which late requests degrade to best-effort partials -- while
-keeping responses in input order.  ``cache save`` computes the given queries and
+keeping responses in input order.  Every store-taking command accepts
+``--store-backend {disk,log}`` (``disk`` is the legacy sharded-JSON
+tier; ``log`` the append-only record log of
+:mod:`repro.engine.logstore`, with point reads, single-writer locking
+and compaction) and ``--store-shards N`` (consistent-hash sharding
+across N roots).  ``cache save`` computes the given queries and
 persists the resulting cache entries -- results *and* compiled-lineage
 artifacts, so a later process skips recompilation too -- for warm
 starts; ``cache load`` verifies a store by loading it into a fresh
-engine; ``cache stats`` prints the store's per-kind (results vs compiled
-trees) entry/shard/size summary.
+engine; ``cache warm`` times that load (the restart cost a serving
+process will pay); ``cache compact`` reclaims a log-backed store's
+superseded records; ``cache migrate`` copies one store into another
+(the one-shot ``disk`` -> ``log`` migration path); ``cache stats``
+prints the store's per-kind (results vs compiled trees)
+entry/shard/size summary.
 """
 
 from __future__ import annotations
@@ -55,14 +67,15 @@ import argparse
 import csv
 import json
 import sys
+import time
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.db.database import Database
 from repro.db.datalog import parse_query
 from repro.engine import Engine, EngineConfig
 from repro.engine.frontend import FrontendConfig, serve_jsonl_concurrent
+from repro.engine.logstore import STORE_BACKENDS, migrate_store, open_store
 from repro.engine.serve import AttributionService, serve_jsonl
-from repro.engine.store import DiskStore
 
 
 def _coerce(value: str) -> object:
@@ -283,19 +296,44 @@ def _add_database_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_store_argument(parser: argparse.ArgumentParser,
-                        required: bool) -> None:
-    parser.add_argument("--store", required=required, default=None,
+                        required: bool, prefix: str = "store") -> None:
+    """Add one store's flag group (``--store``/``--dest`` + knobs)."""
+    flag = f"--{prefix}"
+    parser.add_argument(flag, required=required, default=None,
                         metavar="DIR",
                         help="directory of the persistent (sharded, "
                              "versioned) result store")
-    parser.add_argument("--store-entries", type=int, default=65_536,
+    parser.add_argument(f"{flag}-entries", type=int, default=65_536,
                         metavar="N",
                         help="store capacity in entries; oldest entries "
                              "are evicted past it (default: 65536)")
+    parser.add_argument(f"{flag}-backend", choices=STORE_BACKENDS,
+                        default="disk",
+                        help="store backend: 'disk' (legacy sharded JSON) "
+                             "or 'log' (append-only record log with point "
+                             "reads, single-writer locking and "
+                             "compaction; default: disk)")
+    parser.add_argument(f"{flag}-shards", type=int, default=1, metavar="N",
+                        help="consistent-hash shard the store across N "
+                             "roots under DIR (default: 1, a single root)")
 
 
-def _open_store(arguments) -> DiskStore:
-    return DiskStore(arguments.store, max_entries=arguments.store_entries)
+def _open_store(arguments, prefix: str = "store",
+                shared_reader: bool = False):
+    """Open the store named by one flag group via the backend factory.
+
+    ``shared_reader`` opens a log-backed store in ``auto`` mode, so
+    read-mostly commands (stats, warm) keep working while a serving
+    process holds the writer lock.
+    """
+    kwargs = {}
+    if getattr(arguments, f"{prefix}_backend") == "log" and shared_reader:
+        kwargs["mode"] = "auto"
+    return open_store(getattr(arguments, prefix),
+                      backend=getattr(arguments, f"{prefix}_backend"),
+                      shards=getattr(arguments, f"{prefix}_shards"),
+                      max_entries=getattr(arguments, f"{prefix}_entries"),
+                      **kwargs)
 
 
 def _serve_command(argv: Sequence[str], stream, log=None) -> int:
@@ -405,6 +443,8 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
     if arguments.stats:
         print("\nservice stats:", file=log)
         print(json.dumps(service.stats(), indent=2), file=log)
+    if store is not None and hasattr(store, "close"):
+        store.close()  # flush, stop the compactor, release the writer lock
     return 0 if all_ok else 1
 
 
@@ -440,6 +480,25 @@ def _cache_command(argv: Sequence[str], stream) -> int:
         "load", help="verify a store by loading it into a fresh engine")
     _add_store_argument(load, required=True)
 
+    warm = actions.add_parser(
+        "warm", help="time a full warm-start load of the store (results "
+                     "and artifacts into fresh memory tiers) -- the "
+                     "restart cost a serving process will pay")
+    _add_store_argument(warm, required=True)
+
+    compact = actions.add_parser(
+        "compact", help="rewrite a log-backed store's live records and "
+                        "drop tombstoned/superseded ones, reclaiming "
+                        "disk space")
+    _add_store_argument(compact, required=True)
+
+    migrate = actions.add_parser(
+        "migrate", help="copy every result and artifact from one store "
+                        "into another (one-shot backend migration, e.g. "
+                        "disk -> log); the source is left untouched")
+    _add_store_argument(migrate, required=True)
+    _add_store_argument(migrate, required=True, prefix="dest")
+
     stats = actions.add_parser(
         "stats", help="print the store's per-kind (results vs compiled "
                       "trees) entry/shard/size summary")
@@ -447,11 +506,13 @@ def _cache_command(argv: Sequence[str], stream) -> int:
 
     arguments = parser.parse_args(list(argv))
     if arguments.action is None:
-        parser.error("an action is required: save, load or stats")
+        parser.error("an action is required: save, load, warm, compact, "
+                     "migrate or stats")
 
     if arguments.action == "stats":
-        print(json.dumps(_open_store(arguments).stats(), indent=2),
-              file=stream)
+        print(json.dumps(_open_store(arguments,
+                                     shared_reader=True).stats(),
+                         indent=2), file=stream)
         return 0
 
     if arguments.action == "load":
@@ -463,6 +524,46 @@ def _cache_command(argv: Sequence[str], stream) -> int:
         artifacts = store.artifact_count()
         print(f"loaded {loaded} cache entries and {artifacts} compiled "
               f"artifacts from {arguments.store}", file=stream)
+        return 0
+
+    if arguments.action == "warm":
+        store = _open_store(arguments, shared_reader=True)
+        engine = Engine(EngineConfig())
+        started = time.perf_counter()
+        loaded = engine.load_cache(store)
+        elapsed = time.perf_counter() - started
+        artifacts = store.artifact_count()
+        print(f"warmed {loaded} cache entries and {artifacts} compiled "
+              f"artifacts from {arguments.store} in {elapsed:.3f}s",
+              file=stream)
+        return 0
+
+    if arguments.action == "compact":
+        store = _open_store(arguments)
+        if not hasattr(store, "compact"):
+            print(f"store backend {arguments.store_backend!r} does not "
+                  "support compaction (its flush already rewrites "
+                  "in place); use --store-backend log", file=stream)
+            return 2
+        before = store.stats().get("disk_bytes", 0)
+        reclaimed = store.compact()
+        after = store.stats().get("disk_bytes", 0)
+        store.close()
+        print(f"compacted {arguments.store}: reclaimed {reclaimed} bytes "
+              f"({before} -> {after} on disk)", file=stream)
+        return 0
+
+    if arguments.action == "migrate":
+        source = _open_store(arguments, shared_reader=True)
+        destination = _open_store(arguments, prefix="dest")
+        results, artifacts = migrate_store(source, destination)
+        for store in (source, destination):
+            if hasattr(store, "close"):
+                store.close()
+        print(f"migrated {results} cache entries and {artifacts} compiled "
+              f"artifacts from {arguments.store} "
+              f"({arguments.store_backend}) to {arguments.dest} "
+              f"({arguments.dest_backend})", file=stream)
         return 0
 
     # save: compute the queries with a memory-only engine, then persist.
@@ -487,6 +588,8 @@ def _cache_command(argv: Sequence[str], stream) -> int:
     store = _open_store(arguments)
     written = engine.save_cache(store)
     artifacts = store.stats()["kinds"]["compiled_trees"]["entries"]
+    if hasattr(store, "close"):
+        store.close()
     print(f"saved {written} cache entries and {artifacts} compiled "
           f"artifacts to {arguments.store} "
           f"({engine.stats.compilations} computed, "

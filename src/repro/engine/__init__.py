@@ -6,7 +6,8 @@ answers and queries, fans independent lineages out over a process pool, and
 auto-selects ExaBan or the AdaBan fallback per lineage.  Results are served
 through two cache tiers -- the in-memory :class:`LineageCache` and an
 optional persistent :class:`CacheStore` (:class:`DiskStore` /
-:class:`MemoryStore`), which survives process restarts -- and the
+:class:`LogStore` / :class:`MemoryStore`, the latter two composable via
+:class:`ShardedStore`), which survives process restarts -- and the
 long-lived serving loop (:class:`AttributionService`) keeps one warm set
 of tiers behind a stream of attribute/rank/topk requests.  See
 ``docs/ARCHITECTURE.md`` for the design, ``docs/API.md`` for the supported
@@ -50,6 +51,14 @@ from repro.engine.serve import (
     RequestError,
     serve_jsonl,
 )
+from repro.engine.logstore import (
+    STORE_BACKENDS,
+    LogStore,
+    ShardedStore,
+    StoreLockedError,
+    migrate_store,
+    open_store,
+)
 from repro.engine.stats import EngineStats
 from repro.engine.store import (
     STORE_FORMAT_VERSION,
@@ -78,6 +87,7 @@ __all__ = [
     "FrontendConfig",
     "LineageAttribution",
     "LineageCache",
+    "LogStore",
     "LRUCache",
     "MemoryStore",
     "ParsedRequest",
@@ -85,8 +95,11 @@ __all__ = [
     "RankingComputation",
     "RequestError",
     "ResultKey",
+    "STORE_BACKENDS",
     "STORE_FORMAT_VERSION",
     "ServingFrontend",
+    "ShardedStore",
+    "StoreLockedError",
     "Ticket",
     "canonical_epsilon",
     "canonicalize",
@@ -98,6 +111,8 @@ __all__ = [
     "ensure_recursion_head_room",
     "load_artifacts",
     "load_results",
+    "migrate_store",
+    "open_store",
     "save_artifacts",
     "save_results",
     "serve_jsonl",

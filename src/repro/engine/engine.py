@@ -99,6 +99,7 @@ from repro.dtree.compile import (
 from repro.engine.artifact import CompiledLineage, complete_compilation
 from repro.engine.cache import CachedAttribution, LineageCache
 from repro.engine.canonical import CanonicalKey, CanonicalLineage, canonicalize
+from repro.engine.logstore import STORE_BACKENDS, resolve_store
 from repro.engine.ranking import compute_ranking
 from repro.engine.stats import EngineStats
 from repro.engine.store import (
@@ -191,12 +192,22 @@ class EngineConfig:
         Lineage domain policy, forwarded to
         :func:`repro.db.lineage.lineage_of_answers`.
     store:
-        Optional persistent result tier (:class:`repro.engine.store.CacheStore`,
-        e.g. a :class:`~repro.engine.store.DiskStore`).  Memory misses fall
-        through to the store before computing, and freshly computed
-        converged results are written back, so canonical-space results
-        survive process restarts.  ``None`` (the default) keeps the engine
-        memory-only.
+        Optional persistent result tier: a
+        :class:`repro.engine.store.CacheStore` instance (e.g. a
+        :class:`~repro.engine.store.DiskStore` or
+        :class:`~repro.engine.logstore.LogStore`), or a *path string*
+        naming a store root, opened via
+        :func:`~repro.engine.logstore.open_store` with ``store_backend``.
+        Memory misses fall through to the store before computing, and
+        freshly computed converged results are written back, so
+        canonical-space results survive process restarts.  ``None`` (the
+        default) keeps the engine memory-only.
+    store_backend:
+        Backend name used when ``store`` is a path string: ``"disk"``
+        (the legacy sharded-JSON :class:`~repro.engine.store.DiskStore`,
+        default) or ``"log"`` (the append-only
+        :class:`~repro.engine.logstore.LogStore`).  Only meaningful with
+        a path-valued ``store``.
     numeric:
         Evaluation tier for the ranking methods: ``"exact"`` (default)
         runs IchiBan's exact-``Fraction`` interval refinement;
@@ -226,7 +237,8 @@ class EngineConfig:
     dtree_cache_size: int = 256
     domain: DomainPolicy = "lineage"
     k: Optional[int] = None
-    store: Optional[CacheStore] = None
+    store: Optional[object] = None
+    store_backend: Optional[str] = None
     numeric: str = "exact"
     float_ulp_margin: int = 8
 
@@ -260,6 +272,15 @@ class EngineConfig:
                 f"methods ('rank'/'topk'), not {self.method!r}")
         if self.float_ulp_margin < 1:
             raise ValueError("float_ulp_margin must be at least 1")
+        if self.store_backend is not None:
+            if self.store_backend not in STORE_BACKENDS:
+                raise ValueError(
+                    f"unknown store_backend {self.store_backend!r}; "
+                    f"expected one of {STORE_BACKENDS}")
+            if not isinstance(self.store, str):
+                raise ValueError(
+                    "store_backend only applies when store is a path "
+                    "string; pass an already-opened CacheStore instead")
 
 
 @dataclass(frozen=True)
@@ -480,8 +501,11 @@ class Engine:
         self.stats = EngineStats()
         #: The persistent result tier (or ``None``).  Mutable on purpose:
         #: a service can attach one store to several engines after
-        #: construction.
-        self.store: Optional[CacheStore] = self.config.store
+        #: construction.  A path-valued config opens its backend here,
+        #: exactly once per engine (LogStore's writer lock makes
+        #: accidental double-opening loud).
+        self.store: Optional[CacheStore] = resolve_store(
+            self.config.store, self.config.store_backend)
 
     # ----------------------------------------------------------------- #
     # Public API

@@ -62,6 +62,7 @@ from repro.dtree.compile import CompilationLimitReached
 from repro.engine.cache import LineageCache
 from repro.engine.canonical import canonicalize
 from repro.engine.engine import Engine, EngineConfig
+from repro.engine.logstore import resolve_store
 from repro.engine.stats import EngineStats
 from repro.engine.store import CacheStore
 
@@ -166,8 +167,12 @@ class AttributionService:
                 "rank/topk engines are created per request op"
             )
         self.database = database
-        self.store = store if store is not None else base.store
-        self._base = replace(base, store=None, k=None)
+        # A path-valued config store opens its backend exactly once,
+        # here, and is then shared by every method engine (per-engine
+        # resolution would trip LogStore's single-writer lock).
+        self.store = store if store is not None else resolve_store(
+            base.store, base.store_backend)
+        self._base = replace(base, store=None, store_backend=None, k=None)
         self.cache = LineageCache(base.cache_size, base.dtree_cache_size)
         self.stats_counters = EngineStats()
         self._engines: Dict[str, Engine] = {}

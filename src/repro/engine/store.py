@@ -44,6 +44,7 @@ encoding -- migrating hits to the canonical one on the next flush.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import tempfile
@@ -383,7 +384,22 @@ class DiskStore:
         self._tree_dirty: set = set()
         self._lock = threading.Lock()
         self.corrupt_shards = 0
+        #: Write-amplification observability: shard files parsed from
+        #: disk, shard files rewritten by flushes, and bytes those
+        #: rewrites produced.  The regression tests pin these.
+        self.shard_loads = 0
+        self.flush_writes = 0
+        self.bytes_flushed = 0
         os.makedirs(path, exist_ok=True)
+        #: Advisory per-shard entry counts persisted in meta.json, so
+        #: sizing (`len`, `artifact_count`, `stats`) does not have to
+        #: parse every shard file of a freshly opened store.  A missing
+        #: index (legacy metas) falls back to loading that one shard;
+        #: counts are corrected whenever a shard is actually loaded, so
+        #: a stale count (crash between shard and meta writes)
+        #: self-heals.
+        self._shard_counts: Dict[int, int] = {}
+        self._tree_shard_counts: Dict[int, int] = {}
         self._stamp, self._tree_stamp = self._load_stamps()
 
     # -- paths and shard IO ------------------------------------------- #
@@ -407,19 +423,44 @@ class DiskStore:
                 meta = json.load(handle)
             if meta.get("version") != STORE_FORMAT_VERSION:
                 return 0, 0
+            self._shard_counts.update(self._decode_counts(
+                meta.get("shard_counts"), self.shards))
+            self._tree_shard_counts.update(self._decode_counts(
+                meta.get("tree_shard_counts"), self.tree_shards))
             # Older metas predate the artifact tier and carry no
             # tree_stamp; 0 is safe (re-derived from shard contents).
             return int(meta["stamp"]), int(meta.get("tree_stamp", 0))
         except (OSError, ValueError, KeyError, TypeError):
             return 0, 0
 
-    def _atomic_write(self, path: str, document: Dict[str, object]) -> None:
+    @staticmethod
+    def _decode_counts(raw, shard_count: int) -> Dict[int, int]:
+        """Parse meta.json's per-shard counts; empty for legacy metas.
+
+        Counts recorded under a different shard layout are discarded --
+        they would attribute entries to the wrong files.
+        """
+        if not isinstance(raw, dict):
+            return {}
+        try:
+            counts = {int(index): int(count) for index, count in raw.items()}
+        except (ValueError, TypeError):
+            return {}
+        if any(index < 0 or index >= shard_count or count < 0
+               for index, count in counts.items()):
+            return {}
+        return counts
+
+    def _atomic_write(self, path: str, document: Dict[str, object]) -> int:
+        """Write one document atomically; returns the bytes written."""
         descriptor, temp_path = tempfile.mkstemp(
             dir=self.path, prefix=".tmp-", suffix=".json")
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(document, handle, separators=(",", ":"))
+                written = handle.tell()
             os.replace(temp_path, path)
+            return written
         except BaseException:
             try:
                 os.unlink(temp_path)
@@ -460,6 +501,8 @@ class DiskStore:
         if shard is not None:
             return shard
         shard = {}
+        if os.path.exists(self._shard_path(index)):
+            self.shard_loads += 1  # counts real file parses only
         document = self._read_shard_document(self._shard_path(index),
                                              STORE_FORMAT_VERSION)
         if document is not None:
@@ -486,6 +529,7 @@ class DiskStore:
             if newest > self._stamp:
                 self._stamp = newest
         self._loaded[index] = shard
+        self._shard_counts[index] = len(shard)
         return shard
 
     def _load_tree_shard(self, index: int) -> Dict[str, Dict[str, object]]:
@@ -494,6 +538,8 @@ class DiskStore:
         if shard is not None:
             return shard
         shard = {}
+        if os.path.exists(self._tree_shard_path(index)):
+            self.shard_loads += 1  # counts real file parses only
         document = self._read_shard_document(self._tree_shard_path(index),
                                              ARTIFACT_COMPAT_VERSIONS)
         if document is not None:
@@ -512,6 +558,7 @@ class DiskStore:
             if newest > self._tree_stamp:
                 self._tree_stamp = newest
         self._tree_loaded[index] = shard
+        self._tree_shard_counts[index] = len(shard)
         return shard
 
     # -- CacheStore interface: results -------------------------------- #
@@ -541,6 +588,8 @@ class DiskStore:
             shard[encoded] = record
             self._dirty.add(index)
             self._dirty.add(legacy_index)
+            self._shard_counts[index] = len(shard)
+            self._shard_counts[legacy_index] = len(legacy_shard)
             return record["decoded"]
 
     def put(self, key: ResultKey, value: CachedAttribution) -> None:
@@ -549,11 +598,21 @@ class DiskStore:
         with self._lock:
             index = self._route(encoded, self.shards)
             shard = self._load_shard(index)
+            entry = encode_entry(value)
+            record = shard.get(encoded)
+            if record is not None and record["entry"] == entry:
+                # Identical re-put: nothing new to persist, so do not
+                # dirty the shard (no rewrite at flush) and keep the
+                # original insertion stamp (eviction stays
+                # insertion-ordered; gets never bumped stamps either).
+                record["decoded"] = value
+                return
             self._stamp += 1
             shard[encoded] = {"stamp": self._stamp,
-                              "entry": encode_entry(value),
+                              "entry": entry,
                               "decoded": value}
             self._dirty.add(index)
+            self._shard_counts[index] = len(shard)
 
     # -- CacheStore interface: compiled-lineage artifacts -------------- #
 
@@ -575,48 +634,72 @@ class DiskStore:
         with self._lock:
             index = self._route(encoded, self.tree_shards)
             shard = self._load_tree_shard(index)
+            entry = encode_artifact(value)
+            record = shard.get(encoded)
+            if record is not None and record["entry"] == entry:
+                record["decoded"] = value
+                return
             self._tree_stamp += 1
             shard[encoded] = {"stamp": self._tree_stamp,
-                              "entry": encode_artifact(value),
+                              "entry": entry,
                               "decoded": value}
             self._tree_dirty.add(index)
+            self._tree_shard_counts[index] = len(shard)
 
     # -- flushing and iteration ---------------------------------------- #
 
     def _flush_kind(self, dirty: set, loaded: Dict[int, Dict],
-                    per_shard: int, path_of, version: int) -> None:
+                    per_shard: int, path_of, version: int,
+                    counts: Dict[int, int]) -> None:
         for index in sorted(dirty):
             shard = loaded.get(index, {})
             if len(shard) > per_shard:
-                keep = sorted(shard.items(),
-                              key=lambda item: item[1]["stamp"],
-                              reverse=True)[:per_shard]
+                # Incremental eviction: only this over-bound shard is
+                # touched, and the survivors are selected with a heap
+                # (O(n log k)) instead of a full sort.
+                keep = heapq.nlargest(per_shard, shard.items(),
+                                      key=lambda item: item[1]["stamp"])
                 shard = dict(keep)
                 loaded[index] = shard
+            counts[index] = len(shard)
             serializable = {
                 encoded_key: {"stamp": record["stamp"],
                               "entry": record["entry"]}
                 for encoded_key, record in shard.items()
             }
-            self._atomic_write(path_of(index),
-                               {"version": version,
-                                "entries": serializable})
+            self.bytes_flushed += self._atomic_write(
+                path_of(index), {"version": version,
+                                 "entries": serializable})
+            self.flush_writes += 1
         dirty.clear()
 
     def flush(self) -> None:
-        """Atomically rewrite every dirty shard, evicting past the bounds."""
+        """Atomically rewrite every *dirty* shard, evicting past the bounds.
+
+        Clean shards -- including ones that only saw identical re-puts
+        -- are not rewritten; ``flush_writes``/``bytes_flushed`` expose
+        exactly how much was.
+        """
         with self._lock:
             if not self._dirty and not self._tree_dirty:
                 return
             self._flush_kind(self._dirty, self._loaded, self._per_shard,
-                             self._shard_path, STORE_FORMAT_VERSION)
+                             self._shard_path, STORE_FORMAT_VERSION,
+                             self._shard_counts)
             self._flush_kind(self._tree_dirty, self._tree_loaded,
                              self._per_tree_shard, self._tree_shard_path,
-                             ARTIFACT_FORMAT_VERSION)
-            self._atomic_write(self._meta_path(),
-                               {"version": STORE_FORMAT_VERSION,
-                                "stamp": self._stamp,
-                                "tree_stamp": self._tree_stamp})
+                             ARTIFACT_FORMAT_VERSION,
+                             self._tree_shard_counts)
+            self._atomic_write(
+                self._meta_path(),
+                {"version": STORE_FORMAT_VERSION,
+                 "stamp": self._stamp,
+                 "tree_stamp": self._tree_stamp,
+                 "shard_counts": {str(index): count for index, count
+                                  in sorted(self._shard_counts.items())},
+                 "tree_shard_counts": {
+                     str(index): count for index, count
+                     in sorted(self._tree_shard_counts.items())}})
 
     def items(self) -> Iterator[Tuple[ResultKey, CachedAttribution]]:
         """Iterate every result of every shard (loading all of them).
@@ -640,16 +723,36 @@ class DiskStore:
         for encoded_key, record in records:
             yield decode_canonical_key(encoded_key), record["decoded"]
 
+    def _count_kind(self, shard_count: int, loaded: Dict[int, Dict],
+                    counts: Dict[int, int], load_one) -> int:
+        """Sum entry counts without parsing every shard file.
+
+        Loaded shards are authoritative; unloaded ones use the advisory
+        count persisted in meta.json; only shards missing from both
+        (legacy metas) are actually read.
+        """
+        total = 0
+        for index in range(shard_count):
+            shard = loaded.get(index)
+            if shard is not None:
+                total += len(shard)
+            elif index in counts:
+                total += counts[index]
+            else:
+                total += len(load_one(index))
+        return total
+
     def __len__(self) -> int:
         with self._lock:
-            return sum(len(self._load_shard(index))
-                       for index in range(self.shards))
+            return self._count_kind(self.shards, self._loaded,
+                                    self._shard_counts, self._load_shard)
 
     def artifact_count(self) -> int:
         """Number of persisted compiled-lineage artifacts."""
         with self._lock:
-            return sum(len(self._load_tree_shard(index))
-                       for index in range(self.tree_shards))
+            return self._count_kind(self.tree_shards, self._tree_loaded,
+                                    self._tree_shard_counts,
+                                    self._load_tree_shard)
 
     def _kind_footprint(self, shard_count: int, path_of
                         ) -> Tuple[int, int]:
@@ -680,6 +783,9 @@ class DiskStore:
             "shards": self.shards,
             "shard_files": shard_files,
             "corrupt_shards": self.corrupt_shards,
+            "shard_loads": self.shard_loads,
+            "flush_writes": self.flush_writes,
+            "bytes_flushed": self.bytes_flushed,
             "disk_bytes": result_bytes + tree_bytes,
             "kinds": {
                 "results": {

@@ -590,3 +590,93 @@ class TestArtifactTier:
         exact = banzhaf_all_brute_force(lineage)
         for variable, (lo, hi) in full.bounds.items():
             assert lo <= exact[variable] <= hi
+
+
+class TestDiskStoreWriteAmplification:
+    """Regression tests pinning DiskStore's flush/eviction write costs.
+
+    The log backend exists because rewriting whole shards per flush does
+    not scale; these pin the DiskStore fixes that shrink the damage for
+    deployments that stay on it: one dirty entry rewrites exactly one
+    shard, identical re-puts write nothing, and sizing a reopened store
+    reads meta.json instead of parsing every shard file.
+    """
+
+    def _fill(self, store, count, method="approximate"):
+        for i in range(count):
+            store.put(_key(method=method, epsilon=Fraction(i + 1, 997)),
+                      _entry())
+        store.flush()
+
+    def test_single_new_entry_rewrites_exactly_one_shard(self, tmp_path):
+        store = DiskStore(str(tmp_path), shards=8)
+        self._fill(store, 64)
+        baseline_writes = store.flush_writes
+        store.put(_key(method="approximate", epsilon=Fraction(1, 99991)),
+                  _entry())
+        store.flush()
+        assert store.flush_writes == baseline_writes + 1
+
+    def test_identical_reput_is_a_noop_flush(self, tmp_path):
+        store = DiskStore(str(tmp_path), shards=8)
+        key, entry = _key(), _entry()
+        store.put(key, entry)
+        store.flush()
+        baseline_writes = store.flush_writes
+        baseline_bytes = store.bytes_flushed
+        # Re-putting byte-identical content must not dirty any shard:
+        # the flush rewrites nothing.
+        store.put(key, CachedAttribution(
+            method_used=entry.method_used, values=dict(entry.values),
+            bounds=dict(entry.bounds), converged=entry.converged))
+        store.flush()
+        assert store.flush_writes == baseline_writes
+        assert store.bytes_flushed == baseline_bytes
+        # A genuinely different value still flushes.
+        store.put(key, _entry(converged=False))
+        store.flush()
+        assert store.flush_writes == baseline_writes + 1
+
+    def test_reopened_store_sizes_without_loading_shards(self, tmp_path):
+        writer = DiskStore(str(tmp_path), shards=8)
+        self._fill(writer, 64)
+        writer.put_artifact(_canonical_key(), _artifact())
+        writer.flush()
+
+        reader = DiskStore(str(tmp_path), shards=8)
+        assert len(reader) == 64
+        assert reader.artifact_count() == 1
+        assert reader.stats()["entries"] == 64
+        # meta.json's per-shard counts answered all of that; no shard
+        # file was parsed.
+        assert reader.shard_loads == 0
+
+    def test_legacy_meta_without_counts_still_sizes_correctly(self, tmp_path):
+        writer = DiskStore(str(tmp_path), shards=8)
+        self._fill(writer, 32)
+        meta_path = os.path.join(str(tmp_path), "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        del meta["shard_counts"]
+        del meta["tree_shard_counts"]
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+
+        reader = DiskStore(str(tmp_path), shards=8)
+        assert len(reader) == 32          # falls back to loading
+        assert reader.shard_loads > 0
+
+    def test_stale_meta_count_self_heals_on_load(self, tmp_path):
+        writer = DiskStore(str(tmp_path), shards=1)
+        self._fill(writer, 4)
+        meta_path = os.path.join(str(tmp_path), "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["shard_counts"]["0"] = 9999  # crash-torn meta
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+
+        reader = DiskStore(str(tmp_path), shards=1)
+        assert len(reader) == 9999        # advisory count, knowingly stale
+        reader.get(_key(method="approximate", epsilon=Fraction(1, 997)))
+        assert len(reader) == 4           # corrected by the actual load
