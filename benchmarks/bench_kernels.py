@@ -1,0 +1,396 @@
+"""Kernel-tier benchmark: vectorized numpy passes vs the Python arena passes.
+
+This PR added a vectorized kernel tier (:mod:`repro.dtree.kernels`) that
+evaluates the fused arena passes as whole-level numpy operations, plus a
+cross-request batcher that stacks many small arenas into one fused column
+block.  This benchmark proves the two headline claims:
+
+* **batched float tier** -- a micro-batch of 24 star-join lineages (the
+  tie-rich ranking traffic the serving front-end coalesces): one stacked
+  :func:`~repro.dtree.kernels.prewarm_arenas` sweep against per-arena
+  :func:`~repro.dtree.arena.arena_float_counts` +
+  :func:`~repro.dtree.arena.arena_float_banzhaf` Python passes.  Asserts
+  the certified enclosures still contain the exact Banzhaf values and a
+  >= 3x wall-clock win;
+* **single-tree exact tier** -- deep-but-int64-eligible synthetic XOR
+  trees evaluated one at a time: the kernel's int64 fast path
+  (:func:`~repro.dtree.kernels.banzhaf_pass`, one fused sweep scattering
+  counts and scores) against the Python
+  :func:`~repro.dtree.arena.arena_counts` +
+  :func:`~repro.dtree.arena.arena_banzhaf` pair.  Asserts bit-identical
+  integer results and a >= 1.5x win.
+
+Level schedules (the cached kernel plans) are built once outside the
+timed region -- that is how the engine pays for them: the plan survives
+memo clears and every later evaluation reuses it.
+
+Environment knobs: ``REPRO_BENCH_SMOKE=1`` shrinks the batch and round
+count to the CI smoke configuration.  Without numpy the benchmark skips
+(standalone: prints a notice and exits 0) -- the kernel tier is an
+optional dependency (``pip install repro[fast]``).
+
+Runs standalone (``python benchmarks/bench_kernels.py``) or under pytest
+with the rest of the benchmark harness.  Emits ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import random
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from conftest import emit_bench_json, register_report
+
+from repro.dtree.arena import (
+    DTreeArena,
+    arena_banzhaf,
+    arena_counts,
+    arena_float_banzhaf,
+    arena_float_counts,
+    pow2_int,
+)
+from repro.dtree.compile import compile_dnf
+from repro.dtree.kernels import (
+    HAVE_NUMPY,
+    _PLAN_KEY,
+    banzhaf_pass,
+    plan_of,
+    prewarm_arenas,
+)
+from repro.dtree.nodes import DecompAnd, ExclusiveOr, LiteralLeaf
+from repro.engine.ranking import uncertified_enclosure
+from repro.workloads.generators import star_join_lineage
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Micro-batch size for the batched float workload (PR-6's front-end
+#: coalesces requests into batches of this order).  Smoke keeps the full
+#: batch -- shrinking it would leave the fixed per-sweep stacking cost
+#: unamortized and benchmark a different regime; smoke cuts rounds and
+#: the exact workload instead.
+BATCH_TREES = 24
+
+#: Star-join shape for the batched workload: (hubs, satellites_per_hub).
+#: Large enough that the whole-level blocks amortize the per-sweep
+#: stacking cost -- tiny trees are auto-gated to the Python pass anyway
+#: (``AUTO_MIN_ROWS``/``AUTO_MIN_WIDTH``), so benchmarking them would
+#: measure a path production never takes.
+BATCH_SHAPE = (12, 10)
+
+#: Timing rounds; each side keeps its best (min) round.
+ROUNDS = 2 if _SMOKE else 5
+
+#: ULP margin used when materializing the float tier's enclosures
+#: (mirrors ``EngineConfig.float_ulp_margin``'s default).
+FLOAT_ULP_MARGIN = 8
+
+
+@contextmanager
+def _quiesced_gc():
+    """No generational collections inside a timed region.
+
+    Both benchmark sides keep every arena of both workloads alive, so a
+    gen-2 collection landing mid-pass walks the whole heap and adds tens
+    of milliseconds to whichever side it hits -- on these
+    sub-100-millisecond measurements that is the dominant noise source.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _clear_memos(arena: DTreeArena) -> None:
+    """Make every pass cold again, preserving the cached level schedule."""
+    plan = arena.results.pop(_PLAN_KEY, None)
+    arena.results.clear()
+    arena.payloads.clear()
+    if plan is not None:
+        arena.results[_PLAN_KEY] = plan
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+
+
+def _xor_tree(rng: random.Random, variables: Sequence[int],
+              fanout: int = 3, leaf_width: int = 6) -> DecompAnd:
+    """A deep synthetic d-tree that stays inside the int64 envelope.
+
+    Exclusive-or children must share the parent domain, so each child is
+    an independent-AND of two subtrees over a *different shuffled
+    partition* of the same variable set; leaves are small literal
+    conjunctions (30% negated).  Unlike large random DNFs -- whose exact
+    compilation blows up -- this builds a big compiled-shape tree
+    directly, which is what the kernel sweeps.
+    """
+    variables = list(variables)
+    if len(variables) <= leaf_width:
+        return DecompAnd([LiteralLeaf(v, negated=(rng.random() < 0.3))
+                          for v in variables])
+    children = []
+    for _ in range(fanout):
+        shuffled = list(variables)
+        rng.shuffle(shuffled)
+        half = len(shuffled) // 2
+        children.append(DecompAnd([
+            _xor_tree(rng, shuffled[:half], fanout, leaf_width),
+            _xor_tree(rng, shuffled[half:], fanout, leaf_width),
+        ]))
+    return ExclusiveOr(children)
+
+
+def _exact_trees() -> List[DTreeArena]:
+    """Single-tree exact workload: int64-eligible synthetic XOR trees."""
+    sizes = (40, 48, 56) if _SMOKE else (40, 44, 48, 52, 56)
+    arenas = []
+    for position, num_variables in enumerate(sizes):
+        rng = random.Random(7000 + position)
+        tree = _xor_tree(rng, range(num_variables))
+        arena = DTreeArena.from_tree(tree)
+        # The whole point is the int64 fast path; a tree that falls out
+        # of the envelope would silently benchmark python vs python.
+        assert plan_of(arena).int64_ok, (
+            f"xor_tree({num_variables}) left the int64 envelope")
+        arenas.append(arena)
+    return arenas
+
+
+def _batched_arenas() -> List[DTreeArena]:
+    """Batched float workload: a micro-batch of star-join lineages."""
+    hubs, satellites = BATCH_SHAPE
+    arenas = []
+    for position in range(BATCH_TREES):
+        rng = random.Random(9000 + position)
+        root = compile_dnf(star_join_lineage(rng, hubs, satellites))
+        arenas.append(DTreeArena.from_tree(root))
+    return arenas
+
+
+# --------------------------------------------------------------------- #
+# Timed passes
+# --------------------------------------------------------------------- #
+
+
+def _python_float_pass(arenas: List[DTreeArena]) -> Tuple[list, float]:
+    """Per-arena Python float count + Banzhaf passes, cold."""
+    for arena in arenas:
+        _clear_memos(arena)
+    results = []
+    with _quiesced_gc():
+        started = time.monotonic()
+        for arena in arenas:
+            logs, errs = arena_float_counts(arena)
+            scores = arena_float_banzhaf(arena)
+            results.append((logs[arena.root], errs[arena.root],
+                            dict(scores)))
+        elapsed = time.monotonic() - started
+    return results, elapsed
+
+
+def _numpy_float_batch(arenas: List[DTreeArena]) -> Tuple[list, float]:
+    """One stacked kernel sweep over the whole batch, then memo reads."""
+    for arena in arenas:
+        _clear_memos(arena)
+    results = []
+    with _quiesced_gc():
+        started = time.monotonic()
+        swept = prewarm_arenas(arenas, tier="float", kernel="numpy")
+        for arena in arenas:
+            logs, errs = arena_float_counts(arena)  # memo hit
+            scores = arena_float_banzhaf(arena)  # memo hit
+            results.append((logs[arena.root], errs[arena.root],
+                            dict(scores)))
+        elapsed = time.monotonic() - started
+    assert swept == len(arenas), (
+        f"batched sweep covered {swept}/{len(arenas)} arenas")
+    return results, elapsed
+
+
+def _python_exact_pass(arenas: List[DTreeArena]) -> Tuple[list, float]:
+    """Per-tree Python fused count + Banzhaf passes, cold."""
+    for arena in arenas:
+        _clear_memos(arena)
+    results = []
+    with _quiesced_gc():
+        started = time.monotonic()
+        for arena in arenas:
+            counts = arena_counts(arena)
+            scores = arena_banzhaf(arena)
+            results.append((counts[arena.root], dict(scores)))
+        elapsed = time.monotonic() - started
+    return results, elapsed
+
+
+def _numpy_exact_pass(arenas: List[DTreeArena]) -> Tuple[list, float]:
+    """Per-tree int64 kernel sweeps (counts scatter from the same sweep)."""
+    for arena in arenas:
+        _clear_memos(arena)
+    results = []
+    with _quiesced_gc():
+        started = time.monotonic()
+        for arena in arenas:
+            scores = banzhaf_pass(arena, kernel="numpy")
+            counts = arena_counts(arena)  # memo: the sweep scattered it
+            results.append((counts[arena.root], dict(scores)))
+        elapsed = time.monotonic() - started
+    return results, elapsed
+
+
+# --------------------------------------------------------------------- #
+# Soundness checks (outside the timed rounds)
+# --------------------------------------------------------------------- #
+
+
+def _assert_float_enclosures(arenas: List[DTreeArena], floats: list) -> None:
+    """Certified enclosures from the batched sweep contain the exact values."""
+    for arena, (_, _, scores) in zip(arenas, floats):
+        reference = DTreeArena.from_tree(arena.nodes[arena.root])
+        exact = arena_banzhaf(reference)
+        for variable, (log, err) in scores.items():
+            point = exact[variable]
+            if log == float("-inf"):
+                assert point == 0, f"variable {variable}: zero score mismatch"
+                continue
+            if uncertified_enclosure(log, err, FLOAT_ULP_MARGIN):
+                continue  # vacuous bound; the ranking tier falls back
+            lower = pow2_int(log, FLOAT_ULP_MARGIN * err)
+            upper = pow2_int(log, FLOAT_ULP_MARGIN * err, ceil=True)
+            assert lower <= point <= upper, (
+                f"variable {variable}: enclosure [{lower}, {upper}] "
+                f"misses exact {point}")
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def _measure(batch_arenas: List[DTreeArena],
+             exact_arenas: List[DTreeArena]
+             ) -> Tuple[float, float, float, float, list]:
+    """Best-of-``ROUNDS`` wall clock for all four sides, one batch."""
+    python_float = numpy_float = float("inf")
+    python_exact = numpy_exact = float("inf")
+    np_floats: list = []
+    for _ in range(ROUNDS):
+        py_floats, elapsed = _python_float_pass(batch_arenas)
+        python_float = min(python_float, elapsed)
+        np_floats, elapsed = _numpy_float_batch(batch_arenas)
+        numpy_float = min(numpy_float, elapsed)
+
+        py_exacts, elapsed = _python_exact_pass(exact_arenas)
+        python_exact = min(python_exact, elapsed)
+        np_exacts, elapsed = _numpy_exact_pass(exact_arenas)
+        numpy_exact = min(numpy_exact, elapsed)
+
+        # Exact tier: bit-identical ints, tree by tree, variable by
+        # variable.  (Float columns are compared through their enclosure
+        # contract below, not bit equality.)
+        assert py_exacts == np_exacts, (
+            "int64 kernel sweep diverged from the Python arena passes")
+    return python_float, numpy_float, python_exact, numpy_exact, np_floats
+
+
+def run_benchmark() -> str:
+    exact_arenas = _exact_trees()
+    batch_arenas = _batched_arenas()
+    # Build every level schedule once, outside the timed region.
+    for arena in exact_arenas + batch_arenas:
+        plan_of(arena)
+
+    (python_float, numpy_float,
+     python_exact, numpy_exact, np_floats) = _measure(batch_arenas,
+                                                      exact_arenas)
+    if python_float / numpy_float < 3.0 or python_exact / numpy_exact < 1.5:
+        # A noisy-neighbor round on a shared runner can depress either
+        # ratio; one re-measurement (merged best-of) before asserting
+        # keeps the gates honest without flaking CI.
+        retry = _measure(batch_arenas, exact_arenas)
+        python_float = min(python_float, retry[0])
+        numpy_float = min(numpy_float, retry[1])
+        python_exact = min(python_exact, retry[2])
+        numpy_exact = min(numpy_exact, retry[3])
+
+    _assert_float_enclosures(batch_arenas, np_floats)
+
+    batched_speedup = python_float / numpy_float
+    exact_speedup = python_exact / numpy_exact
+    assert batched_speedup >= 3.0, (
+        f"expected >= 3x batched float count+Banzhaf throughput, measured "
+        f"{batched_speedup:.2f}x ({numpy_float * 1000:.0f}ms vs "
+        f"{python_float * 1000:.0f}ms)")
+    assert exact_speedup >= 1.5, (
+        f"expected >= 1.5x single-tree int64 exact throughput, measured "
+        f"{exact_speedup:.2f}x ({numpy_exact * 1000:.0f}ms vs "
+        f"{python_exact * 1000:.0f}ms)")
+
+    exact_rows = sum(len(arena.kinds) for arena in exact_arenas)
+    batch_rows = sum(len(arena.kinds) for arena in batch_arenas)
+    ops: Dict[str, float] = {
+        "batched_float.trees_per_sec.numpy": round(
+            len(batch_arenas) / numpy_float, 1),
+        "batched_float.trees_per_sec.python": round(
+            len(batch_arenas) / python_float, 1),
+        "single_exact.trees_per_sec.numpy": round(
+            len(exact_arenas) / numpy_exact, 1),
+        "single_exact.trees_per_sec.python": round(
+            len(exact_arenas) / python_exact, 1),
+    }
+    workload_label = (
+        f"batched float: {len(batch_arenas)} star-join {BATCH_SHAPE} "
+        f"arenas, one "
+        f"stacked sweep; single exact: {len(exact_arenas)} int64-eligible "
+        f"xor trees, fused count+banzhaf per tree")
+    emit_bench_json(
+        "kernels",
+        workload=workload_label,
+        speedup=round(batched_speedup, 3),
+        ops_per_sec=ops,
+        metrics={
+            "batched_float_speedup": round(batched_speedup, 3),
+            "single_exact_speedup": round(exact_speedup, 3),
+            "batch_trees": len(batch_arenas),
+            "batch_rows": batch_rows,
+            "exact_trees": len(exact_arenas),
+            "exact_rows": exact_rows,
+            "rounds": ROUNDS,
+            "smoke": _SMOKE,
+        },
+    )
+
+    lines = [
+        f"workload:             {workload_label}",
+        f"batched float python: {python_float * 1000:8.1f} ms",
+        f"batched float numpy:  {numpy_float * 1000:8.1f} ms "
+        f"({len(batch_arenas) / numpy_float:.0f} trees/s)",
+        f"batched speedup:      {batched_speedup:.2f}x (assert >= 3.0x, "
+        f"enclosures contain exact Banzhaf values)",
+        f"single exact python:  {python_exact * 1000:8.1f} ms",
+        f"single exact numpy:   {numpy_exact * 1000:8.1f} ms "
+        f"({exact_rows / numpy_exact:.0f} rows/s)",
+        f"single exact speedup: {exact_speedup:.2f}x (assert >= 1.5x, "
+        f"bit-identical counts + Banzhaf ints)",
+    ]
+    return "\n".join(lines)
+
+
+def test_kernels_speedup():
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed; kernel tier falls back to python")
+    register_report("kernels_speedup", run_benchmark())
+
+
+if __name__ == "__main__":
+    if not HAVE_NUMPY:
+        print("numpy not installed; kernel-tier benchmark skipped")
+    else:
+        print(run_benchmark())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import sys
 import time
 from typing import Dict, List, Optional
@@ -48,6 +49,28 @@ def register_report(name: str, text: str) -> None:
 BENCH_JSON_SCHEMA = 1
 
 
+def _environment_stamp() -> Dict[str, object]:
+    """Python/numpy versions and CPU count, stamped into every summary.
+
+    Perf numbers are only comparable across runs with the environment
+    attached: a kernel-tier speedup measured with numpy 1.x on 2 cores
+    is a different data point than one with numpy 2.x on 64.  numpy is
+    optional, so its version is ``None`` when absent.
+    """
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
 def emit_bench_json(name: str, *, workload: str,
                     speedup: Optional[float] = None,
                     ops_per_sec: Optional[Dict[str, float]] = None,
@@ -56,9 +79,10 @@ def emit_bench_json(name: str, *, workload: str,
 
     Every benchmark emits the same envelope -- ``bench``, ``schema_version``,
     ``created_unix``, ``workload``, ``speedup``, ``ops_per_sec``,
-    ``metrics`` -- into ``benchmarks/results/``, where CI uploads them as
-    artifacts, so the perf trajectory across PRs is machine-readable from
-    one glob (``BENCH_*.json``).  Returns the path written.
+    ``metrics``, ``environment`` (python/numpy versions, CPU count) --
+    into ``benchmarks/results/``, where CI uploads them as artifacts, so
+    the perf trajectory across PRs is machine-readable *and comparable*
+    from one glob (``BENCH_*.json``).  Returns the path written.
     """
     payload = {
         "bench": name,
@@ -68,6 +92,7 @@ def emit_bench_json(name: str, *, workload: str,
         "speedup": speedup,
         "ops_per_sec": ops_per_sec or {},
         "metrics": metrics or {},
+        "environment": _environment_stamp(),
     }
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     path = os.path.join(_RESULTS_DIR, f"BENCH_{name}.json")

@@ -72,6 +72,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 from repro.db.database import Database
 from repro.db.datalog import parse_query
+from repro.dtree.kernels import HAVE_NUMPY
 from repro.engine import Engine, EngineConfig
 from repro.engine.frontend import FrontendConfig, serve_jsonl_concurrent
 from repro.engine.logstore import STORE_BACKENDS, migrate_store, open_store
@@ -391,6 +392,13 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
     parser.add_argument("--no-coalesce", action="store_true",
                         help="disable in-flight coalescing of isomorphic "
                              "computations (needs --workers >= 2)")
+    parser.add_argument("--kernel", choices=("auto", "numpy", "python"),
+                        default="auto",
+                        help="arena evaluation backend: 'auto' vectorizes "
+                             "fused passes over numpy when available and "
+                             "worthwhile, 'numpy' forces it (errors "
+                             "without numpy), 'python' pins the "
+                             "pure-Python passes (default: auto)")
     arguments = parser.parse_args(list(argv))
     if not arguments.facts:
         parser.error("at least one --facts NAME=PATH is required")
@@ -398,6 +406,10 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
         parser.error("--warm-start needs --store")
     if arguments.workers < 1:
         parser.error("--workers must be at least 1")
+    if arguments.kernel == "numpy" and not HAVE_NUMPY:
+        parser.error("--kernel numpy requires numpy "
+                     "(pip install repro[fast]); use --kernel auto for "
+                     "best-available")
     if arguments.workers == 1:
         for flag, given in (("--deadline-ms",
                              arguments.deadline_ms is not None),
@@ -410,7 +422,8 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
     store = _open_store(arguments) if arguments.store is not None else None
     service = AttributionService(
         database,
-        EngineConfig(method=arguments.method, epsilon=arguments.epsilon),
+        EngineConfig(method=arguments.method, epsilon=arguments.epsilon,
+                     kernel=arguments.kernel),
         store=store,
         warm_start=arguments.warm_start,
     )

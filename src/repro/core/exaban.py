@@ -43,10 +43,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.dtree.arena import (
     DTreeArena,
     IncompleteArenaError,
-    arena_banzhaf,
     arena_counts,
     arena_of,
 )
+from repro.dtree.kernels import banzhaf_pass, counts_pass
 from repro.dtree.nodes import (
     DecompAnd,
     DecompOr,
@@ -126,11 +126,18 @@ def model_count_objects(node: DTreeNode,
     return memo[id(node)]
 
 
-def _arena_for_exact(node: DTreeNode) -> Tuple[DTreeArena, List[int]]:
-    """Flatten ``node`` and run the exact count pass, translating errors."""
+def _arena_for_exact(node: DTreeNode, kernel: str = "python",
+                     stats=None) -> Tuple[DTreeArena, List[int]]:
+    """Flatten ``node`` and run the exact count pass, translating errors.
+
+    ``kernel`` selects the evaluation backend
+    (:mod:`repro.dtree.kernels`); the default keeps the pure-Python
+    arena pass, bit-identical to the historical behaviour, and the
+    engine opts into ``"auto"``/``"numpy"`` via its config.
+    """
     arena = arena_of(node)
     try:
-        column = arena_counts(arena)
+        column = counts_pass(arena, kernel=kernel, stats=stats)
     except IncompleteArenaError as error:
         raise IncompleteDTreeError(str(error)) from None
     return arena, column
@@ -145,15 +152,18 @@ def _mirror_counts(arena: DTreeArena, column: List[int],
         counts[id(node)] = column[row]
 
 
-def model_count(node: DTreeNode, counts: Optional[CountMemo] = None) -> int:
+def model_count(node: DTreeNode, counts: Optional[CountMemo] = None,
+                kernel: str = "python", stats=None) -> int:
     """Exact model count ``#phi`` of the function represented by ``node``.
 
     Requires a complete d-tree (no :class:`DNFLeaf` leaves).  Runs over
     the cached arena; ``counts`` is an optional shared memo (node id ->
     count) kept in sync with the arena's count column so legacy callers
-    (and the engine's memo-hit accounting) keep working.
+    (and the engine's memo-hit accounting) keep working.  ``kernel``
+    selects the backend (``"python"`` | ``"auto"`` | ``"numpy"``, see
+    :mod:`repro.dtree.kernels`); the result is bit-identical either way.
     """
-    arena, column = _arena_for_exact(node)
+    arena, column = _arena_for_exact(node, kernel=kernel, stats=stats)
     _mirror_counts(arena, column, counts)
     return column[arena.root]
 
@@ -207,7 +217,8 @@ def _push_multipliers(root: DTreeNode, counts: CountMemo,
 
 
 def exaban(node: DTreeNode, variable: int,
-           counts: Optional[CountMemo] = None) -> Tuple[int, int]:
+           counts: Optional[CountMemo] = None,
+           kernel: str = "python", stats=None) -> Tuple[int, int]:
     """Exact ``(Banzhaf(phi, x), #phi)`` for one variable (Fig. 1).
 
     ``variable`` need not occur in the function; its Banzhaf value is then 0.
@@ -218,9 +229,17 @@ def exaban(node: DTreeNode, variable: int,
     once and memoized on the arena, so repeated single-variable queries
     against one tree cost a dict lookup after the first.
     """
-    arena, column = _arena_for_exact(node)
+    arena = arena_of(node)
+    try:
+        # One fused sweep fills the counts payload *and* the Banzhaf
+        # memo (the kernel path scatters both), so the count read below
+        # never runs a second bottom-up pass.
+        result = banzhaf_pass(arena, kernel=kernel, stats=stats)
+    except IncompleteArenaError as error:
+        raise IncompleteDTreeError(str(error)) from None
+    column = arena_counts(arena)
     _mirror_counts(arena, column, counts)
-    return arena_banzhaf(arena).get(variable, 0), column[arena.root]
+    return result.get(variable, 0), column[arena.root]
 
 
 def exaban_objects(node: DTreeNode, variable: int,
@@ -267,7 +286,8 @@ def exaban_objects(node: DTreeNode, variable: int,
 
 
 def exaban_all(node: DTreeNode,
-               counts: Optional[CountMemo] = None) -> Dict[int, int]:
+               counts: Optional[CountMemo] = None,
+               kernel: str = "python", stats=None) -> Dict[int, int]:
     """Exact Banzhaf values of *all* domain variables in two passes.
 
     The bottom-up pass computes model counts; the top-down pass pushes a
@@ -282,10 +302,19 @@ def exaban_all(node: DTreeNode,
     subtree-count memo: the arena's count column is mirrored into it, so
     later :func:`model_count` / :func:`exaban` calls through the same memo
     (or the object-tree baselines) never recount a subtree.
+
+    ``kernel`` routes the fused pass through the kernel dispatcher
+    (:func:`repro.dtree.kernels.banzhaf_pass`): one sweep computes the
+    counts column *and* the Banzhaf values, vectorized over numpy where
+    selected and sound, bit-identical big-int Python otherwise.
     """
-    arena, column = _arena_for_exact(node)
-    _mirror_counts(arena, column, counts)
-    return dict(arena_banzhaf(arena))
+    arena = arena_of(node)
+    try:
+        result = banzhaf_pass(arena, kernel=kernel, stats=stats)
+    except IncompleteArenaError as error:
+        raise IncompleteDTreeError(str(error)) from None
+    _mirror_counts(arena, arena_counts(arena), counts)
+    return dict(result)
 
 
 def exaban_all_objects(node: DTreeNode,

@@ -408,6 +408,11 @@ def arena_banzhaf(arena: DTreeArena) -> Dict[int, int]:
     multipliers = [0] * size
     multipliers[size - 1] = 1
     banzhaf: Dict[int, int] = {v: 0 for v in arena.domains[size - 1]}
+    # Two scratch buffers grown to the widest fanout seen, instead of a
+    # fresh ``values``/``prefixes`` pair allocated for every internal row
+    # (tens of thousands of short-lived lists on deep arenas).
+    values: List[int] = []
+    prefixes: List[int] = []
     for row in range(size - 1, -1, -1):
         multiplier = multipliers[row]
         if multiplier == 0:
@@ -421,14 +426,20 @@ def arena_banzhaf(arena: DTreeArena) -> Dict[int, int]:
             continue
         if kind == KIND_AND or kind == KIND_OR:
             kids = children[child_first[row]:child_last[row]]
+            width = len(kids)
+            if width > len(values):
+                grow = width - len(values)
+                values.extend([1] * grow)
+                prefixes.extend([1] * grow)
             if kind == KIND_AND:
-                values = [counts[child] for child in kids]
+                for position in range(width):
+                    values[position] = counts[kids[position]]
             else:
-                values = [(1 << domain_sizes[child]) - counts[child]
-                          for child in kids]
+                for position in range(width):
+                    child = kids[position]
+                    values[position] = (
+                        (1 << domain_sizes[child]) - counts[child])
             # Prefix/suffix sibling products, fused with the push.
-            width = len(values)
-            prefixes = [1] * width
             running = 1
             for position in range(width):
                 prefixes[position] = running

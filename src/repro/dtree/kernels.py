@@ -1,0 +1,1186 @@
+"""Vectorized (numpy) kernel tier over the arena columns.
+
+The arena (:mod:`repro.dtree.arena`) flattened every fused pass into
+tight index loops over parallel lists — one Python bytecode dispatch per
+row.  This module removes the interpreter from the inner loop: rows are
+grouped into a **level schedule** (by depth below the root, computed once
+per arena and cached), and each fused pass becomes a handful of
+whole-level numpy operations — gathers over the flat ``children`` array,
+``ufunc.reduceat`` segment reductions, and one scatter per level:
+
+::
+
+    rows      0   1   2   3   4   5   6   (postorder)
+    kinds     L   L   AND L   L   AND OR      L = literal
+    depth     2   2   1   2   2   1   0
+    schedule  [leaves: 0 1 3 4] -> [depth 1: AND{0,1} AND{3,4}] -> [OR]
+                   one vector init      one reduceat per kind       root
+
+Within a level the internal rows are stored **kind-contiguously**
+(``AND | OR | XOR`` blocks of one flat table, sliced by precomputed
+offsets), so per-kind fixups are slice arithmetic instead of boolean
+masks and the whole level still reduces in one ``reduceat`` call.
+
+Because every child row has exactly one parent (arenas flatten *trees*;
+shared nodes get duplicate rows), the top-down multiplier scatter is
+collision-free — ``multipliers[children] = contributions`` replaces the
+per-child accumulation branch of the Python pass.
+
+Three pass families are vectorized:
+
+* **float tier** — twins of :func:`~repro.dtree.arena.arena_float_counts`
+  / :func:`~repro.dtree.arena.arena_float_banzhaf` /
+  :func:`~repro.dtree.arena.arena_float_surrogate`: log2-domain doubles
+  with tracked relative-error columns.  The error accounting mirrors the
+  Python pass per operation (never smaller), so results remain inside
+  the documented enclosure contract.
+* **exact int64 fast path** — count/Banzhaf over ``numpy.int64``.
+  Eligibility is proven up front (every intermediate fits once the
+  widest domain has at most :data:`INT64_SAFE_DOMAIN` variables, see
+  ``_int_counts``), re-checked row-wise after the sweep, and anything
+  outside the envelope **falls back row-exactly to the big-int Python
+  pass** — values stay bit-identical arbitrary-precision ints end to
+  end.
+* **cross-request batching** — :func:`prewarm_arenas` stacks the arenas
+  of a micro-batch into one fused column block (a forest keeps the
+  postorder invariant per tree) and evaluates them in a single kernel
+  sweep, scattering the results back into each arena's payload/result
+  memo slots so the per-request evaluation path hits its caches.
+
+numpy is an **optional** dependency (``pip install repro[fast]``): every
+entry point takes ``kernel="auto" | "numpy" | "python"`` and degrades to
+the pure-Python arena pass when numpy is absent, when an arena is
+outside a kernel's envelope, or when it is too small/deep for
+vectorization to pay (``"auto"`` only; ``"numpy"`` forces the kernel
+wherever it is sound).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dtree.arena import (
+    FLOAT_ERROR_UNIT,
+    KIND_AND,
+    KIND_DNF,
+    KIND_FALSE,
+    KIND_LITERAL,
+    KIND_OR,
+    KIND_TRUE,
+    KIND_XOR,
+    DTreeArena,
+    IncompleteArenaError,
+    _dnf_leaf_estimates,
+    arena_banzhaf,
+    arena_counts,
+    arena_float_banzhaf,
+    arena_float_counts,
+    arena_float_surrogate,
+    log2_add,
+)
+
+try:  # pragma: no cover - exercised via the no-numpy CI lane
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+_LN2 = math.log(2.0)
+
+#: Valid values of the ``kernel`` selector.
+KERNEL_NAMES = ("auto", "numpy", "python")
+
+#: Widest domain (in variables) the exact int64 fast path accepts.  With
+#: ``d <= 62`` every intermediate of the count and multiplier passes is
+#: bounded by ``2**62 < 2**63`` (see the proofs in ``_int_counts`` /
+#: ``_int_push``), so ``numpy.int64`` arithmetic cannot overflow.
+INT64_SAFE_DOMAIN = 62
+
+#: ``kernel="auto"`` thresholds: below this many rows, or below this
+#: average level width, per-call numpy overhead beats the vector win and
+#: auto mode keeps the Python pass.  ``kernel="numpy"`` ignores both.
+AUTO_MIN_ROWS = 96
+AUTO_MIN_WIDTH = 4.0
+
+#: Result-slot key under which an arena memoizes its level schedule.
+_PLAN_KEY = "__kernel_plan__"
+
+
+class KernelUnavailableError(RuntimeError):
+    """``kernel="numpy"`` was requested but numpy is not importable."""
+
+
+class _KernelSoundnessError(Exception):
+    """Post-sweep validation failed; caller must fall back to Python."""
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Normalize a ``kernel`` selector to ``"numpy"`` or ``"python"``.
+
+    ``"auto"`` resolves by availability (per-arena size gating happens
+    later, at dispatch); ``"numpy"`` raises
+    :class:`KernelUnavailableError` when numpy is missing so
+    misconfiguration fails fast instead of mid-serving.
+    """
+    if kernel == "auto":
+        return "numpy" if HAVE_NUMPY else "python"
+    if kernel == "numpy":
+        if not HAVE_NUMPY:
+            raise KernelUnavailableError(
+                "kernel='numpy' requested but numpy is not installed; "
+                "install the optional extra (pip install repro[fast]) or "
+                "use kernel='auto'")
+        return "numpy"
+    if kernel == "python":
+        return "python"
+    raise ValueError(
+        f"kernel must be one of {KERNEL_NAMES}, not {kernel!r}")
+
+
+# --------------------------------------------------------------------- #
+# Null stats sink (duck-typed subset of EngineStats)
+# --------------------------------------------------------------------- #
+
+
+class _NullStats:
+    """No-op stand-in so passes never branch on ``stats is None``."""
+
+    def bump(self, **deltas: int) -> None:
+        pass
+
+    @contextmanager
+    def timed_pass(self, label: str):
+        yield
+
+
+_NULL_STATS = _NullStats()
+
+
+# --------------------------------------------------------------------- #
+# Level schedule (KernelPlan)
+# --------------------------------------------------------------------- #
+
+
+class _Level:
+    """All internal rows at one depth, ordered AND | OR | XOR.
+
+    The kind blocks are contiguous (the schedule sorts rows by
+    ``(depth, kind)``), so every per-kind branch of a sweep is a slice —
+    no boolean masks — and each level costs one segment reduction plus
+    one scatter regardless of how many kinds it mixes.  ``a_*`` marks
+    the end of the AND block, ``o_*`` the end of the OR block, in row
+    resp. flat-children coordinates.  The ``or_*`` domain gathers, the
+    XOR-relative segment starts and the per-child error-unit column are
+    static per plan, so they are precomputed here rather than
+    re-gathered on every sweep.
+    """
+
+    __slots__ = ("rows", "flat", "starts", "counts",
+                 "a_rows", "o_rows", "a_flat", "o_flat",
+                 "or_rows_f", "or_flat_f", "or_rows_i", "or_flat_i",
+                 "xor_starts", "unit_flat")
+
+
+class KernelPlan:
+    """Precomputed level schedule over one arena (or a stacked batch).
+
+    Rows are grouped by *depth below the root*: every child sits one
+    level deeper than its parent, so iterating levels deepest-first is a
+    valid bottom-up order and shallowest-first a valid top-down order —
+    for a single tree and equally for a stacked forest (each root is at
+    depth 0).  Leaf rows are handled in one vectorized init regardless
+    of depth; ``levels[d]`` holds the internal rows at depth ``d`` as
+    one kind-contiguous :class:`_Level` (or ``None`` for a depth with
+    leaves only).  The schedule is kept as flat (rows, depth, kind,
+    counts, children) tables too, so stacking a micro-batch is a plain
+    concatenate + one stable sort instead of per-level Python work.
+    """
+
+    __slots__ = ("arenas", "offsets", "roots", "n", "usable", "complete",
+                 "int64_ok", "width", "ds_i", "ds_f", "levels",
+                 "t_rows", "t_depth", "t_slot", "t_counts", "t_flat",
+                 "true_rows", "lit_rows", "lit_vars", "lit_neg",
+                 "lit_arena", "empty_and", "empty_or", "empty_xor",
+                 "dnf_rows", "lit_order", "lit_sorted", "lit_sorted_neg",
+                 "seg_starts", "seg_counts", "seg_arena", "seg_var",
+                 "seg_neg", "n_pairs", "pair_vars", "pair_bounds",
+                 "pair_lit_starts", "pos_seg", "neg_seg", "pos_pairs",
+                 "neg_pairs")
+
+    def __init__(self) -> None:
+        self.arenas: List[DTreeArena] = []
+        self.offsets: List[int] = []
+        self.usable = False
+        self.complete = False
+        self.int64_ok = False
+        self.width = 0.0
+        self.n = 0
+        self.levels: List[Optional[_Level]] = []
+
+    # -- literal segment grouping (shared by every collect step) ------- #
+
+    def _index_literals(self, arena_ids) -> None:
+        """Sort literal rows into (arena, variable, negated) runs.
+
+        Beyond the per-segment starts this also precomputes the
+        *pair* index — consecutive (positive, negative) segments of the
+        same (arena, variable) — so the combine step of every collect is
+        a handful of scatters instead of a per-segment Python loop.
+        """
+        self.lit_arena = arena_ids
+        n_arenas = len(self.arenas)
+        if self.lit_rows.size == 0:
+            zero = np.zeros(0, dtype=np.int64)
+            self.lit_order = zero
+            self.lit_sorted = zero
+            self.lit_sorted_neg = np.zeros(0, dtype=bool)
+            self.seg_starts = zero
+            self.seg_counts = zero
+            self.seg_arena = zero
+            self.seg_var = zero
+            self.seg_neg = np.zeros(0, dtype=bool)
+            self.n_pairs = 0
+            self.pair_vars: List[int] = []
+            self.pair_bounds = np.zeros(n_arenas + 1, dtype=np.int64)
+            self.pair_lit_starts = zero
+            self.pos_seg = zero
+            self.neg_seg = zero
+            self.pos_pairs = zero
+            self.neg_pairs = zero
+            return
+        neg_key = self.lit_neg.astype(np.int64)
+        order = np.lexsort((neg_key, self.lit_vars, arena_ids))
+        sorted_arena = arena_ids[order]
+        sorted_var = self.lit_vars[order]
+        sorted_neg = neg_key[order]
+        boundary = np.empty(order.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = ((sorted_arena[1:] != sorted_arena[:-1])
+                        | (sorted_var[1:] != sorted_var[:-1])
+                        | (sorted_neg[1:] != sorted_neg[:-1]))
+        starts = np.flatnonzero(boundary)
+        self.lit_order = order
+        self.lit_sorted = self.lit_rows[order]
+        self.lit_sorted_neg = self.lit_neg[order]
+        self.seg_starts = starts
+        self.seg_counts = np.diff(np.append(starts, order.size))
+        self.seg_arena = sorted_arena[starts]
+        self.seg_var = sorted_var[starts]
+        self.seg_neg = sorted_neg[starts].astype(bool)
+        pair_b = np.empty(starts.size, dtype=bool)
+        pair_b[0] = True
+        pair_b[1:] = ((self.seg_arena[1:] != self.seg_arena[:-1])
+                      | (self.seg_var[1:] != self.seg_var[:-1]))
+        pair_idx = np.cumsum(pair_b) - 1
+        pair_first = np.flatnonzero(pair_b)
+        self.n_pairs = int(pair_first.size)
+        self.pair_vars = self.seg_var[pair_first].tolist()
+        self.pair_bounds = np.searchsorted(
+            self.seg_arena[pair_first], np.arange(n_arenas + 1))
+        self.pair_lit_starts = starts[pair_first]
+        self.pos_seg = np.flatnonzero(~self.seg_neg)
+        self.neg_seg = np.flatnonzero(self.seg_neg)
+        self.pos_pairs = pair_idx[self.pos_seg]
+        self.neg_pairs = pair_idx[self.neg_seg]
+
+
+def _attach_levels(plan: KernelPlan) -> None:
+    """Slice the flat schedule tables into per-depth :class:`_Level`s.
+
+    The tables are sorted by ``(depth, kind)``, so each level and each
+    kind block inside it is a contiguous slice; one global
+    ``searchsorted`` finds every boundary.  The only per-level work is
+    slicing views plus the tiny XOR-relative starts array.
+    """
+    t_rows, t_slot = plan.t_rows, plan.t_slot
+    t_counts, t_flat = plan.t_counts, plan.t_flat
+    if t_rows.size == 0:
+        plan.levels = []
+        plan.width = 0.0
+        return
+    nrows = int(t_rows.size)
+    total_flat = int(t_flat.size)
+    starts_all = np.zeros(nrows, dtype=np.int64)
+    np.cumsum(t_counts[:-1], out=starts_all[1:])
+    # Static whole-schedule gathers, sliced per level below.
+    g_flat_f = plan.ds_f[t_flat]
+    g_flat_i = plan.ds_i[t_flat]
+    g_rows_f = plan.ds_f[t_rows]
+    g_rows_i = plan.ds_i[t_rows]
+    g_unit = np.repeat(
+        np.where(t_slot == 2, 0.0, t_counts.astype(np.float64)),
+        t_counts) * FLOAT_ERROR_UNIT
+    key = plan.t_depth * 3 + t_slot
+    max_depth = int(plan.t_depth[-1])
+    bounds = np.searchsorted(key, np.arange(3 * (max_depth + 1) + 1))
+    levels: List[Optional[_Level]] = []
+    for d in range(max_depth + 1):
+        lo = int(bounds[3 * d])
+        a_end = int(bounds[3 * d + 1])
+        o_end = int(bounds[3 * d + 2])
+        hi = int(bounds[3 * d + 3])
+        if lo == hi:
+            levels.append(None)
+            continue
+        level = _Level()
+        level.rows = t_rows[lo:hi]
+        level.counts = t_counts[lo:hi]
+        fl = int(starts_all[lo])
+        fh = int(starts_all[hi]) if hi < nrows else total_flat
+        level.flat = t_flat[fl:fh]
+        level.starts = starts_all[lo:hi] - fl
+        level.a_rows = a_end - lo
+        level.o_rows = o_end - lo
+        level.a_flat = (int(starts_all[a_end]) - fl
+                        if a_end < nrows else fh - fl)
+        level.o_flat = (int(starts_all[o_end]) - fl
+                        if o_end < nrows else fh - fl)
+        level.or_rows_f = g_rows_f[a_end:o_end]
+        level.or_rows_i = g_rows_i[a_end:o_end]
+        level.or_flat_f = g_flat_f[fl + level.a_flat:fl + level.o_flat]
+        level.or_flat_i = g_flat_i[fl + level.a_flat:fl + level.o_flat]
+        level.xor_starts = level.starts[level.o_rows:] - level.o_flat
+        level.unit_flat = g_unit[fl:fh]
+        levels.append(level)
+    plan.levels = levels
+    plan.width = nrows / len(levels)
+
+
+def _build_plan(arena: DTreeArena) -> KernelPlan:
+    """Build (never cache) the level schedule of one arena."""
+    plan = KernelPlan()
+    plan.arenas = [arena]
+    plan.offsets = [0]
+    n = len(arena)
+    plan.n = n
+    if not HAVE_NUMPY or n == 0:
+        return plan
+    try:
+        kinds = np.asarray(arena.kinds, dtype=np.int64)
+        ds = np.asarray(arena.domain_sizes, dtype=np.int64)
+        variables = np.asarray(arena.variables, dtype=np.int64)
+        child_first = np.asarray(arena.child_first, dtype=np.int64)
+        child_last = np.asarray(arena.child_last, dtype=np.int64)
+        children = np.asarray(arena.children, dtype=np.int64)
+    except (OverflowError, ValueError):
+        # A variable id or domain size outside int64: the Python pass
+        # (arbitrary-precision throughout) handles it.
+        return plan
+    if children.size == 0:
+        children = children.reshape(0)
+    negated = np.asarray(arena.negated, dtype=bool)
+    plan.ds_i = ds
+    plan.ds_f = ds.astype(np.float64)
+    plan.roots = np.asarray([n - 1], dtype=np.int64)
+
+    # Depth below the root: children precede parents in postorder, so a
+    # single backward loop suffices.  This is the only Python loop of
+    # the build, and it runs once per arena (the plan is cached).
+    depth = [0] * n
+    cf = arena.child_first
+    cl = arena.child_last
+    ch = arena.children
+    for row in range(n - 1, -1, -1):
+        below = depth[row] + 1
+        for child in ch[cf[row]:cl[row]]:
+            depth[child] = below
+    depth_np = np.asarray(depth, dtype=np.int64)
+
+    has_children = child_last > child_first
+    plan.true_rows = np.flatnonzero(kinds == KIND_TRUE)
+    plan.dnf_rows = np.flatnonzero(kinds == KIND_DNF)
+    plan.lit_rows = np.flatnonzero(kinds == KIND_LITERAL)
+    plan.lit_vars = variables[plan.lit_rows]
+    plan.lit_neg = negated[plan.lit_rows]
+    plan.empty_and = np.flatnonzero((kinds == KIND_AND) & ~has_children)
+    plan.empty_or = np.flatnonzero((kinds == KIND_OR) & ~has_children)
+    plan.empty_xor = np.flatnonzero((kinds == KIND_XOR) & ~has_children)
+    plan._index_literals(np.zeros(plan.lit_rows.size, dtype=np.int64))
+
+    # Flat schedule tables: internal rows sorted by (depth, kind), their
+    # children gathered in the same order (vectorized range
+    # concatenation: repeat each span base, add the within-span offset).
+    internal = np.flatnonzero(
+        ((kinds == KIND_AND) | (kinds == KIND_OR) | (kinds == KIND_XOR))
+        & has_children)
+    slot = np.where(kinds[internal] == KIND_AND, 0,
+                    np.where(kinds[internal] == KIND_OR, 1, 2))
+    row_depths = depth_np[internal]
+    order = np.argsort(row_depths * 3 + slot, kind="stable")
+    plan.t_rows = internal[order]
+    plan.t_depth = row_depths[order]
+    plan.t_slot = slot[order]
+    plan.t_counts = (child_last - child_first)[plan.t_rows]
+    total = int(plan.t_counts.sum())
+    starts = np.zeros(plan.t_rows.size, dtype=np.int64)
+    np.cumsum(plan.t_counts[:-1], out=starts[1:])
+    idx = (np.repeat(child_first[plan.t_rows], plan.t_counts)
+           + (np.arange(total, dtype=np.int64)
+              - np.repeat(starts, plan.t_counts)))
+    plan.t_flat = children[idx]
+    _attach_levels(plan)
+    plan.complete = plan.dnf_rows.size == 0
+    plan.int64_ok = bool(
+        plan.complete and (ds.size == 0 or int(ds.max()) <= INT64_SAFE_DOMAIN))
+    plan.usable = True
+    return plan
+
+
+def plan_of(arena: DTreeArena) -> KernelPlan:
+    """The (cached) level schedule of one arena.
+
+    Memoized in the arena's result slots — structural like the arena
+    itself, so it survives payload churn and is dropped with the arena
+    on mutation (``extend`` builds a fresh arena, hence a fresh plan).
+    """
+    plan = arena.results.get(_PLAN_KEY)
+    if plan is None:
+        plan = _build_plan(arena)
+        arena.results[_PLAN_KEY] = plan
+    return plan  # type: ignore[return-value]
+
+
+def _stack_plans(arenas: Sequence[DTreeArena],
+                 plans: Sequence[KernelPlan]) -> KernelPlan:
+    """Stack per-arena schedules into one fused forest schedule.
+
+    The cached flat tables concatenate with per-arena row offsets, one
+    stable sort by ``(depth, kind)`` restores the schedule invariant
+    (depth aligns: every root is depth 0), and one vectorized gather
+    reorders the children block — O(total rows) numpy, no per-level
+    Python work at batch time.
+    """
+    stacked = KernelPlan()
+    stacked.arenas = list(arenas)
+    sizes = [plan.n for plan in plans]
+    offsets = [0] * len(plans)
+    total = 0
+    for i, size in enumerate(sizes):
+        offsets[i] = total
+        total += size
+    stacked.offsets = offsets
+    stacked.n = total
+    stacked.roots = np.asarray(
+        [off + size - 1 for off, size in zip(offsets, sizes)],
+        dtype=np.int64)
+    stacked.ds_i = np.concatenate([plan.ds_i for plan in plans])
+    stacked.ds_f = np.concatenate([plan.ds_f for plan in plans])
+    offs_np = np.asarray(offsets, dtype=np.int64)
+
+    def _cat_off(arrays):
+        out = np.concatenate(arrays)
+        if out.size:
+            out = out + np.repeat(offs_np, [a.size for a in arrays])
+        return out
+
+    stacked.true_rows = _cat_off([plan.true_rows for plan in plans])
+    stacked.dnf_rows = _cat_off([plan.dnf_rows for plan in plans])
+    stacked.empty_and = _cat_off([plan.empty_and for plan in plans])
+    stacked.empty_or = _cat_off([plan.empty_or for plan in plans])
+    stacked.empty_xor = _cat_off([plan.empty_xor for plan in plans])
+    stacked.lit_rows = _cat_off([plan.lit_rows for plan in plans])
+    stacked.lit_vars = np.concatenate([plan.lit_vars for plan in plans])
+    stacked.lit_neg = np.concatenate([plan.lit_neg for plan in plans])
+    stacked._index_literals(np.repeat(
+        np.arange(len(plans), dtype=np.int64),
+        [plan.lit_rows.size for plan in plans]))
+
+    rows_c = _cat_off([plan.t_rows for plan in plans])
+    flat_c = _cat_off([plan.t_flat for plan in plans])
+    depth_c = np.concatenate([plan.t_depth for plan in plans])
+    slot_c = np.concatenate([plan.t_slot for plan in plans])
+    counts_c = np.concatenate([plan.t_counts for plan in plans])
+    order = np.argsort(depth_c * 3 + slot_c, kind="stable")
+    stacked.t_rows = rows_c[order]
+    stacked.t_depth = depth_c[order]
+    stacked.t_slot = slot_c[order]
+    stacked.t_counts = counts_c[order]
+    old_starts = np.zeros(counts_c.size, dtype=np.int64)
+    np.cumsum(counts_c[:-1], out=old_starts[1:])
+    new_starts = np.zeros(counts_c.size, dtype=np.int64)
+    np.cumsum(stacked.t_counts[:-1], out=new_starts[1:])
+    idx = (np.repeat(old_starts[order], stacked.t_counts)
+           + (np.arange(flat_c.size, dtype=np.int64)
+              - np.repeat(new_starts, stacked.t_counts)))
+    stacked.t_flat = flat_c[idx]
+    _attach_levels(stacked)
+    stacked.complete = all(plan.complete for plan in plans)
+    stacked.int64_ok = all(plan.int64_ok for plan in plans)
+    stacked.usable = all(plan.usable for plan in plans)
+    return stacked
+
+
+# --------------------------------------------------------------------- #
+# Vector helpers (log2-domain arithmetic with -inf / +inf handling)
+# --------------------------------------------------------------------- #
+
+
+def _v_log2_sub(a, b):
+    """Elementwise ``log2(2**a - 2**b)`` for finite ``a``; -inf on ties.
+
+    Callers hold one ``np.errstate`` guard around the whole sweep (the
+    per-call context manager showed up in profiles).
+    """
+    t = np.exp2(b - a)  # b = -inf -> 0 -> result a
+    cancel = t >= 1.0
+    out = np.log1p(-np.where(cancel, 0.0, t)) / _LN2 + a
+    out[cancel] = -np.inf
+    return out
+
+
+def _v_sub_error(a, b, err):
+    """Elementwise twin of :func:`repro.dtree.arena._sub_error`."""
+    t = np.exp2(b - a)
+    poisoned = t >= 1.0 - 1e-9
+    out = (err * (1.0 + np.where(poisoned, 0.0, t))
+           / (1.0 - np.where(poisoned, 0.0, t))
+           + FLOAT_ERROR_UNIT)
+    out[poisoned] = np.inf
+    return out
+
+
+def _seg_excl_sums(values, starts, counts):
+    """Per-segment exclusive prefix and suffix sums of *finite* values."""
+    cum = np.cumsum(values)
+    base = np.repeat(cum[starts] - values[starts], counts)
+    prefix = cum - values - base
+    totals = np.repeat(np.add.reduceat(values, starts), counts)
+    suffix = totals - prefix - values
+    return prefix, suffix
+
+
+def _seg_excl_flags(mask, starts, counts):
+    """Whether any flagged entry sits strictly before / after each slot."""
+    marks = mask.astype(np.int64)
+    cum = np.cumsum(marks)
+    base = np.repeat(cum[starts] - marks[starts], counts)
+    inclusive = cum - base
+    before = (inclusive - marks) > 0
+    totals = np.repeat(np.add.reduceat(marks, starts), counts)
+    after = (totals - inclusive) > 0
+    return before, after
+
+
+def _seg_logsumexp(values, starts, counts):
+    """Per-segment ``log2(sum 2**v)``; all--inf segments stay -inf."""
+    tops = np.maximum.reduceat(values, starts)
+    safe = np.where(np.isneginf(tops), 0.0, tops)
+    sums = np.add.reduceat(
+        np.exp2(values - np.repeat(safe, counts)), starts)
+    out = safe + np.log2(sums)
+    out[np.isneginf(tops)] = -np.inf
+    return out
+
+
+def _require_complete(plan: KernelPlan) -> None:
+    if plan.dnf_rows.size:
+        raise IncompleteArenaError(
+            "exact counting requires a complete d-tree; found an "
+            "undecomposed leaf")
+
+
+# --------------------------------------------------------------------- #
+# Float tier: vectorized counts, Banzhaf, surrogate
+# --------------------------------------------------------------------- #
+
+
+def _float_up_levels(plan: KernelPlan, logs, errs) -> None:
+    """Bottom-up level loop shared by float counts and the surrogate.
+
+    Each level is one kind-contiguous block: the per-child values are
+    built by slice assignment (AND keeps the child log, OR flips it to
+    the non-model mass, XOR zeroes it out of the sum), reduced with a
+    single ``add.reduceat``, then the per-row results are fixed up by
+    kind slice.  ``errs is None`` skips error tracking (surrogate).
+    """
+    unit = FLOAT_ERROR_UNIT
+    for level in reversed(plan.levels):
+        if level is None:
+            continue
+        flat, starts, counts = level.flat, level.starts, level.counts
+        af, of = level.a_flat, level.o_flat
+        ar, orr = level.a_rows, level.o_rows
+        nr = level.rows.size
+        child_logs = logs[flat]
+        values = child_logs.copy()
+        if of > af:
+            values[af:of] = _v_log2_sub(level.or_flat_f, child_logs[af:of])
+        if of < values.size:
+            values[of:] = 0.0
+        sums = np.add.reduceat(values, starts)
+        if errs is not None:
+            child_errs = errs[flat]
+            evalues = child_errs.copy()
+            if of > af:
+                evalues[af:of] = _v_sub_error(
+                    level.or_flat_f, child_logs[af:of], child_errs[af:of])
+            if of < evalues.size:
+                evalues[of:] = 0.0
+            rerr = np.add.reduceat(evalues, starts)
+            if ar:
+                rerr[:ar] += counts[:ar] * unit
+            if orr > ar:
+                rerr[ar:orr] = _v_sub_error(
+                    level.or_rows_f, sums[ar:orr], rerr[ar:orr])
+            if orr < nr:
+                rerr[orr:] = (
+                    np.maximum.reduceat(child_errs[of:], level.xor_starts)
+                    + counts[orr:] * unit)
+            errs[level.rows] = rerr
+        if orr > ar:
+            sums[ar:orr] = _v_log2_sub(level.or_rows_f, sums[ar:orr])
+        if orr < nr:
+            sums[orr:] = _seg_logsumexp(
+                child_logs[of:], level.xor_starts, counts[orr:])
+        logs[level.rows] = sums
+
+
+def _float_counts(plan: KernelPlan):
+    """Level-scheduled twin of ``arena_float_counts`` (whole plan)."""
+    _require_complete(plan)
+    n = plan.n
+    logs = np.full(n, -np.inf)
+    errs = np.zeros(n)
+    ds_f = plan.ds_f
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        logs[plan.true_rows] = ds_f[plan.true_rows]
+        logs[plan.lit_rows] = 0.0
+        logs[plan.empty_and] = 0.0
+        if plan.empty_or.size:
+            rows = plan.empty_or
+            logs[rows] = _v_log2_sub(ds_f[rows], np.zeros(rows.size))
+            errs[rows] = _v_sub_error(ds_f[rows], np.zeros(rows.size),
+                                      np.zeros(rows.size))
+        _float_up_levels(plan, logs, errs)
+    return logs, errs
+
+
+def _push_contributions(level: _Level, mult, merr, values, value_errs):
+    """One level of the top-down pass (collision-free scatter).
+
+    Mirrors the Python pass: child contribution is
+    ``multiplier + (exclusive sibling prefix + suffix)`` in log2 space,
+    its error ``mult_err + sum of sibling errors + one unit per op``
+    (``level.unit_flat``; zero for XOR rows, whose children inherit the
+    parent multiplier unchanged — their values/errors are zeroed by the
+    caller, so they ride the same scatter).  -inf values (zero siblings)
+    and +inf errors (poisoned siblings) propagate via segment flags
+    rather than arithmetic, which keeps the cumulative-sum trick
+    NaN-free; both are rare, so their machinery is gated on ``any()``.
+    ``value_errs is None`` skips error tracking (surrogate).
+    """
+    starts, counts, flat = level.starts, level.counts, level.flat
+    mrep = np.repeat(mult[level.rows], counts)
+    zero = np.isneginf(values)
+    has_zero = bool(zero.any())
+    if has_zero:
+        pre, suf = _seg_excl_sums(np.where(zero, 0.0, values),
+                                  starts, counts)
+    else:
+        pre, suf = _seg_excl_sums(values, starts, counts)
+    contribution = mrep + pre + suf
+    if has_zero:
+        zero_before, zero_after = _seg_excl_flags(zero, starts, counts)
+        contribution[zero_before | zero_after] = -np.inf
+    mult[flat] = contribution
+    if value_errs is None:
+        return
+    merep = np.repeat(merr[level.rows], counts)
+    poisoned = np.isinf(value_errs)
+    if bool(poisoned.any()):
+        epre, esuf = _seg_excl_sums(np.where(poisoned, 0.0, value_errs),
+                                    starts, counts)
+        err = merep + epre + esuf + level.unit_flat
+        inf_before, inf_after = _seg_excl_flags(poisoned, starts, counts)
+        err[inf_before | inf_after] = np.inf
+    else:
+        epre, esuf = _seg_excl_sums(value_errs, starts, counts)
+        err = merep + epre + esuf + level.unit_flat
+    merr[flat] = err
+
+
+def _float_push(plan: KernelPlan, logs, errs):
+    """Top-down multiplier pass (float): depth 0 -> deepest level."""
+    mult = np.full(plan.n, -np.inf)
+    merr = np.zeros(plan.n)
+    mult[plan.roots] = 0.0
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for level in plan.levels:
+            if level is None:
+                continue
+            af, of = level.a_flat, level.o_flat
+            child_logs = logs[level.flat]
+            values = child_logs.copy()
+            verrs = errs[level.flat]  # fancy gather: already a copy
+            if of > af:
+                values[af:of] = _v_log2_sub(
+                    level.or_flat_f, child_logs[af:of])
+                verrs[af:of] = _v_sub_error(
+                    level.or_flat_f, child_logs[af:of], verrs[af:of])
+            if of < values.size:
+                values[of:] = 0.0
+                verrs[of:] = 0.0
+            _push_contributions(level, mult, merr, values, verrs)
+    return mult, merr
+
+
+def _literal_segments(plan: KernelPlan, mult, merr):
+    """Log-sum-exp the literal multipliers per (arena, var, negated) run.
+
+    Unreachable literals (multiplier -inf) contribute nothing to the
+    mass and must not leak their (meaningless) error bounds into the
+    segment maximum — exactly like the Python pass, which never visits
+    them.
+    """
+    lm = mult[plan.lit_sorted]
+    le = merr[plan.lit_sorted]
+    seg_log = _seg_logsumexp(lm, plan.seg_starts, plan.seg_counts)
+    le = np.where(np.isneginf(lm), 0.0, le)
+    seg_err = (np.maximum.reduceat(le, plan.seg_starts)
+               + plan.seg_counts * FLOAT_ERROR_UNIT)
+    return seg_log, seg_err
+
+
+def _collect_float_scores(plan: KernelPlan, mult, merr
+                          ) -> List[Dict[int, Tuple[float, float]]]:
+    """Per-arena ``{variable: (log2 |score|, rel_err)}`` dicts.
+
+    The positive and negative masses of each (arena, variable) pair are
+    scattered onto the precomputed pair index and combined in one
+    vectorized shot — exactly the Python pass's case split: no negative
+    mass keeps the positive one, positive >= negative subtracts with a
+    tracked bound, negative > positive flips sign with a poisoned
+    (infinite) bound.
+    """
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        seg_log, seg_err = _literal_segments(plan, mult, merr)
+        n_pairs = plan.n_pairs
+        pos_log = np.full(n_pairs, -np.inf)
+        pos_err = np.zeros(n_pairs)
+        neg_log = np.full(n_pairs, -np.inf)
+        neg_err = np.zeros(n_pairs)
+        pos_log[plan.pos_pairs] = seg_log[plan.pos_seg]
+        pos_err[plan.pos_pairs] = seg_err[plan.pos_seg]
+        neg_log[plan.neg_pairs] = seg_log[plan.neg_seg]
+        neg_err[plan.neg_pairs] = seg_err[plan.neg_seg]
+        no_neg = np.isneginf(neg_log)
+        flip = pos_log < neg_log
+        hi = np.where(flip, neg_log, pos_log)
+        lo = np.where(flip, pos_log, neg_log)
+        res_log = np.where(no_neg, pos_log, _v_log2_sub(hi, lo))
+        res_err = np.where(
+            no_neg, pos_err,
+            np.where(flip, np.inf,
+                     _v_sub_error(pos_log, neg_log,
+                                  np.maximum(pos_err, neg_err))))
+    logs_l = res_log.tolist()
+    errs_l = res_err.tolist()
+    pair_vars = plan.pair_vars
+    bounds = plan.pair_bounds
+    scores: List[Dict[int, Tuple[float, float]]] = []
+    for i, arena in enumerate(plan.arenas):
+        result: Dict[int, Tuple[float, float]] = {
+            variable: (-math.inf, 0.0)
+            for variable in arena.domains[len(arena) - 1]}
+        for j in range(int(bounds[i]), int(bounds[i + 1])):
+            variable = pair_vars[j]
+            if variable in result:
+                result[variable] = (logs_l[j], errs_l[j])
+        scores.append(result)
+    return scores
+
+
+def _scatter_columns(plan: KernelPlan, key_a: str, col_a, key_b: str,
+                     col_b) -> None:
+    """Slice stacked result columns back into each arena's payloads.
+
+    One whole-column ``tolist`` (a single C call) then native list
+    slicing per arena — far cheaper than a numpy slice + ``tolist`` per
+    arena when the batch is large.
+    """
+    list_a = col_a.tolist()
+    list_b = col_b.tolist()
+    for arena, off in zip(plan.arenas, plan.offsets):
+        size = len(arena)
+        arena.payloads[key_a] = list_a[off:off + size]
+        arena.payloads[key_b] = list_b[off:off + size]
+
+
+def _numpy_float_sweep(plan: KernelPlan) -> None:
+    """Fused float count + Banzhaf sweep; scatter into every arena."""
+    logs, errs = _float_counts(plan)
+    mult, merr = _float_push(plan, logs, errs)
+    scores = _collect_float_scores(plan, mult, merr)
+    _scatter_columns(plan, "float_counts", logs, "float_count_errs", errs)
+    for arena, result in zip(plan.arenas, scores):
+        arena.results["float_banzhaf"] = result
+
+
+def _numpy_float_counts_only(plan: KernelPlan) -> None:
+    logs, errs = _float_counts(plan)
+    _scatter_columns(plan, "float_counts", logs, "float_count_errs", errs)
+
+
+def _numpy_surrogate(arena: DTreeArena, plan: KernelPlan
+                     ) -> Dict[int, float]:
+    """Vectorized twin of ``arena_float_surrogate`` (single arena)."""
+    n = plan.n
+    logs = np.full(n, -np.inf)
+    ds_f = plan.ds_f
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        logs[plan.true_rows] = ds_f[plan.true_rows]
+        logs[plan.lit_rows] = 0.0
+        logs[plan.empty_and] = 0.0
+        if plan.empty_or.size:
+            rows = plan.empty_or
+            logs[rows] = _v_log2_sub(ds_f[rows], np.zeros(rows.size))
+        leaf_scores: Dict[int, Dict[int, float]] = {}
+        for row in plan.dnf_rows.tolist():
+            count_est, dnf_estimates = _dnf_leaf_estimates(
+                arena.leaf_functions[row], arena.domain_sizes[row])
+            logs[row] = count_est
+            leaf_scores[row] = dnf_estimates
+        _float_up_levels(plan, logs, None)
+        # Top-down: float push shape without error tracking.
+        mult = np.full(n, -np.inf)
+        mult[plan.roots] = 0.0
+        for level in plan.levels:
+            if level is None:
+                continue
+            af, of = level.a_flat, level.o_flat
+            child_logs = logs[level.flat]
+            values = child_logs.copy()
+            if of > af:
+                values[af:of] = _v_log2_sub(
+                    level.or_flat_f, child_logs[af:of])
+            if of < values.size:
+                values[of:] = 0.0
+            _push_contributions(level, mult, None, values, None)
+        estimates: Dict[int, float] = {
+            variable: -math.inf
+            for variable in arena.domains[len(arena) - 1]}
+        if plan.lit_rows.size:
+            seg_log = _seg_logsumexp(
+                mult[plan.lit_sorted], plan.seg_starts, plan.seg_counts)
+            seg_vars = plan.seg_var[plan.pos_seg].tolist()
+            seg_mass = seg_log[plan.pos_seg].tolist()
+            # surrogate keeps the dominant positive mass
+            for variable, mass in zip(seg_vars, seg_mass):
+                estimates[variable] = log2_add(
+                    estimates.get(variable, -math.inf), mass)
+    if plan.dnf_rows.size:
+        for row in plan.dnf_rows.tolist():
+            multiplier = float(mult[row])
+            if multiplier == -math.inf:
+                continue
+            rescale = multiplier - (arena.domain_sizes[row] - 1)
+            for variable, estimate in leaf_scores[row].items():
+                estimates[variable] = log2_add(
+                    estimates.get(variable, -math.inf), rescale + estimate)
+    return estimates
+
+
+# --------------------------------------------------------------------- #
+# Exact int64 fast path
+# --------------------------------------------------------------------- #
+
+
+def _int_counts(plan: KernelPlan):
+    """Exact int64 count sweep (bit-identical to the big-int pass).
+
+    Soundness: with every domain width ``d <= 62``, each subtree count
+    and each OR non-model product is bounded by ``2**d <= 2**62``
+    (children of a decomposition have disjoint domains, so partial
+    products never exceed the parent's space) — all within int64.  A
+    row-wise post-check (``0 <= count <= 2**d``) guards the envelope;
+    violation raises and the dispatcher falls back to Python.
+    """
+    _require_complete(plan)
+    n = plan.n
+    ds = plan.ds_i
+    one = np.int64(1)
+    counts = np.zeros(n, dtype=np.int64)
+    counts[plan.true_rows] = one << ds[plan.true_rows]
+    counts[plan.lit_rows] = 1
+    counts[plan.empty_and] = 1
+    if plan.empty_or.size:
+        counts[plan.empty_or] = (one << ds[plan.empty_or]) - 1
+    with np.errstate(over="ignore"):
+        for level in reversed(plan.levels):
+            if level is None:
+                continue
+            af, of = level.a_flat, level.o_flat
+            ar, orr = level.a_rows, level.o_rows
+            child = counts[level.flat]
+            values = child.copy()
+            if of > af:
+                values[af:of] = (one << level.or_flat_i) - child[af:of]
+            if of < values.size:
+                values[of:] = 1
+            prod = np.multiply.reduceat(values, level.starts)
+            if orr > ar:
+                prod[ar:orr] = (one << level.or_rows_i) - prod[ar:orr]
+            if orr < level.rows.size:
+                prod[orr:] = np.add.reduceat(child[of:], level.xor_starts)
+            counts[level.rows] = prod
+    if bool(np.any(counts < 0)) or bool(np.any(counts > (one << ds))):
+        raise _KernelSoundnessError("int64 count outside [0, 2^d]")
+    return counts
+
+
+def _int_push(plan: KernelPlan, counts):
+    """Exact int64 top-down multiplier pass.
+
+    Sibling products use the exclusive-product-by-division trick with
+    explicit zero handling (a zero sibling cannot be divided out):
+    exclusive product is 0 whenever another sibling is 0, else the
+    product of the non-zero siblings.  Every multiplier is bounded by
+    ``2**(d_root - d_row) <= 2**62`` (the sibling domains along the path
+    are disjoint from the row's), so int64 cannot overflow.
+    """
+    mult = np.zeros(plan.n, dtype=np.int64)
+    mult[plan.roots] = 1
+    ds = plan.ds_i
+    one = np.int64(1)
+    with np.errstate(over="ignore"):
+        for level in plan.levels:
+            if level is None:
+                continue
+            af, of = level.a_flat, level.o_flat
+            child = counts[level.flat]
+            values = child.copy()
+            if of > af:
+                values[af:of] = (one << level.or_flat_i) - child[af:of]
+            if of < values.size:
+                values[of:] = 1  # XOR children inherit the multiplier
+            mrep = np.repeat(mult[level.rows], level.counts)
+            zero = values == 0
+            if bool(zero.any()):
+                nz = np.where(zero, one, values)
+                total_nz = np.repeat(
+                    np.multiply.reduceat(nz, level.starts), level.counts)
+                zero_before, zero_after = _seg_excl_flags(
+                    zero, level.starts, level.counts)
+                exclusive = np.where(
+                    zero_before | zero_after, 0,
+                    np.where(zero, total_nz, total_nz // nz))
+            else:
+                total_nz = np.repeat(
+                    np.multiply.reduceat(values, level.starts), level.counts)
+                exclusive = total_nz // values
+            mult[level.flat] = mrep * exclusive
+    return mult
+
+
+def _collect_int_banzhaf(plan: KernelPlan, mult) -> List[Dict[int, int]]:
+    """Per-arena exact Banzhaf dicts from the literal multipliers."""
+    results: List[Dict[int, int]] = [
+        {variable: 0 for variable in arena.domains[len(arena) - 1]}
+        for arena in plan.arenas]
+    if plan.lit_rows.size:
+        lm = mult[plan.lit_sorted]
+        signed = np.where(plan.lit_sorted_neg, -lm, lm)
+        # One reduceat per (arena, variable) pair: the positive block of
+        # each pair precedes the negative one, so partial sums climb to
+        # at most 2**(d-1) before descending — no int64 overflow.
+        pair_sums = np.add.reduceat(signed, plan.pair_lit_starts).tolist()
+        pair_vars = plan.pair_vars
+        bounds = plan.pair_bounds
+        for i, bucket in enumerate(results):
+            for j in range(int(bounds[i]), int(bounds[i + 1])):
+                variable = pair_vars[j]
+                bucket[variable] = bucket.get(variable, 0) + pair_sums[j]
+    return results
+
+
+def _numpy_exact_sweep(plan: KernelPlan, need_banzhaf: bool = True) -> None:
+    """Fused exact count (+ Banzhaf) sweep; scatter into every arena."""
+    counts = _int_counts(plan)
+    banzhaf: List[Dict[int, int]] = []
+    if need_banzhaf:
+        banzhaf = _collect_int_banzhaf(plan, _int_push(plan, counts))
+    counts_list = counts.tolist()
+    for i, (arena, off) in enumerate(zip(plan.arenas, plan.offsets)):
+        size = len(arena)
+        arena.payloads["counts"] = counts_list[off:off + size]
+        if need_banzhaf:
+            arena.results["banzhaf"] = banzhaf[i]
+
+
+# --------------------------------------------------------------------- #
+# Dispatchers (kernel selection, memo interop, fallback)
+# --------------------------------------------------------------------- #
+
+
+def _auto_worthwhile(plan: KernelPlan) -> bool:
+    return plan.n >= AUTO_MIN_ROWS and plan.width >= AUTO_MIN_WIDTH
+
+
+def _pick_numpy(arena: DTreeArena, kernel: str, *, exact: bool,
+                stats) -> Optional[KernelPlan]:
+    """The plan to vectorize with, or ``None`` for the Python pass."""
+    if resolve_kernel(kernel) != "numpy":
+        return None
+    plan = plan_of(arena)
+    if not plan.usable or not plan.complete:
+        return None
+    if exact and not plan.int64_ok:
+        stats.bump(kernel_fallbacks=1)
+        return None
+    if kernel == "auto" and not _auto_worthwhile(plan):
+        return None
+    return plan
+
+
+def counts_pass(arena: DTreeArena, kernel: str = "auto",
+                stats=None) -> List[int]:
+    """Exact count column via the selected kernel (bit-identical ints)."""
+    stats = stats if stats is not None else _NULL_STATS
+    cached = arena.payloads.get("counts")
+    if cached is not None and cached[-1] is not None:
+        stats.bump(payload_hits=1)
+        return cached
+    plan = _pick_numpy(arena, kernel, exact=True, stats=stats)
+    if plan is not None:
+        try:
+            with stats.timed_pass("kernel_sweep"):
+                _numpy_exact_sweep(plan, need_banzhaf=False)
+        except _KernelSoundnessError:
+            stats.bump(kernel_fallbacks=1)
+        else:
+            stats.bump(kernel_sweeps=1)
+            return arena.payloads["counts"]
+    with stats.timed_pass("count"):
+        return arena_counts(arena)
+
+
+def banzhaf_pass(arena: DTreeArena, kernel: str = "auto",
+                 stats=None) -> Dict[int, int]:
+    """Exact all-variables Banzhaf via the selected kernel."""
+    stats = stats if stats is not None else _NULL_STATS
+    cached = arena.results.get("banzhaf")
+    if cached is not None:
+        stats.bump(payload_hits=1)
+        return cached  # type: ignore[return-value]
+    plan = _pick_numpy(arena, kernel, exact=True, stats=stats)
+    if plan is not None:
+        try:
+            with stats.timed_pass("kernel_sweep"):
+                _numpy_exact_sweep(plan)
+        except _KernelSoundnessError:
+            stats.bump(kernel_fallbacks=1)
+        else:
+            stats.bump(kernel_sweeps=1)
+            return arena.results["banzhaf"]  # type: ignore[return-value]
+    with stats.timed_pass("banzhaf"):
+        return arena_banzhaf(arena)
+
+
+def float_counts_pass(arena: DTreeArena, kernel: str = "auto",
+                      stats=None) -> Tuple[List[float], List[float]]:
+    """Float count/err columns via the selected kernel."""
+    stats = stats if stats is not None else _NULL_STATS
+    logs = arena.payloads.get("float_counts")
+    if logs is not None and logs[-1] is not None:
+        stats.bump(payload_hits=1)
+        return logs, arena.payloads["float_count_errs"]
+    plan = _pick_numpy(arena, kernel, exact=False, stats=stats)
+    if plan is not None:
+        with stats.timed_pass("kernel_sweep"):
+            _numpy_float_counts_only(plan)
+        stats.bump(kernel_sweeps=1)
+        return (arena.payloads["float_counts"],
+                arena.payloads["float_count_errs"])
+    with stats.timed_pass("float"):
+        return arena_float_counts(arena)
+
+
+def float_banzhaf_pass(arena: DTreeArena, kernel: str = "auto",
+                       stats=None) -> Dict[int, Tuple[float, float]]:
+    """Float fused Banzhaf scores via the selected kernel."""
+    stats = stats if stats is not None else _NULL_STATS
+    cached = arena.results.get("float_banzhaf")
+    if cached is not None:
+        stats.bump(payload_hits=1)
+        return cached  # type: ignore[return-value]
+    plan = _pick_numpy(arena, kernel, exact=False, stats=stats)
+    if plan is not None:
+        with stats.timed_pass("kernel_sweep"):
+            _numpy_float_sweep(plan)
+        stats.bump(kernel_sweeps=1)
+        return arena.results["float_banzhaf"]  # type: ignore[return-value]
+    with stats.timed_pass("float"):
+        return arena_float_banzhaf(arena)
+
+
+def float_surrogate_pass(arena: DTreeArena, kernel: str = "auto",
+                         stats=None) -> Dict[int, float]:
+    """Surrogate order estimates via the selected kernel (partial OK)."""
+    stats = stats if stats is not None else _NULL_STATS
+    cached = arena.results.get("float_surrogate")
+    if cached is not None:
+        stats.bump(payload_hits=1)
+        return cached  # type: ignore[return-value]
+    if resolve_kernel(kernel) == "numpy":
+        plan = plan_of(arena)
+        if plan.usable and (kernel == "numpy" or _auto_worthwhile(plan)):
+            with stats.timed_pass("kernel_sweep"):
+                estimates = _numpy_surrogate(arena, plan)
+            stats.bump(kernel_sweeps=1)
+            arena.results["float_surrogate"] = estimates
+            return estimates
+    with stats.timed_pass("surrogate"):
+        return arena_float_surrogate(arena)
+
+
+def prewarm_arenas(arenas: Iterable[DTreeArena], tier: str = "exact",
+                   kernel: str = "auto", stats=None) -> int:
+    """Cross-request batched sweep: one fused kernel pass over a forest.
+
+    Stacks every not-yet-evaluated, kernel-eligible arena of a
+    micro-batch into one column block, runs the fused count+Banzhaf
+    sweep for the requested tier (``"exact"`` or ``"float"``) once, and
+    scatters the results back into each arena's payload/result slots —
+    the subsequent per-request evaluation path then hits its memoized
+    results.  Returns the number of arenas swept (0 means every request
+    evaluates individually; fewer than two eligible arenas never batch).
+    """
+    stats = stats if stats is not None else _NULL_STATS
+    if tier not in ("exact", "float"):
+        raise ValueError(f"tier must be 'exact' or 'float', not {tier!r}")
+    if resolve_kernel(kernel) != "numpy":
+        return 0
+    candidates: List[Tuple[DTreeArena, KernelPlan]] = []
+    for arena in arenas:
+        if tier == "exact":
+            if arena.results.get("banzhaf") is not None:
+                continue
+        elif arena.results.get("float_banzhaf") is not None:
+            continue
+        plan = plan_of(arena)
+        if not plan.usable or not plan.complete:
+            continue
+        if tier == "exact" and not plan.int64_ok:
+            continue
+        candidates.append((arena, plan))
+    if len(candidates) < 2:
+        return 0
+    stacked = _stack_plans([arena for arena, _ in candidates],
+                           [plan for _, plan in candidates])
+    if kernel == "auto" and not _auto_worthwhile(stacked):
+        return 0
+    try:
+        with stats.timed_pass("kernel_sweep"):
+            if tier == "exact":
+                _numpy_exact_sweep(stacked)
+            else:
+                _numpy_float_sweep(stacked)
+    except _KernelSoundnessError:
+        stats.bump(kernel_fallbacks=1)
+        return 0
+    stats.bump(kernel_sweeps=1, kernel_batched_trees=len(candidates))
+    return len(candidates)

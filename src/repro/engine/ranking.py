@@ -43,6 +43,8 @@ mis-rank it.
 
 from __future__ import annotations
 
+import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Optional
@@ -57,16 +59,15 @@ from repro.core.ichiban import (
     float_straddlers,
 )
 from repro.core.intervals import Interval
-from repro.dtree.arena import (
-    arena_banzhaf,
-    arena_float_banzhaf,
-    arena_float_surrogate,
-    arena_of,
-    pow2_int,
-)
+from repro.dtree.arena import arena_of, pow2_int
 from repro.dtree.compile import CompilationBudget, CompilationLimitReached
 from repro.dtree.heuristics import Heuristic, select_most_frequent
 from repro.dtree.incremental import IncrementalCompiler
+from repro.dtree.kernels import (
+    banzhaf_pass,
+    float_banzhaf_pass,
+    float_surrogate_pass,
+)
 from repro.engine.artifact import CompiledLineage, complete_compilation
 from repro.engine.cache import CachedAttribution
 
@@ -98,8 +99,8 @@ def _from_intervals(method: str, intervals: Dict[int, Interval],
     )
 
 
-def _exact_ranking(function: DNF,
-                   artifact: CompiledLineage) -> RankingComputation:
+def _exact_ranking(function: DNF, artifact: CompiledLineage,
+                   kernel: str = "python", stats=None) -> RankingComputation:
     """Read an exact ranking off a complete artifact (one ExaBan pass).
 
     Restricted to the occurring variables, matching IchiBan's scope
@@ -108,7 +109,8 @@ def _exact_ranking(function: DNF,
     occurring = function.variables
     values = {v: value
               for v, value in exaban_all(artifact.root,
-                                         counts=artifact.counts).items()
+                                         counts=artifact.counts,
+                                         kernel=kernel, stats=stats).items()
               if v in occurring}
     return RankingComputation(outcome=CachedAttribution(
         method_used="exact",
@@ -117,25 +119,64 @@ def _exact_ranking(function: DNF,
     ), artifact=artifact)
 
 
+#: Widest enclosure half-width (in bits) the float tier will materialize
+#: as exact integer bounds.  ``2**±4096`` around any score in this
+#: codebase is already vacuously wide; anything wider certifies nothing
+#: and only costs memory (``pow2_int`` allocates ``width`` bits).
+MAX_ENCLOSURE_BITS = 4096.0
+
+_LN2 = math.log(2.0)
+
+
+def uncertified_enclosure(log: float, err: float, margin: int) -> bool:
+    """True when ``(log, err)`` has no materializable integer enclosure.
+
+    Exact zeros (``log == -inf``) are exactly representable and always
+    certified.  Otherwise an unbounded relative error, or one whose
+    widened log2 half-width exceeds :data:`MAX_ENCLOSURE_BITS`, means the
+    enclosure is vacuous -- the caller must fall back to the exact pass
+    instead of asking :func:`~repro.dtree.arena.pow2_int` for it.
+    """
+    if log == -math.inf:
+        return False
+    return (not math.isfinite(err)
+            or margin * err / _LN2 > MAX_ENCLOSURE_BITS)
+
+
 def _float_ranking(function: DNF, artifact: CompiledLineage, method: str,
-                   float_ulp_margin: int) -> RankingComputation:
+                   float_ulp_margin: int, kernel: str = "python",
+                   stats=None) -> RankingComputation:
     """Float-tier ranking off a complete artifact (log2 arena pass).
 
-    Scores come from :func:`~repro.dtree.arena.arena_float_banzhaf` with
-    per-variable relative-error bounds; variables whose widened score
-    intervals overlap another's (``float_straddlers``) fall back to the
-    exact arena pass and get point bounds, the rest get certified
-    integer enclosures ``[floor(2^(log-w)), ceil(2^(log+w))]`` — so the
-    reported bounds always contain the exact Banzhaf value and the
-    order read off them matches the exact order, while the common case
-    never touches bignum arithmetic.
+    Scores come from the fused float Banzhaf pass
+    (:func:`~repro.dtree.kernels.float_banzhaf_pass` — vectorized or
+    pure-Python per ``kernel``) with per-variable relative-error bounds;
+    variables whose widened score intervals overlap another's
+    (``float_straddlers``) fall back to the exact arena pass and get
+    point bounds, the rest get certified integer enclosures
+    ``[floor(2^(log-w)), ceil(2^(log+w))]`` — so the reported bounds
+    always contain the exact Banzhaf value and the order read off them
+    matches the exact order, while the common case never touches bignum
+    arithmetic.
+
+    A score whose enclosure cannot be *materialized* -- unbounded error,
+    or a half-width beyond :data:`MAX_ENCLOSURE_BITS` (deep trees
+    legitimately accumulate relative errors up to ~1e307) -- is treated
+    as a straddler even when no other interval overlaps it (e.g. a
+    single-variable lineage): ``pow2_int`` on such a width would build
+    an integer with ``err / ln 2`` bits.
     """
     arena = artifact.arena()
     occurring = function.variables
-    scores = {v: s for v, s in arena_float_banzhaf(arena).items()
+    scores = {v: s
+              for v, s in float_banzhaf_pass(arena, kernel=kernel,
+                                             stats=stats).items()
               if v in occurring}
     straddlers = float_straddlers(scores, float_ulp_margin)
-    exact = arena_banzhaf(arena) if straddlers else {}
+    straddlers.update(v for v, (log, err) in scores.items()
+                      if uncertified_enclosure(log, err, float_ulp_margin))
+    exact = (banzhaf_pass(arena, kernel=kernel, stats=stats)
+             if straddlers else {})
     values: Dict[int, Fraction] = {}
     bounds: Dict[int, tuple] = {}
     for variable, (log, err) in scores.items():
@@ -156,7 +197,8 @@ def _float_ranking(function: DNF, artifact: CompiledLineage, method: str,
 
 
 def _surrogate_ranking(function: DNF, artifact: CompiledLineage,
-                       method: str) -> RankingComputation:
+                       method: str, kernel: str = "python",
+                       stats=None) -> RankingComputation:
     """Order-only surrogate ranking off a partial tree's float pass.
 
     For instances whose compilation exhausts its budget even in float
@@ -170,8 +212,9 @@ def _surrogate_ranking(function: DNF, artifact: CompiledLineage,
     never cached; the partial artifact comes back resumable.
     """
     estimates = {v: e
-                 for v, e in arena_float_surrogate(arena_of(artifact.root)
-                                                   ).items()
+                 for v, e in float_surrogate_pass(arena_of(artifact.root),
+                                                  kernel=kernel,
+                                                  stats=stats).items()
                  if v in function.variables}
     values: Dict[int, Fraction] = {}
     bounds: Dict[int, tuple] = {}
@@ -187,12 +230,20 @@ def _surrogate_ranking(function: DNF, artifact: CompiledLineage,
     ), artifact=artifact)
 
 
+def _timed_compile(stats):
+    """``stats.timed_pass("compile")`` when stats are carried, else no-op."""
+    if stats is None:
+        return nullcontext()
+    return stats.timed_pass("compile")
+
+
 def _float_tier(function: DNF, method: str,
                 timeout_seconds: Optional[float],
                 artifact: Optional[CompiledLineage],
                 max_steps: Optional[int],
                 heuristic: Heuristic,
-                float_ulp_margin: int) -> RankingComputation:
+                float_ulp_margin: int, kernel: str = "python",
+                stats=None) -> RankingComputation:
     """Float-mode dispatch: exact-free ranking with a compile budget.
 
     A complete artifact ranks by float order immediately.  Otherwise one
@@ -203,19 +254,23 @@ def _float_tier(function: DNF, method: str,
     loop, which is what times out on wide instances.
     """
     if artifact is not None and artifact.complete:
-        return _float_ranking(function, artifact, method, float_ulp_margin)
+        return _float_ranking(function, artifact, method, float_ulp_margin,
+                              kernel=kernel, stats=stats)
     compiler = (artifact.resume_compiler(heuristic)
                 if artifact is not None
                 else IncrementalCompiler(function, heuristic))
     budget = CompilationBudget(max_shannon_steps=max_steps,
                                timeout_seconds=timeout_seconds)
     try:
-        complete_compilation(compiler, budget)
+        with _timed_compile(stats):
+            complete_compilation(compiler, budget)
     except CompilationLimitReached:
         return _surrogate_ranking(
-            function, CompiledLineage.from_compiler(compiler), method)
+            function, CompiledLineage.from_compiler(compiler), method,
+            kernel=kernel, stats=stats)
     return _float_ranking(function, CompiledLineage.from_compiler(compiler),
-                          method, float_ulp_margin)
+                          method, float_ulp_margin, kernel=kernel,
+                          stats=stats)
 
 
 def compute_ranking(function: DNF, method: str, k: Optional[int],
@@ -225,7 +280,9 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
                     max_steps: Optional[int] = None,
                     heuristic: Heuristic = select_most_frequent,
                     numeric: str = "exact",
-                    float_ulp_margin: int = 8) -> RankingComputation:
+                    float_ulp_margin: int = 8,
+                    kernel: str = "python",
+                    stats=None) -> RankingComputation:
     """Rank one canonical lineage (``method`` is ``"rank"`` or ``"topk"``).
 
     ``epsilon=None`` demands certainty (pairwise separation for ``rank``,
@@ -245,6 +302,12 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
     (``max_steps`` Shannon expansions / ``timeout_seconds``); on
     exhaustion the partial tree produces an order-only surrogate ranking
     (``method_used`` suffix ``-float-surrogate``, never converged).
+
+    ``kernel`` selects the arena evaluation backend for the fused
+    passes (``"python"`` | ``"auto"`` | ``"numpy"``, see
+    :mod:`repro.dtree.kernels`); ``stats`` is an optional
+    :class:`~repro.engine.stats.EngineStats` receiving kernel counters
+    and per-pass timings.
     """
     if method not in ("rank", "topk"):
         raise ValueError(
@@ -258,9 +321,10 @@ def compute_ranking(function: DNF, method: str, k: Optional[int],
                          f"not {numeric!r}")
     if numeric == "float":
         return _float_tier(function, method, timeout_seconds, artifact,
-                           max_steps, heuristic, float_ulp_margin)
+                           max_steps, heuristic, float_ulp_margin,
+                           kernel=kernel, stats=stats)
     if artifact is not None and artifact.complete:
-        return _exact_ranking(function, artifact)
+        return _exact_ranking(function, artifact, kernel=kernel, stats=stats)
     if method == "topk":
         controller = _topk_controller(k, epsilon)
     else:

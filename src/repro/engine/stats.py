@@ -22,7 +22,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 #: Every integer counter of :class:`EngineStats`, in declaration order.
 #: :meth:`EngineStats.bump` validates against it and
@@ -46,6 +46,10 @@ COUNTER_FIELDS = (
     "parallel_batches",
     "coalesced_requests",
     "shed_requests",
+    "payload_hits",
+    "kernel_sweeps",
+    "kernel_batched_trees",
+    "kernel_fallbacks",
 )
 
 
@@ -115,9 +119,32 @@ class EngineStats:
         rejected (bounded queue full, per-client budget exhausted, or
         deadline already missed) without reaching an engine.  Every shed
         request still received a structured rejection response.
+    payload_hits:
+        Arena passes answered entirely from a cached payload column or
+        memoized result (no rows recomputed) -- the proof that
+        :func:`~repro.dtree.arena.arena_counts` and friends reuse their
+        columns across partial re-evaluations instead of rebuilding them.
+    kernel_sweeps:
+        Vectorized (numpy) kernel sweeps executed by
+        :mod:`repro.dtree.kernels` -- each sweep evaluates one arena, or
+        one stacked micro-batch of arenas, in whole-level array ops.
+    kernel_batched_trees:
+        Trees evaluated through a *stacked* cross-request kernel sweep
+        (the batching win: ``kernel_batched_trees / kernel_sweeps`` is
+        the average batch width of batched sweeps).
+    kernel_fallbacks:
+        Kernel dispatches that fell back to the pure-Python arena pass --
+        numpy missing, the arena too small to be worth a sweep under
+        ``kernel="auto"``, or an int64 overflow/soundness check rerouting
+        to the big-int pass.
     stage_seconds:
         Wall-clock seconds per pipeline stage (``evaluate``,
         ``canonicalize``, ``compute``, ``assemble``).
+    pass_seconds:
+        Wall-clock seconds per arena *pass* (``compile``, ``count``,
+        ``banzhaf``, ``float``, ``surrogate``, ``kernel_sweep``) -- the
+        profiling surface the kernel benchmark uses to attribute its win.
+        Populated by the pass label of :meth:`timed` / :meth:`timed_pass`.
     """
 
     queries: int = 0
@@ -137,7 +164,12 @@ class EngineStats:
     parallel_batches: int = 0
     coalesced_requests: int = 0
     shed_requests: int = 0
+    payload_hits: int = 0
+    kernel_sweeps: int = 0
+    kernel_batched_trees: int = 0
+    kernel_fallbacks: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -172,19 +204,41 @@ class EngineStats:
                 self.stage_seconds[stage] = (
                     self.stage_seconds.get(stage, 0.0) + seconds
                 )
+            for label, seconds in other.pass_seconds.items():
+                self.pass_seconds[label] = (
+                    self.pass_seconds.get(label, 0.0) + seconds
+                )
 
     @contextmanager
-    def timed(self, stage: str) -> Iterator[None]:
-        """Time a ``with`` block and add it to ``stage_seconds[stage]``."""
+    def timed(self, stage: Optional[str],
+              pass_label: Optional[str] = None) -> Iterator[None]:
+        """Time a ``with`` block into ``stage_seconds`` and/or ``pass_seconds``.
+
+        ``stage`` buckets by pipeline stage as before; the optional
+        ``pass_label`` additionally (or, with ``stage=None``, exclusively)
+        buckets the same elapsed time by arena pass, so one block can be
+        attributed on both axes.
+        """
         started = time.monotonic()
         try:
             yield
         finally:
             elapsed = time.monotonic() - started
             with self._lock:
-                self.stage_seconds[stage] = (
-                    self.stage_seconds.get(stage, 0.0) + elapsed
-                )
+                if stage is not None:
+                    self.stage_seconds[stage] = (
+                        self.stage_seconds.get(stage, 0.0) + elapsed
+                    )
+                if pass_label is not None:
+                    self.pass_seconds[pass_label] = (
+                        self.pass_seconds.get(pass_label, 0.0) + elapsed
+                    )
+
+    @contextmanager
+    def timed_pass(self, label: str) -> Iterator[None]:
+        """Time a ``with`` block into ``pass_seconds[label]`` only."""
+        with self.timed(None, label):
+            yield
 
     @property
     def total_seconds(self) -> float:
@@ -254,8 +308,16 @@ class EngineStats:
             "parallel_batches": self.parallel_batches,
             "coalesced_requests": self.coalesced_requests,
             "shed_requests": self.shed_requests,
+            "payload_hits": self.payload_hits,
+            "kernel": {
+                "sweeps": self.kernel_sweeps,
+                "batched_trees": self.kernel_batched_trees,
+                "fallbacks": self.kernel_fallbacks,
+            },
             "stage_seconds": {stage: round(seconds, 6)
                               for stage, seconds in self.stage_seconds.items()},
+            "passes": {label: round(seconds, 6)
+                       for label, seconds in self.pass_seconds.items()},
             "total_seconds": round(self.total_seconds, 6),
         }
 
@@ -265,6 +327,7 @@ class EngineStats:
             for name in COUNTER_FIELDS:
                 setattr(self, name, 0)
             self.stage_seconds = {}
+            self.pass_seconds = {}
 
     def __repr__(self) -> str:
         return (f"EngineStats(answers={self.answers}, "

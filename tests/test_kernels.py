@@ -1,0 +1,481 @@
+"""Differential tests: the vectorized kernel tier vs the Python arena passes.
+
+The numpy kernel tier (:mod:`repro.dtree.kernels`) re-implements the
+fused arena passes as whole-level array operations.  Its contract is
+asymmetric per tier, and this module pins both sides of it:
+
+* **exact tier** -- bit-identical arbitrary-precision ints: the int64
+  fast path must agree with :func:`~repro.dtree.arena.arena_counts` /
+  :func:`~repro.dtree.arena.arena_banzhaf` to the last bit, and
+  anything outside the int64 envelope must *fall back* to the Python
+  pass (still bit-identical), never return a wrapped value;
+* **float tier** -- enclosure containment: the certified integer
+  enclosures read off the kernel's (log2, relative-error) pairs must
+  contain the exact value, exactly like the Python float pass.
+
+Arenas are fuzzed four ways: Hypothesis-random DNFs, tie-rich star
+joins, a 1500-deep alternating AND/OR chain (level-schedule stress),
+and int64 overflow-straddling domains (61/62/70 variables).  Every
+kernel-forcing test is skipped without numpy; the fallback and
+pure-Python dispatch tests run either way, so the optional-dependency
+contract is exercised by both CI lanes.
+"""
+
+import math
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.dnf import DNF
+from repro.core.exaban import exaban_all
+from repro.dtree.arena import (
+    DTreeArena,
+    arena_banzhaf,
+    arena_counts,
+    arena_float_banzhaf,
+    arena_float_counts,
+    arena_float_surrogate,
+    pow2_int,
+)
+from repro.dtree.compile import compile_dnf
+from repro.dtree.incremental import IncrementalCompiler
+from repro.dtree.kernels import (
+    HAVE_NUMPY,
+    KernelUnavailableError,
+    _PLAN_KEY,
+    banzhaf_pass,
+    counts_pass,
+    float_banzhaf_pass,
+    float_counts_pass,
+    float_surrogate_pass,
+    plan_of,
+    prewarm_arenas,
+    resolve_kernel,
+)
+from repro.dtree.nodes import DecompAnd, DecompOr, LiteralLeaf
+from repro.engine import Engine, EngineConfig
+from repro.engine.ranking import uncertified_enclosure
+from repro.engine.stats import EngineStats
+from repro.workloads.generators import random_positive_dnf, star_join_lineage
+
+from dnf_strategies import small_dnfs
+
+_SETTINGS = settings(max_examples=30, deadline=None)
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="numpy not installed")
+needs_no_numpy = pytest.mark.skipif(HAVE_NUMPY,
+                                    reason="numpy is installed")
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+
+def _fresh_arena(tree) -> DTreeArena:
+    """An arena with empty memos (independent of the root's cached one)."""
+    return DTreeArena.from_tree(tree)
+
+
+def _contains(log: float, err: float, exact: int, margin: int = 8) -> bool:
+    """The float tier's enclosure contract for one (log2, rel-err) score."""
+    if math.isinf(log) and log < 0:
+        return exact == 0
+    if uncertified_enclosure(log, err, margin):
+        return True  # vacuous (sign flip, or err so large -- deep
+        # chains reach ~1e307 -- that the bound has no materializable
+        # integer form); the ranking tier falls back to exact for these.
+    return (pow2_int(log, margin * err) <= exact
+            <= pow2_int(log, margin * err, ceil=True))
+
+
+def _assert_exact_matches(tree, kernel: str, stats=None) -> None:
+    reference = _fresh_arena(tree)
+    expected_counts = list(arena_counts(reference))
+    expected_banzhaf = dict(arena_banzhaf(reference))
+
+    arena = _fresh_arena(tree)
+    assert banzhaf_pass(arena, kernel=kernel,
+                        stats=stats) == expected_banzhaf
+    # One fused sweep fills the counts payload too; bit-identical column.
+    assert counts_pass(arena, kernel=kernel, stats=stats) == expected_counts
+
+
+def _assert_float_encloses(tree, kernel: str, stats=None) -> None:
+    reference = _fresh_arena(tree)
+    exact_counts = list(arena_counts(reference))
+    exact_banzhaf = dict(arena_banzhaf(reference))
+
+    arena = _fresh_arena(tree)
+    logs, errs = float_counts_pass(arena, kernel=kernel, stats=stats)
+    for row, exact in enumerate(exact_counts):
+        assert _contains(logs[row], errs[row], exact), (
+            f"count enclosure violated at row {row}")
+    scores = float_banzhaf_pass(arena, kernel=kernel, stats=stats)
+    assert set(scores) == set(exact_banzhaf)
+    for variable, (log, err) in scores.items():
+        assert _contains(log, err, exact_banzhaf[variable]), (
+            f"score enclosure violated for variable {variable}")
+
+
+def _deep_chain(depth: int) -> DecompAnd:
+    """Alternating AND/OR chain, one level per variable (depth levels)."""
+    node = DecompAnd([LiteralLeaf(0), LiteralLeaf(1)])
+    for variable in range(2, depth + 2):
+        leaf = LiteralLeaf(variable, negated=(variable % 3 == 0))
+        if variable % 2:
+            node = DecompAnd([node, leaf])
+        else:
+            node = DecompOr([node, leaf])
+    return node
+
+
+def _wide_or(num_variables: int):
+    """One independent OR over ``num_variables`` singleton clauses.
+
+    Its model count is ``2**n - 1``: the smallest tree whose values sit
+    right at the int64 envelope boundary for n near 62.
+    """
+    return compile_dnf(DNF([(v,) for v in range(num_variables)],
+                           domain=range(num_variables)))
+
+
+@contextmanager
+def _nothing():
+    yield
+
+
+# --------------------------------------------------------------------- #
+# Dispatch and fallback (run with and without numpy)
+# --------------------------------------------------------------------- #
+
+
+def test_uncertified_enclosure_guards_vacuous_widths():
+    # Deep chains accumulate relative errors up to ~1e307; asking
+    # pow2_int for that enclosure would allocate err/ln2 bits.  The
+    # ranking tier must route such scores to the exact fallback.
+    assert not uncertified_enclosure(-math.inf, math.inf, 8)  # exact zero
+    assert not uncertified_enclosure(1500.0, 1e-12, 8)
+    assert not uncertified_enclosure(1500.0, 300.0, 8)  # ~3500 bits: fine
+    assert uncertified_enclosure(1500.0, math.inf, 8)
+    assert uncertified_enclosure(1500.0, math.nan, 8)
+    assert uncertified_enclosure(1500.0, 4.7e307, 8)  # deep-chain regime
+
+
+def test_resolve_kernel_names():
+    assert resolve_kernel("python") == "python"
+    assert resolve_kernel("auto") == ("numpy" if HAVE_NUMPY else "python")
+    with pytest.raises(ValueError):
+        resolve_kernel("fortran")
+
+
+def test_python_kernel_matches_arena_passes():
+    rng = random.Random(11)
+    tree = compile_dnf(star_join_lineage(rng, 4, 3))
+    stats = EngineStats()
+    _assert_exact_matches(tree, kernel="python", stats=stats)
+    _assert_float_encloses(tree, kernel="python", stats=stats)
+    assert stats.kernel_sweeps == 0  # python never sweeps
+
+
+def test_auto_kernel_is_exactly_python_for_exact_tier():
+    # Whatever backend "auto" resolves to, exact results are bit-identical.
+    rng = random.Random(12)
+    for profile in ((3, 4), (5, 2)):
+        tree = compile_dnf(star_join_lineage(rng, *profile))
+        _assert_exact_matches(tree, kernel="auto")
+
+
+def test_pass_payload_hits_are_counted():
+    tree = compile_dnf(random_positive_dnf(random.Random(13), 8, 6))
+    arena = _fresh_arena(tree)
+    stats = EngineStats()
+    first = banzhaf_pass(arena, kernel="auto", stats=stats)
+    assert stats.payload_hits == 0
+    again = banzhaf_pass(arena, kernel="auto", stats=stats)
+    assert again == first
+    assert stats.payload_hits == 1
+
+
+def test_pass_timings_are_labelled():
+    tree = compile_dnf(random_positive_dnf(random.Random(14), 8, 6))
+    stats = EngineStats()
+    banzhaf_pass(_fresh_arena(tree), kernel="python", stats=stats)
+    passes = stats.as_dict()["passes"]
+    # The python pass bills under the pass label, never as a sweep.
+    assert "banzhaf" in passes
+    assert "kernel_sweep" not in passes
+
+
+@needs_no_numpy
+def test_forced_numpy_raises_without_numpy():
+    tree = compile_dnf(random_positive_dnf(random.Random(15), 6, 4))
+    with pytest.raises(KernelUnavailableError):
+        counts_pass(_fresh_arena(tree), kernel="numpy")
+    with pytest.raises(KernelUnavailableError):
+        EngineConfig(kernel="numpy")
+
+
+@needs_no_numpy
+def test_auto_degrades_to_python_without_numpy():
+    rng = random.Random(16)
+    tree = compile_dnf(star_join_lineage(rng, 4, 3))
+    stats = EngineStats()
+    _assert_exact_matches(tree, kernel="auto", stats=stats)
+    _assert_float_encloses(tree, kernel="auto", stats=stats)
+    assert stats.kernel_sweeps == 0
+    # Batching is a silent no-op too: nothing to stack without numpy.
+    arenas = [_fresh_arena(tree), _fresh_arena(tree)]
+    assert prewarm_arenas(arenas, tier="exact", kernel="auto",
+                          stats=stats) == 0
+
+
+def test_engine_config_validates_kernel():
+    with pytest.raises(ValueError):
+        EngineConfig(kernel="fortran")
+    assert EngineConfig(kernel="python").kernel == "python"
+    assert EngineConfig().kernel == "auto"
+
+
+def test_prewarm_rejects_unknown_tier():
+    with pytest.raises(ValueError):
+        prewarm_arenas([], tier="shapley", kernel="python")
+
+
+# --------------------------------------------------------------------- #
+# Kernel vs Python: random, tie-rich, deep, and overflow-straddling
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+@_SETTINGS
+@given(function=small_dnfs())
+def test_numpy_exact_bit_identical_random(function: DNF):
+    tree = compile_dnf(function)
+    _assert_exact_matches(tree, kernel="numpy")
+
+
+@needs_numpy
+@_SETTINGS
+@given(function=small_dnfs())
+def test_numpy_float_enclosures_random(function: DNF):
+    tree = compile_dnf(function)
+    _assert_float_encloses(tree, kernel="numpy")
+
+
+@needs_numpy
+def test_numpy_on_tie_rich_star_joins():
+    # Star joins produce many symmetric (tied) Banzhaf values; ties are
+    # where a lossy float pass would reorder, so the enclosures (and the
+    # bit-identical exact values backing them) matter most here.
+    rng = random.Random(21)
+    for profile in ((4, 3), (6, 4), (3, 6)):
+        tree = compile_dnf(star_join_lineage(rng, *profile))
+        stats = EngineStats()
+        _assert_exact_matches(tree, kernel="numpy", stats=stats)
+        _assert_float_encloses(tree, kernel="numpy", stats=stats)
+        assert stats.kernel_sweeps > 0
+
+
+@needs_numpy
+def test_numpy_on_1500_deep_chain():
+    # 1500 levels of alternating AND/OR: the level schedule degenerates
+    # to width ~1 (the kernel's worst case).  kernel="numpy" forces the
+    # sweep anyway; results must still be correct, and the exact tier
+    # must fall back (domain 1502 > int64 envelope) bit-identically.
+    tree = _deep_chain(1500)
+    arena = _fresh_arena(tree)
+    plan = plan_of(arena)
+    assert len(plan.levels) >= 1500
+    assert not plan.int64_ok
+    stats = EngineStats()
+    _assert_exact_matches(tree, kernel="numpy", stats=stats)
+    assert stats.kernel_fallbacks > 0  # exact tier refused, fell back
+    _assert_float_encloses(tree, kernel="numpy", stats=stats)
+    assert stats.kernel_sweeps > 0  # float tier swept the deep schedule
+
+
+@needs_numpy
+def test_numpy_int64_envelope_straddle():
+    stats = EngineStats()
+    # 61 and 62 variables: inside the envelope, the kernel sweeps and
+    # the counts reach 2**62 - 1 (the largest value the proof allows).
+    for width in (61, 62):
+        tree = _wide_or(width)
+        arena = _fresh_arena(tree)
+        assert plan_of(arena).int64_ok
+        before = stats.kernel_sweeps
+        _assert_exact_matches(tree, kernel="numpy", stats=stats)
+        assert stats.kernel_sweeps > before
+    # 70 variables: one step over, the plan refuses int64 and the
+    # dispatcher falls back row-exactly to the big-int Python pass.
+    tree = _wide_or(70)
+    arena = _fresh_arena(tree)
+    assert not plan_of(arena).int64_ok
+    fallbacks = stats.kernel_fallbacks
+    _assert_exact_matches(tree, kernel="numpy", stats=stats)
+    assert stats.kernel_fallbacks > fallbacks
+    # The float tier has no envelope: it still sweeps the 70-wide arena.
+    _assert_float_encloses(tree, kernel="numpy", stats=stats)
+
+
+@needs_numpy
+def test_numpy_surrogate_matches_python_on_partial_trees():
+    rng = random.Random(23)
+    for num_clauses in (6, 10):
+        function = random_positive_dnf(rng, 14, num_clauses)
+        compiler = IncrementalCompiler(function)
+        for _ in range(3):
+            if not compiler.expand_step():
+                break
+        tree = compiler.root
+        expected = arena_float_surrogate(_fresh_arena(tree))
+        actual = float_surrogate_pass(_fresh_arena(tree), kernel="numpy")
+        assert set(actual) == set(expected)
+        for variable, log in actual.items():
+            reference = expected[variable]
+            if math.isinf(log) or math.isinf(reference):
+                assert log == reference
+            else:
+                assert log == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Cross-request batching
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+def test_batched_prewarm_matches_single_tree_results():
+    rng = random.Random(31)
+    trees = [compile_dnf(star_join_lineage(rng, hubs, sats))
+             for hubs, sats in ((3, 3), (4, 2), (5, 4), (2, 6))]
+    trees.append(compile_dnf(random_positive_dnf(rng, 12, 8)))
+
+    for tier in ("exact", "float"):
+        arenas = [_fresh_arena(tree) for tree in trees]
+        stats = EngineStats()
+        swept = prewarm_arenas(arenas, tier=tier, kernel="numpy",
+                               stats=stats)
+        assert swept == len(arenas)
+        assert stats.kernel_batched_trees == len(arenas)
+        assert stats.kernel_sweeps == 1  # ONE stacked sweep for all trees
+        for tree, arena in zip(trees, arenas):
+            if tier == "exact":
+                assert arena.results["banzhaf"] == arena_banzhaf(
+                    _fresh_arena(tree))
+                assert arena.payloads["counts"] == arena_counts(
+                    _fresh_arena(tree))
+            else:
+                exact = arena_banzhaf(_fresh_arena(tree))
+                for variable, (log, err) in (
+                        arena.results["float_banzhaf"].items()):
+                    assert _contains(log, err, exact[variable])
+
+
+@needs_numpy
+def test_prewarm_skips_already_evaluated_arenas():
+    rng = random.Random(32)
+    trees = [compile_dnf(star_join_lineage(rng, 3, 3)) for _ in range(3)]
+    arenas = [_fresh_arena(tree) for tree in trees]
+    arena_banzhaf(arenas[0])  # pre-evaluated: nothing to prewarm there
+    stats = EngineStats()
+    swept = prewarm_arenas(arenas, tier="exact", kernel="numpy",
+                           stats=stats)
+    assert swept == 2
+    assert arenas[1].results["banzhaf"] == arena_banzhaf(
+        _fresh_arena(trees[1]))
+
+
+@needs_numpy
+def test_prewarm_single_arena_never_batches():
+    tree = compile_dnf(star_join_lineage(random.Random(33), 4, 3))
+    stats = EngineStats()
+    assert prewarm_arenas([_fresh_arena(tree)], tier="exact",
+                          kernel="numpy", stats=stats) == 0
+    assert stats.kernel_sweeps == 0
+
+
+# --------------------------------------------------------------------- #
+# Engine wiring
+# --------------------------------------------------------------------- #
+
+
+def _engine_lineages():
+    rng = random.Random(41)
+    return [star_join_lineage(rng, 3, 3),
+            star_join_lineage(rng, 4, 2),
+            random_positive_dnf(rng, 10, 6),
+            random_positive_dnf(rng, 9, 7)]
+
+
+@needs_numpy
+def test_engine_exact_results_identical_across_kernels():
+    lineages = _engine_lineages()
+    baseline = Engine(EngineConfig(method="exact", kernel="python"))
+    expected = baseline.attribute_lineages(lineages)
+    fast = Engine(EngineConfig(method="exact", kernel="numpy"))
+    actual = fast.attribute_lineages(lineages)
+    for left, right in zip(expected, actual):
+        assert left.values == right.values
+        assert left.bounds == right.bounds
+    assert fast.stats.kernel_sweeps > 0
+    assert baseline.stats.kernel_sweeps == 0
+
+
+@needs_numpy
+def test_engine_batch_prewarms_complete_artifacts():
+    lineages = _engine_lineages()
+    warm = Engine(EngineConfig(method="exact", kernel="python"))
+    warm.attribute_lineages(lineages)  # compiles + caches artifacts
+    # Simulate a store-tier round-trip: complete artifacts whose arenas
+    # have not been evaluated in this process (the warm run's scattered
+    # memos would otherwise make prewarm a correct no-op).  The cached
+    # level schedule survives -- plans are evaluation-independent.
+    for artifact in warm.cache.artifacts._entries.values():
+        arena = artifact.arena()
+        plan = arena.results.pop(_PLAN_KEY, None)
+        arena.results.clear()
+        if plan is not None:
+            arena.results[_PLAN_KEY] = plan
+
+    fast = Engine(EngineConfig(method="exact", kernel="numpy"))
+    # Share the artifact tier only: results must recompute (that is the
+    # path that prewarms), but off already-complete compilations.
+    fast.cache.artifacts = warm.cache.artifacts
+    results = fast.attribute_lineages(lineages)
+    # The whole batch went through one stacked cross-request sweep...
+    assert fast.stats.kernel_batched_trees == len(lineages)
+    # ...and every per-task evaluation then hit the scattered memos.
+    assert fast.stats.payload_hits >= len(lineages)
+    baseline = Engine(EngineConfig(method="exact", kernel="python"))
+    for expected, actual in zip(baseline.attribute_lineages(lineages),
+                                results):
+        assert expected.values == actual.values
+
+
+@needs_numpy
+def test_engine_float_ranking_bounds_enclose_exact():
+    lineages = _engine_lineages()[:2]
+    engine = Engine(EngineConfig(method="rank", epsilon=None,
+                                 numeric="float", kernel="numpy"))
+    for lineage, ranked in zip(lineages,
+                               engine.attribute_lineages(lineages)):
+        exact = exaban_all(compile_dnf(lineage))
+        for variable, (lower, upper) in ranked.bounds.items():
+            assert lower <= exact[variable] <= upper
+    assert engine.stats.kernel_sweeps > 0
+
+
+def test_engine_float_ranking_works_with_python_kernel():
+    lineage = _engine_lineages()[0]
+    engine = Engine(EngineConfig(method="rank", epsilon=None,
+                                 numeric="float", kernel="python"))
+    (ranked,) = engine.attribute_lineages([lineage])
+    exact = exaban_all(compile_dnf(lineage))
+    for variable, (lower, upper) in ranked.bounds.items():
+        assert lower <= exact[variable] <= upper
+    assert engine.stats.kernel_sweeps == 0
