@@ -1,0 +1,214 @@
+"""Overhead guard for the reliability subsystem's disabled state.
+
+The reliability layer (:mod:`repro.reliability`) threads fault-check
+hooks through the serving hot path and wraps the persistent store in a
+retry/circuit-breaker proxy.  All of that must be *free* when nothing
+is failing and no fault plan is installed -- otherwise every production
+deployment pays for the chaos lane.  This benchmark runs the
+``bench_serve_load`` repeat-traffic workload through two services over
+identical traffic:
+
+* **default** -- the stock configuration: fault hooks live (no plan
+  installed) and the store behind the resilience wrapper;
+* **stripped** -- ``store_retries=0, breaker_threshold=0``: the
+  wrapper's escape hatch returns the bare store, hooks still present
+  (they are unconditional code) but measured against the same baseline.
+
+Asserts the acceptance criterion: the default configuration costs
+**< 2%** wall-clock over the stripped one, with bit-identical
+``Fraction`` responses.  Also reports the direct cost of one disabled
+``faults.check`` call (nanoseconds/call over a tight loop).
+
+Measurement notes.  Shared CI machines stall individual runs by tens
+of milliseconds, which dwarfs a sub-percent overhead; a plain A/B
+timing of two ~50 ms runs is pure noise.  Three defenses:
+
+* **request-level pairing** -- each request is timed back-to-back on
+  both services (alternating which side goes first), so both sides see
+  nearly the same machine state;
+* **per-request best-of-rounds** -- scheduler stalls only ever
+  *inflate* a timing, so the minimum over rounds converges on each
+  request's true cost, and a clean ~10 ms window is far more likely
+  than a clean full-run window;
+* **escalating re-measurement** -- if a measurement still lands over
+  the bar, it is repeated with doubled rounds; only a persistent gap
+  (a real regression) fails every attempt.
+
+Emits ``BENCH_reliability.json``.  Environment knobs:
+``REPRO_BENCH_CLASSES``, ``REPRO_BENCH_REPEATS``, ``REPRO_BENCH_ROUNDS``
+and ``REPRO_BENCH_SMOKE=1`` (CI smoke: smaller classes, fewer rounds).
+Runs standalone (``python benchmarks/bench_reliability.py``) or under
+pytest with the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from conftest import emit_bench_json, register_report
+
+from bench_serve_load import _fractions, _workload
+
+from repro.engine import EngineConfig
+from repro.engine.store import MemoryStore
+from repro.engine.serve import AttributionService
+from repro.reliability import ResilientStore, faults
+
+#: Acceptance bar: the disabled reliability layer may cost this much.
+MAX_OVERHEAD = 0.02
+
+
+def _service(database, stripped: bool) -> AttributionService:
+    if stripped:
+        config = EngineConfig(store_retries=0, breaker_threshold=0)
+    else:
+        config = EngineConfig()  # stock reliability defaults
+    return AttributionService(database, config, store=MemoryStore())
+
+
+def _measure(database, traffic: List[str], rounds: int
+             ) -> Tuple[float, float, float,
+                        List[Dict[str, object]], List[Dict[str, object]]]:
+    """Paired per-request best-of-``rounds`` timing of both configs.
+
+    Returns ``(overhead, default_seconds, stripped_seconds,
+    default_responses, stripped_responses)`` where the times are the
+    sums of per-request minima and the responses come from the first
+    round (the services are deterministic).
+    """
+    best_default = [float("inf")] * len(traffic)
+    best_stripped = [float("inf")] * len(traffic)
+    default_responses: List[Dict[str, object]] = []
+    stripped_responses: List[Dict[str, object]] = []
+    for round_index in range(max(1, rounds)):
+        default = _service(database, stripped=False)
+        stripped = _service(database, stripped=True)
+        assert isinstance(default.store, ResilientStore), (
+            "default run lost its resilience wrapper")
+        assert isinstance(stripped.store, MemoryStore), (
+            "escape hatch failed: the stripped run is wrapped")
+        for index, query in enumerate(traffic):
+            request = {"op": "attribute", "query": query}
+            default_first = (round_index + index) % 2 == 0
+            for service in ((default, stripped) if default_first
+                            else (stripped, default)):
+                started = time.perf_counter()
+                response = service.submit(dict(request))
+                elapsed = time.perf_counter() - started
+                if service is default:
+                    best_default[index] = min(best_default[index], elapsed)
+                    if round_index == 0:
+                        default_responses.append(response)
+                else:
+                    best_stripped[index] = min(best_stripped[index],
+                                               elapsed)
+                    if round_index == 0:
+                        stripped_responses.append(response)
+    default_seconds = sum(best_default)
+    stripped_seconds = sum(best_stripped)
+    overhead = default_seconds / stripped_seconds - 1.0
+    return (overhead, default_seconds, stripped_seconds,
+            default_responses, stripped_responses)
+
+
+def _hook_ns_per_call(calls: int = 1_000_000) -> float:
+    """Direct cost of one disabled ``faults.check`` (no plan installed)."""
+    faults.clear()
+    check = faults.check
+    started = time.perf_counter()
+    for _ in range(calls):
+        check("store.flush")
+    return (time.perf_counter() - started) / calls * 1e9
+
+
+def run_benchmark() -> str:
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    num_classes = int(os.environ.get("REPRO_BENCH_CLASSES",
+                                     "3" if smoke else "6"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS",
+                                 "2" if smoke else "3"))
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS",
+                                "6" if smoke else "10"))
+    size = 4 if smoke else 5
+
+    database, queries = _workload(num_classes, size)
+    traffic = queries * repeats
+
+    _measure(database, traffic, rounds=1)  # warm-up, untimed
+    attempts = 0
+    overhead = best_default = best_stripped = float("inf")
+    default_responses = stripped_responses = []
+    while True:
+        attempts += 1
+        (overhead, best_default, best_stripped,
+         default_responses, stripped_responses) = _measure(
+            database, traffic, rounds=rounds * attempts)
+        if overhead < MAX_OVERHEAD or attempts >= 3:
+            break
+
+    # Correctness first: both configurations produce bit-identical
+    # exact Fractions for every request.
+    for default, stripped in zip(default_responses, stripped_responses):
+        assert default["ok"] and stripped["ok"]
+        assert _fractions(default) == _fractions(stripped), (
+            "reliability wrapper changed a served value")
+
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled reliability hooks cost {overhead:.2%} "
+        f"(bar: < {MAX_OVERHEAD:.0%}) -- "
+        f"{best_default * 1000:.1f} ms default vs "
+        f"{best_stripped * 1000:.1f} ms stripped "
+        f"after {attempts} escalating measurements")
+
+    hook_ns = _hook_ns_per_call(200_000 if smoke else 1_000_000)
+
+    emit_bench_json(
+        "reliability",
+        workload=f"{len(traffic)} serial requests of repeat traffic over "
+                 f"{num_classes} non-read-once query classes "
+                 f"(bipartite size {size})",
+        speedup=round(best_stripped / best_default, 4),
+        ops_per_sec={
+            "serve.requests_per_sec.default":
+                round(len(traffic) / best_default, 1),
+            "serve.requests_per_sec.stripped":
+                round(len(traffic) / best_stripped, 1),
+        },
+        metrics={
+            "overhead_fraction": round(overhead, 4),
+            "overhead_bar": MAX_OVERHEAD,
+            "best_default_ms": round(best_default * 1000, 2),
+            "best_stripped_ms": round(best_stripped * 1000, 2),
+            "rounds": max(1, rounds) * attempts,
+            "measurement_attempts": attempts,
+            "requests": len(traffic),
+            "disabled_hook_ns_per_call": round(hook_ns, 1),
+            "exactness": "default and stripped responses "
+                         "Fraction-identical",
+        },
+    )
+
+    return "\n".join([
+        f"requests per run:     {len(traffic)} "
+        f"({num_classes} classes x {repeats} repeats, "
+        f"per-request best of {max(1, rounds) * attempts} paired rounds)",
+        f"default (wrapped):    {best_default * 1000:8.1f} ms",
+        f"stripped (bare):      {best_stripped * 1000:8.1f} ms",
+        f"disabled overhead:    {overhead:8.2%}  (bar: < "
+        f"{MAX_OVERHEAD:.0%})",
+        f"faults.check (off):   {hook_ns:8.1f} ns/call",
+        "exactness:            all responses Fraction-identical "
+        "across configurations",
+    ])
+
+
+def test_reliability_overhead():
+    report = run_benchmark()
+    register_report("reliability", report)
+
+
+if __name__ == "__main__":
+    print(run_benchmark())

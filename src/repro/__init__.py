@@ -52,16 +52,22 @@ from repro.dtree.compile import CompilationBudget, compile_dnf
 from repro.engine import (
     AttributionService,
     CacheStore,
+    CircuitBreaker,
     CompiledLineage,
     DiskStore,
     Engine,
     EngineConfig,
     EngineStats,
+    FaultPlan,
     LogStore,
     MemoryStore,
+    ResilientStore,
+    RetryPolicy,
     ShardedStore,
+    SupervisedPool,
     migrate_store,
     open_store,
+    wrap_store,
 )
 
 __version__ = "1.0.0"
@@ -72,6 +78,7 @@ __all__ = [
     "AttributionResult",
     "AttributionService",
     "CacheStore",
+    "CircuitBreaker",
     "CompilationBudget",
     "CompiledLineage",
     "ConjunctiveQuery",
@@ -82,14 +89,18 @@ __all__ = [
     "EngineConfig",
     "EngineStats",
     "Fact",
+    "FaultPlan",
     "MemoryStore",
     "FactAttribution",
     "IchiBanTimeout",
     "LogStore",
     "QueryVariable",
     "RankedVariable",
+    "ResilientStore",
+    "RetryPolicy",
     "Selection",
     "ShardedStore",
+    "SupervisedPool",
     "UnionQuery",
     "adaban",
     "adaban_all",
@@ -112,5 +123,6 @@ __all__ = [
     "shapley_all",
     "shapley_exact",
     "topk_facts",
+    "wrap_store",
     "__version__",
 ]

@@ -59,6 +59,15 @@ superseded records; ``cache migrate`` copies one store into another
 (the one-shot ``disk`` -> ``log`` migration path); ``cache stats``
 prints the store's per-kind (results vs compiled trees)
 entry/shard/size summary.
+
+A store that cannot be opened -- another process holds the log-backend
+writer lock (:class:`StoreLockedError`) or the directory is unreadable
+-- makes ``serve`` and every ``cache`` action print one structured
+``{"ok": false, "error": ..., "store": ...}`` JSON line instead of a
+traceback and exit with code 2, so supervisors can branch on the
+failure.  ``serve`` additionally takes ``--store-retries`` and
+``--breaker-threshold``, the retry/circuit-breaker knobs of the store
+resilience wrapper (:mod:`repro.reliability`).
 """
 
 from __future__ import annotations
@@ -75,7 +84,12 @@ from repro.db.datalog import parse_query
 from repro.dtree.kernels import HAVE_NUMPY
 from repro.engine import Engine, EngineConfig
 from repro.engine.frontend import FrontendConfig, serve_jsonl_concurrent
-from repro.engine.logstore import STORE_BACKENDS, migrate_store, open_store
+from repro.engine.logstore import (
+    STORE_BACKENDS,
+    StoreLockedError,
+    migrate_store,
+    open_store,
+)
 from repro.engine.serve import AttributionService, serve_jsonl
 
 
@@ -337,6 +351,32 @@ def _open_store(arguments, prefix: str = "store",
                       **kwargs)
 
 
+# A store that cannot be opened (held writer lock, missing/unreadable
+# directory) is an operational condition, not a bug: the commands report
+# it as one structured JSON line and exit with code 2 instead of a
+# traceback, so wrappers and supervisors can branch on it.
+_STORE_OPEN_ERRORS = (StoreLockedError, OSError)
+
+
+def _open_store_checked(arguments, error_stream, prefix: str = "store",
+                        shared_reader: bool = False):
+    """Open one flag group's store, degrading failures to a status line.
+
+    Returns the opened store, or ``None`` after printing one
+    machine-readable ``{"ok": false, ...}`` line to ``error_stream``
+    (callers translate ``None`` into exit code 2).
+    """
+    try:
+        return _open_store(arguments, prefix=prefix,
+                           shared_reader=shared_reader)
+    except _STORE_OPEN_ERRORS as error:
+        print(json.dumps({"ok": False,
+                          "error": f"{type(error).__name__}: {error}",
+                          "store": getattr(arguments, prefix)}),
+              file=error_stream)
+        return None
+
+
 def _serve_command(argv: Sequence[str], stream, log=None) -> int:
     """``repro serve``: drive an AttributionService from a JSONL file.
 
@@ -357,6 +397,17 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
                              "{\"op\": ..., \"query\": ...} object per "
                              "line ('-' reads stdin)")
     _add_store_argument(parser, required=False)
+    parser.add_argument("--store-retries", type=int, default=2, metavar="N",
+                        help="retry a failing store read/flush up to N "
+                             "extra times with exponential backoff before "
+                             "degrading to a cache miss (default: 2; "
+                             "0 disables the resilience wrapper)")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        metavar="N",
+                        help="consecutive store failures that trip the "
+                             "circuit breaker into memory-only serving "
+                             "until a half-open probe succeeds "
+                             "(default: 5; 0 disables the breaker)")
     parser.add_argument("--method",
                         choices=("auto", "exact", "approximate", "shapley"),
                         default="auto",
@@ -417,13 +468,24 @@ def _serve_command(argv: Sequence[str], stream, log=None) -> int:
             if given:
                 parser.error(f"{flag} needs the concurrent front-end: "
                              "pass --workers 2 or more")
+    if arguments.store_retries < 0:
+        parser.error("--store-retries must be non-negative")
+    if arguments.breaker_threshold < 0:
+        parser.error("--breaker-threshold must be non-negative")
 
     database = _build_database(arguments.facts, arguments.exogenous, log)
-    store = _open_store(arguments) if arguments.store is not None else None
+    if arguments.store is not None:
+        store = _open_store_checked(arguments, log)
+        if store is None:
+            return 2
+    else:
+        store = None
     service = AttributionService(
         database,
         EngineConfig(method=arguments.method, epsilon=arguments.epsilon,
-                     kernel=arguments.kernel),
+                     kernel=arguments.kernel,
+                     store_retries=arguments.store_retries,
+                     breaker_threshold=arguments.breaker_threshold),
         store=store,
         warm_start=arguments.warm_start,
     )
@@ -523,13 +585,16 @@ def _cache_command(argv: Sequence[str], stream) -> int:
                      "migrate or stats")
 
     if arguments.action == "stats":
-        print(json.dumps(_open_store(arguments,
-                                     shared_reader=True).stats(),
-                         indent=2), file=stream)
+        store = _open_store_checked(arguments, stream, shared_reader=True)
+        if store is None:
+            return 2
+        print(json.dumps(store.stats(), indent=2), file=stream)
         return 0
 
     if arguments.action == "load":
-        store = _open_store(arguments)
+        store = _open_store_checked(arguments, stream)
+        if store is None:
+            return 2
         engine = Engine(EngineConfig())
         loaded = engine.load_cache(store)
         # Report the store's true artifact count, not the (LRU-capped)
@@ -540,7 +605,9 @@ def _cache_command(argv: Sequence[str], stream) -> int:
         return 0
 
     if arguments.action == "warm":
-        store = _open_store(arguments, shared_reader=True)
+        store = _open_store_checked(arguments, stream, shared_reader=True)
+        if store is None:
+            return 2
         engine = Engine(EngineConfig())
         started = time.perf_counter()
         loaded = engine.load_cache(store)
@@ -552,7 +619,9 @@ def _cache_command(argv: Sequence[str], stream) -> int:
         return 0
 
     if arguments.action == "compact":
-        store = _open_store(arguments)
+        store = _open_store_checked(arguments, stream)
+        if store is None:
+            return 2
         if not hasattr(store, "compact"):
             print(f"store backend {arguments.store_backend!r} does not "
                   "support compaction (its flush already rewrites "
@@ -567,8 +636,14 @@ def _cache_command(argv: Sequence[str], stream) -> int:
         return 0
 
     if arguments.action == "migrate":
-        source = _open_store(arguments, shared_reader=True)
-        destination = _open_store(arguments, prefix="dest")
+        source = _open_store_checked(arguments, stream, shared_reader=True)
+        if source is None:
+            return 2
+        destination = _open_store_checked(arguments, stream, prefix="dest")
+        if destination is None:
+            if hasattr(source, "close"):
+                source.close()
+            return 2
         results, artifacts = migrate_store(source, destination)
         for store in (source, destination):
             if hasattr(store, "close"):
@@ -598,7 +673,9 @@ def _cache_command(argv: Sequence[str], stream) -> int:
     else:
         for _query, _results in engine.attribute_many(queries, database):
             pass
-    store = _open_store(arguments)
+    store = _open_store_checked(arguments, stream)
+    if store is None:
+        return 2
     written = engine.save_cache(store)
     artifacts = store.stats()["kinds"]["compiled_trees"]["entries"]
     if hasattr(store, "close"):

@@ -9,7 +9,10 @@ optional persistent :class:`CacheStore` (:class:`DiskStore` /
 :class:`LogStore` / :class:`MemoryStore`, the latter two composable via
 :class:`ShardedStore`), which survives process restarts -- and the
 long-lived serving loop (:class:`AttributionService`) keeps one warm set
-of tiers behind a stream of attribute/rank/topk requests.  See
+of tiers behind a stream of attribute/rank/topk requests.  The
+reliability layer (:mod:`repro.reliability`, re-exported here) supervises
+the process pool, retries/breakers the store tier, and provides
+deterministic fault injection to prove all of it.  See
 ``docs/ARCHITECTURE.md`` for the design, ``docs/API.md`` for the supported
 public surface, and :mod:`repro.engine.engine` for the pipeline details.
 """
@@ -70,6 +73,20 @@ from repro.engine.store import (
     save_artifacts,
     save_results,
 )
+from repro.reliability import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    ResilientStore,
+    RetryPolicy,
+    SupervisedPool,
+    TransientStoreError,
+    WorkerCrash,
+    faults,
+    wrap_store,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -78,8 +95,13 @@ __all__ = [
     "CacheStore",
     "CanonicalKey",
     "CanonicalLineage",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CompiledLineage",
     "DiskStore",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
     "Engine",
     "EngineConfig",
     "EngineMethod",
@@ -94,13 +116,18 @@ __all__ = [
     "RankedAnswer",
     "RankingComputation",
     "RequestError",
+    "ResilientStore",
     "ResultKey",
+    "RetryPolicy",
     "STORE_BACKENDS",
     "STORE_FORMAT_VERSION",
     "ServingFrontend",
     "ShardedStore",
     "StoreLockedError",
+    "SupervisedPool",
     "Ticket",
+    "TransientStoreError",
+    "WorkerCrash",
     "canonical_epsilon",
     "canonicalize",
     "complete_compilation",
@@ -109,6 +136,7 @@ __all__ = [
     "encode_artifact",
     "engine_for",
     "ensure_recursion_head_room",
+    "faults",
     "load_artifacts",
     "load_results",
     "migrate_store",

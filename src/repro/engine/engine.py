@@ -68,7 +68,6 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from fractions import Fraction
@@ -115,6 +114,11 @@ from repro.engine.store import (
     save_artifacts,
     save_results,
 )
+from repro.reliability import faults
+from repro.reliability.errors import WorkerCrash
+from repro.reliability.faults import resolve_fault_plan
+from repro.reliability.resilient import wrap_store
+from repro.reliability.supervisor import SupervisedPool
 
 EngineMethod = Literal["auto", "exact", "approximate", "shapley",
                        "rank", "topk"]
@@ -241,6 +245,33 @@ class EngineConfig:
         pure-Python arena passes.  Exact results are bit-identical
         across backends; serial batches additionally *prewarm* eligible
         micro-batches in one stacked cross-request kernel sweep.
+    store_retries:
+        Extra attempts (with exponential backoff) granted to a transient
+        store-I/O failure before it counts against the circuit breaker
+        (:class:`~repro.reliability.resilient.ResilientStore`).  With
+        both this and ``breaker_threshold`` at 0 the store is used
+        unwrapped and I/O errors propagate as before.
+    breaker_threshold:
+        Consecutive terminal store failures that trip the circuit
+        breaker, degrading the engine to memory-only caching (counted in
+        ``EngineStats.store_degraded``) until a half-open probe
+        re-attaches the store.
+    pool_restarts:
+        Worker-crash/hang budget of the supervised process pool: how
+        many times the executor may be rebuilt (resubmitting only
+        unfinished chunks) before the batch degrades to the serial path
+        (:class:`~repro.reliability.supervisor.SupervisedPool`).
+    pool_task_timeout:
+        Per-task wall-clock watchdog of the supervised pool, in seconds:
+        if no chunk completes within this window the pool is presumed
+        hung and restarted (counted against ``pool_restarts``).
+        ``None`` (default) disables the watchdog.
+    fault_plan:
+        Deterministic fault-injection plan for tests and chaos suites: a
+        :class:`~repro.reliability.faults.FaultPlan`, a JSON string, or
+        a dict/list spec (see :mod:`repro.reliability.faults`).  The
+        plan is installed process-wide when the engine is constructed.
+        ``None`` (the default) injects nothing and costs nothing.
     """
 
     method: EngineMethod = "auto"
@@ -259,6 +290,11 @@ class EngineConfig:
     numeric: str = "exact"
     float_ulp_margin: int = 8
     kernel: str = "auto"
+    store_retries: int = 2
+    breaker_threshold: int = 5
+    pool_restarts: int = 2
+    pool_task_timeout: Optional[float] = None
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("auto", "exact", "approximate", "shapley",
@@ -310,6 +346,16 @@ class EngineConfig:
                 raise ValueError(
                     "store_backend only applies when store is a path "
                     "string; pass an already-opened CacheStore instead")
+        if self.store_retries < 0:
+            raise ValueError("store_retries must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
+        if self.pool_restarts < 0:
+            raise ValueError("pool_restarts must be >= 0")
+        if self.pool_task_timeout is not None and self.pool_task_timeout <= 0:
+            raise ValueError("pool_task_timeout must be positive when given")
+        # Validate the plan spec at configuration time, not mid-batch.
+        resolve_fault_plan(self.fault_plan)
 
 
 @dataclass(frozen=True)
@@ -413,6 +459,7 @@ def _compute_canonical(function: DNF, method: EngineMethod,
     receives partial progress when a computation fails (budget
     exhaustion), so the work survives the raised exception.
     """
+    faults.check("compile.step")
     if method in ("rank", "topk"):
         # The configured step budget bounds the anytime run's bound
         # evaluations -- the ranking analogue of the Shannon budget, so
@@ -504,6 +551,10 @@ def _worker_compute_chunk(payload: Tuple
     (chunk, method, epsilon, max_shannon_steps, timeout_seconds, k,
      numeric, float_ulp_margin, kernel) = payload
     ensure_recursion_head_room()
+    # Inside the worker process: a ``kill`` rule here exercises the
+    # supervised pool's crash recovery (plans reach workers by fork
+    # inheritance or via the REPRO_FAULT_PLAN environment variable).
+    faults.check("pool.task")
     results = []
     for index, num_variables, clauses in chunk:
         function = DNF(clauses, domain=range(num_variables))
@@ -534,13 +585,19 @@ class Engine:
         self.cache = LineageCache(self.config.cache_size,
                                   self.config.dtree_cache_size)
         self.stats = EngineStats()
+        faults.install(resolve_fault_plan(self.config.fault_plan))
         #: The persistent result tier (or ``None``).  Mutable on purpose:
         #: a service can attach one store to several engines after
         #: construction.  A path-valued config opens its backend here,
         #: exactly once per engine (LogStore's writer lock makes
-        #: accidental double-opening loud).
-        self.store: Optional[CacheStore] = resolve_store(
-            self.config.store, self.config.store_backend)
+        #: accidental double-opening loud).  Wrapped in a
+        #: :class:`~repro.reliability.resilient.ResilientStore` (retry +
+        #: circuit breaker) unless both reliability knobs are 0.
+        self.store: Optional[CacheStore] = wrap_store(
+            resolve_store(self.config.store, self.config.store_backend),
+            retries=self.config.store_retries,
+            breaker_threshold=self.config.breaker_threshold,
+            on_counter=lambda **deltas: self.stats.bump(**deltas))
 
     # ----------------------------------------------------------------- #
     # Public API
@@ -851,12 +908,14 @@ class Engine:
                     done.add(position)
                     yield position, outcome
                 return
-            except (OSError, ImportError, BrokenProcessPool):
-                # Pool creation can fail in restricted environments, and a
-                # worker can die mid-batch (OOM-killed on a huge d-tree);
-                # the serial path computes identical results either way,
-                # picking up where the pool left off.
-                pass
+            except (OSError, ImportError, BrokenProcessPool, WorkerCrash):
+                # Terminal degradation: pool creation failed in a
+                # restricted environment, or the supervised pool burned
+                # through its restart budget (workers kept dying or
+                # hanging).  The serial path computes identical results
+                # either way, picking up where the pool left off -- and
+                # the degradation is counted, never silent.
+                self.stats.bump(pool_fallbacks=1)
         self._prewarm_batch([task for position, task in enumerate(tasks)
                              if position not in done], numeric)
         for position, canonical in enumerate(tasks):
@@ -978,11 +1037,20 @@ class Engine:
     def _compute_parallel(self, tasks: Sequence[CanonicalLineage],
                           k: Optional[int], numeric: str = "exact"
                           ) -> Iterator[Tuple[int, CachedAttribution]]:
-        """Fan the tasks out over a process pool, yielding as chunks finish.
+        """Fan the tasks out over a supervised pool, yielding as chunks finish.
 
         The chunk size amortizes IPC over several small computations but is
         capped so every effective worker gets at least one chunk -- a fixed
         chunk size would silently throttle parallelism on mid-size batches.
+
+        The pool is supervised: a dead or hung worker rebuilds the
+        executor and resubmits only the unfinished chunks (each event is
+        counted in ``pool_worker_crashes``), bounded by
+        ``config.pool_restarts``; past the budget
+        :class:`~repro.reliability.errors.WorkerCrash` propagates and
+        the caller degrades to the serial path.  Chunks are idempotent
+        pure functions of their payload, so a resubmitted chunk yields
+        bit-identical results and already-yielded chunks never recompute.
         """
         config = self.config
         max_workers = self._effective_workers()
@@ -997,21 +1065,26 @@ class Engine:
             ]
             chunks.append(chunk)
 
-        workers = min(max_workers, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = [
-                (chunk, config.method, config.epsilon,
-                 config.max_shannon_steps, config.timeout_seconds, k,
-                 numeric, config.float_ulp_margin, config.kernel)
-                for chunk in chunks
-            ]
-            for chunk_results in pool.map(_worker_compute_chunk, payloads):
-                for position, outcome, fell_back, rounds in chunk_results:
-                    self._record_outcome(outcome, fell_back, rounds)
-                    # Artifacts never cross the pool boundary: every
-                    # worker computation compiles from scratch.
-                    self.stats.bump(tree_compilations=1)
-                    yield position, outcome
+        payloads = [
+            (chunk, config.method, config.epsilon,
+             config.max_shannon_steps, config.timeout_seconds, k,
+             numeric, config.float_ulp_margin, config.kernel)
+            for chunk in chunks
+        ]
+        pool = SupervisedPool(
+            _worker_compute_chunk,
+            max_workers=min(max_workers, len(chunks)),
+            max_restarts=config.pool_restarts,
+            task_timeout=config.pool_task_timeout,
+            on_crash=lambda kind: self.stats.bump(pool_worker_crashes=1),
+        )
+        for _chunk_index, chunk_results in pool.run(payloads):
+            for position, outcome, fell_back, rounds in chunk_results:
+                self._record_outcome(outcome, fell_back, rounds)
+                # Artifacts never cross the pool boundary: every
+                # worker computation compiles from scratch.
+                self.stats.bump(tree_compilations=1)
+                yield position, outcome
         self.stats.bump(parallel_batches=1)
 
     # ----------------------------------------------------------------- #

@@ -88,6 +88,7 @@ from repro.engine.serve import (
     ParsedRequest,
     RequestError,
 )
+from repro.reliability import faults
 
 
 @dataclass(frozen=True)
@@ -496,6 +497,9 @@ class ServingFrontend:
                 self.service.stats_counters.bump(
                     coalesced_requests=duplicates)
         try:
+            # Front-end-level injection point: a raise here exercises the
+            # catch-all below, which must still answer every member.
+            faults.check("serve.batch")
             responses = self.service.submit_batch(
                 [member.request for member in group])
             for member, response in zip(group, responses):

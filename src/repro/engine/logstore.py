@@ -84,6 +84,8 @@ from repro.engine.store import (
     encode_entry,
     encode_key,
 )
+from repro.reliability import faults
+from repro.reliability.errors import TransientStoreError
 
 #: Log file magic: b"RLOG" + format version.  Bumped on any incompatible
 #: frame/payload change; a log recording a different version is treated
@@ -497,6 +499,7 @@ class LogStore:
             return None
 
     def get(self, key: ResultKey) -> Optional[CachedAttribution]:
+        faults.check("store.read")
         encoded = encode_key(key)
         with self._lock:
             self.gets += 1
@@ -590,6 +593,14 @@ class LogStore:
         bounds appends tombstones for the oldest stamps; physical bytes
         are reclaimed by compaction, which this flush schedules on the
         background worker when the garbage ratio crosses the threshold.
+
+        A *failed* append (ENOSPC, EIO, an injected fault) raises
+        :class:`~repro.reliability.errors.TransientStoreError` after
+        truncating the file back to the last ack point, so a partial
+        write can never desynchronize future record offsets; the pending
+        buffer is left intact, so a retried flush after the fault clears
+        acks everything.  Nothing is ever indexed -- and therefore never
+        served -- from a write that did not fully succeed.
         """
         if self.mode == "ro":
             return
@@ -609,10 +620,7 @@ class LogStore:
                     placed.append((index, encoded, position, len(payload),
                                    stamp))
                     position += len(frame)
-            self._append_fd.write(b"".join(chunks))
-            self._append_fd.flush()
-            if self.fsync:
-                os.fsync(self._append_fd.fileno())
+            self._append_bytes(b"".join(chunks))
             for index, encoded, offset, length, stamp in placed:
                 old = index.get(encoded)
                 if old is not None:
@@ -645,12 +653,46 @@ class LogStore:
                     _frame(_encode_payload(kind, encoded, self._stamp)))
         if tombstones:
             blob = b"".join(tombstones)
+            self._append_bytes(blob)
+            self.garbage_bytes += len(blob)
+            self._valid_end += len(blob)
+
+    def _append_bytes(self, blob: bytes) -> None:
+        """One guarded append; callers hold the lock.
+
+        The ``store.flush`` fault site lives inside the guard so injected
+        I/O errors exercise exactly the recovery path a real ENOSPC
+        takes: truncate back to ``_valid_end`` (a partial write may have
+        left bytes past the ack point), reopen the handles, and raise
+        :class:`TransientStoreError` with the cause attached.  Injected
+        non-``OSError`` faults (e.g. ``StoreLockedError``) propagate
+        unwrapped, as the real ones would.
+        """
+        try:
+            faults.check("store.flush")
             self._append_fd.write(blob)
             self._append_fd.flush()
             if self.fsync:
                 os.fsync(self._append_fd.fileno())
-            self.garbage_bytes += len(blob)
-            self._valid_end += len(blob)
+        except OSError as error:
+            self._truncate_to_ack_point()
+            raise TransientStoreError(
+                f"log append of {len(blob)} byte(s) failed: {error}"
+            ) from error
+
+    def _truncate_to_ack_point(self) -> None:
+        """Best-effort: cut the file back to the last consistent prefix."""
+        try:
+            with open(self._log_path(), "r+b") as handle:
+                handle.truncate(self._valid_end)
+        except OSError:
+            # Even truncation failing is safe: readers stop at the first
+            # torn frame, and the writer's next successful append is
+            # re-pointed at _valid_end by the reopened handle below only
+            # if the truncate landed -- otherwise the stale bytes remain
+            # and the scan-side torn-tail repair handles them on reopen.
+            pass
+        self._reopen_files()
 
     # -- compaction ----------------------------------------------------- #
 

@@ -62,9 +62,12 @@ from repro.dtree.compile import CompilationLimitReached
 from repro.engine.cache import LineageCache
 from repro.engine.canonical import canonicalize
 from repro.engine.engine import Engine, EngineConfig
-from repro.engine.logstore import resolve_store
+from repro.engine.logstore import StoreLockedError, resolve_store
 from repro.engine.stats import EngineStats
 from repro.engine.store import CacheStore
+from repro.reliability import faults
+from repro.reliability.errors import CircuitOpenError, TransientStoreError
+from repro.reliability.resilient import wrap_store
 
 #: Ops a request may carry.
 OPS = ("attribute", "rank", "topk")
@@ -77,6 +80,13 @@ ATTRIBUTE_METHODS = ("auto", "exact", "approximate", "shapley")
 #: too deep to finish even inside the raised interpreter limit).
 _BUDGET_EXHAUSTED = (ApproximationTimeout, CompilationLimitReached,
                      RecursionError)
+
+#: Exceptions that mean "the persistent tier is unavailable" -- surfaced
+#: as structured ``{"ok": false, "degraded": true}`` responses (the
+#: request may well be answerable once the store recovers or memory-only
+#: caching warms up), never as tracebacks.
+_STORE_UNAVAILABLE = (StoreLockedError, CircuitOpenError,
+                      TransientStoreError)
 
 
 class RequestError(ValueError):
@@ -167,14 +177,21 @@ class AttributionService:
                 "rank/topk engines are created per request op"
             )
         self.database = database
-        # A path-valued config store opens its backend exactly once,
-        # here, and is then shared by every method engine (per-engine
-        # resolution would trip LogStore's single-writer lock).
-        self.store = store if store is not None else resolve_store(
-            base.store, base.store_backend)
         self._base = replace(base, store=None, store_backend=None, k=None)
         self.cache = LineageCache(base.cache_size, base.dtree_cache_size)
         self.stats_counters = EngineStats()
+        # A path-valued config store opens its backend exactly once,
+        # here, and is then shared by every method engine (per-engine
+        # resolution would trip LogStore's single-writer lock).  The
+        # shared handle is wrapped with the service's retry + breaker
+        # policy (a no-op when both knobs are 0 or the caller passed an
+        # already-wrapped store), counting into the shared stats.
+        self.store = wrap_store(
+            store if store is not None else resolve_store(
+                base.store, base.store_backend),
+            retries=base.store_retries,
+            breaker_threshold=base.breaker_threshold,
+            on_counter=self.stats_counters.bump)
         self._engines: Dict[str, Engine] = {}
         self._engines_lock = threading.Lock()
         self._counter_lock = threading.Lock()
@@ -346,6 +363,10 @@ class AttributionService:
             engine = self._engine(method or self._base.method)
             queries = [parsed.query for _, parsed in valid]
             try:
+                # Inside the try on purpose: an injected mid-batch fault
+                # takes the same recovery path as a real one -- the
+                # not-yet-answered requests are served individually below.
+                faults.check("serve.batch")
                 for (index, parsed), (_, results) in zip(
                         valid, engine.attribute_many(queries,
                                                      self.database)):
@@ -367,6 +388,16 @@ class AttributionService:
             with self._counter_lock:
                 self.request_errors += 1
             response = {"ok": False, "error": str(error)}
+        except _STORE_UNAVAILABLE as error:
+            # The persistent tier is locked, tripped, or mid-outage; the
+            # request failed for infrastructure reasons, not because it
+            # was bad.  Tell the client so, structurally.
+            with self._counter_lock:
+                self.request_errors += 1
+                self.requests_degraded += 1
+            response = {"ok": False, "degraded": True,
+                        "error": f"store unavailable "
+                                 f"({type(error).__name__}: {error})"}
         except Exception as error:  # serving loop must survive anything
             with self._counter_lock:
                 self.request_errors += 1
@@ -504,6 +535,7 @@ class AttributionService:
 
     def _execute(self, parsed: ParsedRequest,
                  deadline_seconds: Optional[float]) -> Dict[str, object]:
+        faults.check("serve.request")
         if deadline_seconds is None:
             if parsed.op == "attribute":
                 engine = self._engine(parsed.method or self._base.method)

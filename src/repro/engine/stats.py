@@ -50,6 +50,10 @@ COUNTER_FIELDS = (
     "kernel_sweeps",
     "kernel_batched_trees",
     "kernel_fallbacks",
+    "pool_fallbacks",
+    "pool_worker_crashes",
+    "store_retries",
+    "store_degraded",
 )
 
 
@@ -137,6 +141,25 @@ class EngineStats:
         numpy missing, the arena too small to be worth a sweep under
         ``kernel="auto"``, or an int64 overflow/soundness check rerouting
         to the big-int pass.
+    pool_fallbacks:
+        Times the parallel compute path degraded terminally to the
+        serial path (pool unusable: ``OSError``/``ImportError`` at
+        startup, or a :class:`~repro.reliability.errors.WorkerCrash`
+        after the supervised pool exhausted its restart budget).
+        Before the reliability subsystem this degradation was silent.
+    pool_worker_crashes:
+        Worker-death/hang events survived by the supervised pool
+        (each one is an executor rebuild + resubmission of the
+        unfinished chunks; see
+        :class:`~repro.reliability.supervisor.SupervisedPool`).
+    store_retries:
+        Transient store-I/O failures that were retried with backoff by
+        :class:`~repro.reliability.resilient.ResilientStore` (one per
+        retry sleep, not per operation).
+    store_degraded:
+        Circuit-breaker trips: the persistent store failed persistently
+        and the engine degraded to memory-only caching until a
+        half-open probe re-attached it.
     stage_seconds:
         Wall-clock seconds per pipeline stage (``evaluate``,
         ``canonicalize``, ``compute``, ``assemble``).
@@ -168,6 +191,10 @@ class EngineStats:
     kernel_sweeps: int = 0
     kernel_batched_trees: int = 0
     kernel_fallbacks: int = 0
+    pool_fallbacks: int = 0
+    pool_worker_crashes: int = 0
+    store_retries: int = 0
+    store_degraded: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     pass_seconds: Dict[str, float] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -313,6 +340,12 @@ class EngineStats:
                 "sweeps": self.kernel_sweeps,
                 "batched_trees": self.kernel_batched_trees,
                 "fallbacks": self.kernel_fallbacks,
+            },
+            "reliability": {
+                "pool_fallbacks": self.pool_fallbacks,
+                "pool_worker_crashes": self.pool_worker_crashes,
+                "store_retries": self.store_retries,
+                "store_degraded": self.store_degraded,
             },
             "stage_seconds": {stage: round(seconds, 6)
                               for stage, seconds in self.stage_seconds.items()},

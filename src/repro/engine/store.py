@@ -62,6 +62,7 @@ from repro.engine.artifact import (
 )
 from repro.engine.cache import CachedAttribution, ResultKey, canonical_epsilon
 from repro.engine.canonical import CanonicalKey
+from repro.reliability import faults
 
 #: On-disk format version; bumped on any incompatible change.  Shards
 #: recording a different version are ignored wholesale (treated as empty),
@@ -570,6 +571,7 @@ class DiskStore:
         written by older processes, migrating hits to the canonical
         encoding (rewritten at the next flush).
         """
+        faults.check("store.read")
         encoded = encode_key(key)
         with self._lock:
             index = self._route(encoded, self.shards)
@@ -679,7 +681,12 @@ class DiskStore:
         Clean shards -- including ones that only saw identical re-puts
         -- are not rewritten; ``flush_writes``/``bytes_flushed`` expose
         exactly how much was.
+
+        A failing write leaves previously flushed shards intact (each
+        shard rewrite is atomic) and the failed shard still dirty, so a
+        retried flush after the fault clears persists everything.
         """
+        faults.check("store.flush")
         with self._lock:
             if not self._dirty and not self._tree_dirty:
                 return

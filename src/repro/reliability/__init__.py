@@ -1,0 +1,52 @@
+"""Reliability subsystem: fault injection, supervision, store resilience.
+
+Four cooperating pieces (each in its own module):
+
+* :mod:`~repro.reliability.faults` -- deterministic, seeded fault
+  injection behind named sites (``faults.check("store.flush")``), off by
+  default and free when disabled;
+* :mod:`~repro.reliability.supervisor` -- :class:`SupervisedPool`,
+  which survives process-pool worker crashes by rebuilding the executor
+  and resubmitting only unfinished work under a bounded restart budget;
+* :mod:`~repro.reliability.retry` / :mod:`~repro.reliability.breaker` /
+  :mod:`~repro.reliability.resilient` -- bounded backoff, a circuit
+  breaker, and the :class:`ResilientStore` wrapper that degrades the
+  engine to memory-only caching while the persistent tier is down;
+* :mod:`~repro.reliability.errors` -- the failure taxonomy tying it
+  together.
+"""
+
+from .breaker import CircuitBreaker
+from .errors import (
+    CircuitOpenError,
+    FaultInjected,
+    ReliabilityError,
+    RetryBudgetExceeded,
+    TransientStoreError,
+    WorkerCrash,
+)
+from .faults import FaultPlan, FaultRule, injected_error, resolve_fault_plan
+from .resilient import ResilientStore, wrap_store
+from .retry import RetryPolicy
+from .supervisor import SupervisedPool
+
+from . import faults
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "ReliabilityError",
+    "ResilientStore",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "SupervisedPool",
+    "TransientStoreError",
+    "WorkerCrash",
+    "faults",
+    "injected_error",
+    "resolve_fault_plan",
+    "wrap_store",
+]

@@ -1,0 +1,141 @@
+"""Circuit breaker for a persistently failing backend.
+
+Classic three-state machine:
+
+::
+
+                 failure_threshold consecutive failures
+        CLOSED ----------------------------------------> OPEN
+          ^                                               |
+          | probe succeeds                                | reset_timeout
+          |                                               v
+        HALF_OPEN <-------------------------------------- (time passes)
+          |
+          | probe fails --> OPEN (timer re-armed)
+
+While CLOSED every operation is allowed and consecutive failures are
+counted (any success resets the count).  On the threshold the breaker
+trips OPEN: operations are refused without touching the backend until
+``reset_timeout`` has elapsed, at which point exactly one caller wins
+the HALF_OPEN probe slot; its success closes the breaker (the store
+"re-attaches"), its failure re-opens with a fresh timer.
+
+The clock is injected (defaults to ``time.monotonic``) so the state
+machine is testable without sleeping, and all transitions happen under
+one lock so concurrent serving threads agree on the state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures.
+
+    Attributes:
+        failure_threshold: Consecutive failures that trip the breaker;
+            ``0`` disables it (always closed).
+        reset_timeout: Seconds OPEN before a HALF_OPEN probe is offered.
+        trips: Total CLOSED/HALF_OPEN -> OPEN transitions.
+        reattaches: Total successful probes (HALF_OPEN -> CLOSED).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 0:
+            raise ValueError("failure_threshold must be >= 0")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.trips = 0
+        self.reattaches = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> str:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = HALF_OPEN
+            self._probe_out = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the operation right now?
+
+        In HALF_OPEN exactly one caller is granted the probe; everyone
+        else is refused until the probe's verdict arrives via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self.failure_threshold == 0:
+            return True
+        with self._lock:
+            state = self._refresh_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self.reattaches += 1
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_out = False
+
+    def record_failure(self) -> bool:
+        """Record a failure; return True when this call trips the breaker."""
+        if self.failure_threshold == 0:
+            return False
+        with self._lock:
+            state = self._refresh_locked()
+            if state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_out = False
+                self.trips += 1
+                return True
+            if state == OPEN:
+                return False
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            return False
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._refresh_locked(),
+                "failures": self._failures,
+                "trips": self.trips,
+                "reattaches": self.reattaches,
+            }
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

@@ -1,0 +1,102 @@
+"""Bounded exponential backoff with jitter.
+
+:class:`RetryPolicy` is a frozen value object describing *how* to retry
+(attempt count, delay schedule, which exceptions are transient), with
+the side effects -- sleeping and the callable itself -- injected so
+tests can pin the schedule without wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from .errors import RetryBudgetExceeded, TransientStoreError
+
+T = TypeVar("T")
+
+#: Exceptions retried by default: raw I/O failures and the engine's own
+#: transient-store wrapper.  Deliberately excludes ``StoreLockedError``
+#: (a ``RuntimeError``): losing the writer lock is permanent, not
+#: transient.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (OSError, TransientStoreError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry ``attempts`` times total with exponential backoff + jitter.
+
+    Attributes:
+        attempts: Total tries, including the first (``1`` = no retry).
+        base_delay: Sleep before the first retry, in seconds.
+        multiplier: Backoff factor between consecutive retries.
+        max_delay: Cap on any single sleep.
+        jitter: Fractional jitter: each sleep is scaled by a uniform
+            draw from ``[1 - jitter, 1 + jitter]``.
+        retry_on: Exception types considered transient; anything else
+            propagates immediately.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.1
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, retry_index: int, *, rng: Optional[random.Random] = None) -> float:
+        """Sleep length before retry ``retry_index`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * (self.multiplier ** retry_index))
+        if self.jitter:
+            draw = (rng.random() if rng is not None else random.random())
+            raw *= 1.0 + self.jitter * (2.0 * draw - 1.0)
+        return raw
+
+    def call(
+        self,
+        func: Callable[[], T],
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        rng: Optional[random.Random] = None,
+        wrap_terminal: bool = False,
+    ) -> T:
+        """Run ``func`` under this policy.
+
+        ``on_retry(retry_index, error)`` fires before each sleep (stats
+        hooks live there).  The terminal failure re-raises unchanged so
+        existing handlers keep matching, unless ``wrap_terminal`` asks
+        for a :class:`RetryBudgetExceeded` with the cause attached.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.attempts):
+            try:
+                return func()
+            except self.retry_on as error:  # type: ignore[misc]
+                last = error
+                if attempt + 1 >= self.attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                sleep(self.delay(attempt, rng=rng))
+        assert last is not None
+        if wrap_terminal:
+            raise RetryBudgetExceeded(
+                f"{self.attempts} attempt(s) failed; last: {last!r}"
+            ) from last
+        raise last
+
+
+__all__ = ["DEFAULT_RETRY_ON", "RetryPolicy"]

@@ -16,6 +16,21 @@ import pytest
 from repro.boolean.dnf import DNF
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_plan():
+    """Keep fault plans test-local.
+
+    ``Engine(EngineConfig(fault_plan=...))`` installs the plan as
+    process-ambient state (so forked pool workers inherit it); without
+    this guard one test's plan would keep firing in every later test.
+    """
+    from repro.reliability import faults
+
+    faults.clear()
+    yield
+    faults.clear()
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic random generator for tests."""

@@ -1,0 +1,213 @@
+"""Chaos lane: seeded fault schedules against the full serving stack.
+
+Every test installs a deterministic :class:`FaultPlan` (seeded, so a
+failure replays bit-identically) and checks the *global* invariants the
+reliability subsystem promises, rather than any single component:
+
+* exactly one response per request, in request order, no matter what
+  faults fire mid-batch or mid-request;
+* every ``ok: true`` response is bit-identical to the fault-free run
+  (exact ``Fraction`` values survive retries, fallbacks and
+  recomputation);
+* a store written under flush faults is never poisoned -- after the
+  faults clear, everything it holds loads cleanly;
+* a killed pool worker is supervised back to a complete, correct
+  result set (and a worker *storm* degrades to the serial path, still
+  correct, still counted).
+
+CI runs these in a dedicated ``-m chaos`` lane under pytest-timeout.
+"""
+
+import io
+import json
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro import Database
+from repro.baselines.brute_force import banzhaf_all_brute_force
+from repro.boolean.dnf import DNF
+from repro.engine import Engine, EngineConfig
+from repro.engine.frontend import FrontendConfig, serve_jsonl_concurrent
+from repro.engine.logstore import LogStore
+from repro.engine.serve import AttributionService
+from repro.reliability import faults
+
+pytestmark = pytest.mark.chaos
+
+QUERIES = (
+    "Q(X) :- R(X), S(X, Y)",
+    "Q(X) :- R(X), T(X, Y)",
+    "Q(X, Y) :- S(X, Y), T(X, Y)",
+)
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    for value in ("a", "b", "c"):
+        db.add_fact("R", (value,))
+    for row in (("a", 1), ("b", 1), ("c", 2)):
+        db.add_fact("S", row)
+        db.add_fact("T", row)
+    return db
+
+
+def _requests(count=9):
+    return [{"op": "attribute", "query": QUERIES[index % len(QUERIES)],
+             "id": index} for index in range(count)]
+
+
+def _baseline(database, requests):
+    """Fault-free responses, keyed by request id."""
+    service = AttributionService(database)
+    return {request["id"]: service.submit(dict(request))
+            for request in requests}
+
+
+class TestServiceChaos:
+    def test_batch_chaos_is_bit_identical_to_fault_free(self, database,
+                                                        tmp_path):
+        requests = _requests()
+        baseline = _baseline(database, requests)
+        plan = {
+            "seed": 1234,
+            "rules": [
+                # One mid-batch raise: every batched request must fall
+                # back to its individual computation.
+                {"site": "serve.batch", "error": "RuntimeError",
+                 "times": 1},
+                # A flaky disk underneath: reads and flushes fail half
+                # the time; the wrapper retries or degrades to misses.
+                {"site": "store.read", "errno": "EIO",
+                 "probability": 0.5},
+                {"site": "store.flush", "errno": "ENOSPC",
+                 "probability": 0.5},
+            ],
+        }
+        store_dir = str(tmp_path / "store")
+        service = AttributionService(database, store=LogStore(store_dir))
+        with faults.installed(plan):
+            responses = service.submit_batch([dict(r) for r in requests])
+        assert len(responses) == len(requests)  # exactly one per request
+        assert [r["id"] for r in responses] == [r["id"] for r in requests]
+        for response in responses:
+            assert response["ok"] is True
+            assert response == baseline[response["id"]]  # bit-identical
+        # The store took writes under injected flush faults; once they
+        # clear it must hold only clean, loadable records (a failed
+        # write is never served back).
+        service.flush()
+        service.store.close()
+        with LogStore(store_dir) as reopened:
+            loaded = Engine(EngineConfig()).load_cache(reopened)
+            assert loaded >= 0  # every surviving record decoded cleanly
+
+    def test_chaos_schedule_replays_deterministically(self, database):
+        plan_spec = {
+            "seed": 77,
+            "rules": [{"site": "store.read", "errno": "EIO",
+                       "probability": 0.5},
+                      {"site": "serve.request", "action": "delay",
+                       "delay_seconds": 0.0, "probability": 0.5}],
+        }
+        outcomes = []
+        for _run in range(2):
+            service = AttributionService(database)
+            with faults.installed(plan_spec) as plan:
+                for request in _requests(6):
+                    service.submit(dict(request))
+                outcomes.append((dict(plan.fired),
+                                 {site: plan.calls(site)
+                                  for site in ("store.read",
+                                               "serve.request")}))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFrontendChaos:
+    def test_every_request_gets_exactly_one_response(self, database,
+                                                     tmp_path):
+        requests = _requests(12)
+        baseline = _baseline(database, requests)
+        plan = {
+            "seed": 99,
+            "rules": [
+                {"site": "serve.batch", "error": "RuntimeError",
+                 "probability": 0.5},
+                {"site": "store.read", "errno": "EIO",
+                 "probability": 0.4},
+                {"site": "serve.request", "action": "delay",
+                 "delay_seconds": 0.002, "probability": 0.3},
+            ],
+        }
+        service = AttributionService(
+            database, store=LogStore(str(tmp_path / "store")))
+        lines = [json.dumps(request) for request in requests]
+        output = io.StringIO()
+        with faults.installed(plan):
+            serve_jsonl_concurrent(service, lines, output,
+                                   FrontendConfig(workers=3, batch_max=4))
+        rows = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert len(rows) == len(requests)
+        # Responses come back in request order, one per request.
+        assert [row["id"] for row in rows] == [r["id"] for r in requests]
+        # A batch the *front-end* fails mid-flight comes back as error
+        # responses (the catch-all never strands a ticket); everything
+        # that did succeed is bit-identical to the fault-free run.
+        for row in rows:
+            if row["ok"]:
+                assert row == baseline[row["id"]]
+            else:
+                assert "error" in row  # structured, never a lost ticket
+        assert any(row["ok"] for row in rows)
+
+
+def _lineages():
+    return [DNF([[0, 1]]), DNF([[0, 1], [1, 2]]),
+            DNF([[0], [1, 2]]), DNF([[0, 1], [0, 2], [1, 2]]),
+            DNF([[0, 2], [1, 3]]), DNF([[0], [1], [2, 3]])]
+
+
+class TestWorkerKills:
+    def test_one_killed_worker_is_supervised_back(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        lineages = _lineages()
+        expected = [banzhaf_all_brute_force(lineage)
+                    for lineage in lineages]
+        engine = Engine(EngineConfig(
+            method="exact", max_workers=2, chunk_size=1,
+            parallel_min_tasks=1, pool_restarts=2,
+            fault_plan={"rules": [{
+                "site": "pool.task", "action": "kill",
+                # os._exit(1) in exactly the one (forked) worker that
+                # claims the sentinel; everyone else proceeds.
+                "once_path": str(tmp_path / "kill-once"),
+            }]}))
+        values = [a.values for a in engine.attribute_lineages(lineages)]
+        for computed, raw in zip(values, expected):
+            assert computed == {v: Fraction(x) for v, x in raw.items()}
+        assert engine.stats.pool_worker_crashes >= 1
+        assert engine.stats.pool_fallbacks == 0
+        assert engine.stats.parallel_batches == 1
+
+    def test_worker_kill_storm_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        lineages = _lineages()
+        expected = [banzhaf_all_brute_force(lineage)
+                    for lineage in lineages]
+        # No once_path: every fresh worker's first chunk dies, so the
+        # pool burns its whole restart budget and the engine falls back
+        # to the serial path -- counted, and still correct.
+        engine = Engine(EngineConfig(
+            method="exact", max_workers=2, chunk_size=1,
+            parallel_min_tasks=1, pool_restarts=1,
+            fault_plan={"rules": [{"site": "pool.task",
+                                   "action": "kill"}]}))
+        values = [a.values for a in engine.attribute_lineages(lineages)]
+        for computed, raw in zip(values, expected):
+            assert computed == {v: Fraction(x) for v, x in raw.items()}
+        assert engine.stats.pool_fallbacks == 1
+        assert engine.stats.pool_worker_crashes == 2  # budget + 1 attempts
+        assert engine.stats.parallel_batches == 0

@@ -353,7 +353,8 @@ class TestBackendSelection:
         lineage = DNF([(0, 1), (1, 2)], domain=range(3))
         config = EngineConfig(store=str(tmp_path), store_backend="log")
         engine = Engine(config)
-        assert isinstance(engine.store, LogStore)
+        # The engine wraps the opened backend in its resilience proxy.
+        assert isinstance(engine.store.inner, LogStore)
         (first,) = engine.attribute_lineages([lineage])
         engine.store.close()
 
